@@ -1,0 +1,80 @@
+//! Action classification.
+//!
+//! Paper §2.1: an I/O automaton `A` partitions the actions it participates in
+//! into three mutually disjoint sets `in(A)`, `out(A)` and `int(A)`. Input
+//! actions are imposed on the automaton by its environment; output and
+//! internal actions — together the *locally controlled* actions `loc(A)` —
+//! are under the automaton's own control.
+//!
+//! Because action universes are typically infinite (or at least large), we do
+//! not represent the sets extensionally. Instead every [`Automaton`]
+//! classifies actions on demand through [`Automaton::classify`], returning an
+//! [`ActionClass`] for actions in `acts(A)` and `None` for the rest.
+//!
+//! [`Automaton`]: crate::automaton::Automaton
+//! [`Automaton::classify`]: crate::automaton::Automaton::classify
+
+use core::fmt;
+
+/// The class of an action relative to one automaton: `in`, `out` or `int`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ActionClass {
+    /// `in(A)` — imposed by the environment; must be enabled in every state.
+    Input,
+    /// `out(A)` — locally controlled, visible to the environment.
+    Output,
+    /// `int(A)` — locally controlled, invisible to the environment.
+    Internal,
+}
+
+impl ActionClass {
+    /// Whether the action is locally controlled (`loc(A) = out(A) ∪ int(A)`).
+    #[must_use]
+    pub const fn is_local(self) -> bool {
+        matches!(self, ActionClass::Output | ActionClass::Internal)
+    }
+
+    /// Whether the action is external (`in(A) ∪ out(A)`), i.e. appears in
+    /// behaviors.
+    #[must_use]
+    pub const fn is_external(self) -> bool {
+        matches!(self, ActionClass::Input | ActionClass::Output)
+    }
+}
+
+impl fmt::Display for ActionClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ActionClass::Input => "input",
+            ActionClass::Output => "output",
+            ActionClass::Internal => "internal",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locality() {
+        assert!(!ActionClass::Input.is_local());
+        assert!(ActionClass::Output.is_local());
+        assert!(ActionClass::Internal.is_local());
+    }
+
+    #[test]
+    fn externality() {
+        assert!(ActionClass::Input.is_external());
+        assert!(ActionClass::Output.is_external());
+        assert!(!ActionClass::Internal.is_external());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ActionClass::Input.to_string(), "input");
+        assert_eq!(ActionClass::Output.to_string(), "output");
+        assert_eq!(ActionClass::Internal.to_string(), "internal");
+    }
+}

@@ -1,0 +1,210 @@
+//! Boundmaps — the MMT90 form of timing assumptions.
+//!
+//! Merritt, Modugno and Tuttle attach to each fairness class `C` of an
+//! automaton a pair `(lower(C), upper(C))`: once some action of `C` is
+//! enabled, one must fire no earlier than `lower(C)` and no later than
+//! `upper(C)` after the class last fired or became enabled. RSTP's
+//! assumption — "each process takes a step at least every `c1` and at most
+//! every `c2`" — is the boundmap `(c1, c2)` on the single fairness class
+//! each process automaton has.
+//!
+//! [`BoundMap`] stores per-class bounds; [`check_class_spacing`] validates
+//! the timed event sequence of one class against them. (The general MMT90
+//! semantics also tracks *enabling* times; for the always-enabled process
+//! classes of this paper the fired-to-fired spacing is the whole
+//! condition, which is what the checker verifies.)
+
+use crate::time::{Time, TimeDelta};
+use crate::timed::{check_spacing, TimingAxiomError};
+use core::fmt;
+
+/// Per-fairness-class timing bounds `(lower, upper)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BoundMap {
+    bounds: Vec<(TimeDelta, TimeDelta)>,
+}
+
+/// An invalid bound pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoundMapError {
+    class: usize,
+    lower: TimeDelta,
+    upper: TimeDelta,
+}
+
+impl fmt::Display for BoundMapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "class {}: lower bound {} exceeds upper bound {}",
+            self.class, self.lower, self.upper
+        )
+    }
+}
+
+impl std::error::Error for BoundMapError {}
+
+impl BoundMap {
+    /// An empty boundmap (no classes).
+    #[must_use]
+    pub fn new() -> Self {
+        BoundMap::default()
+    }
+
+    /// The uniform boundmap: every one of `classes` classes gets
+    /// `(lower, upper)` — RSTP's `(c1, c2)` on each process.
+    ///
+    /// # Errors
+    ///
+    /// [`BoundMapError`] if `lower > upper`.
+    pub fn uniform(
+        classes: usize,
+        lower: TimeDelta,
+        upper: TimeDelta,
+    ) -> Result<Self, BoundMapError> {
+        if lower > upper {
+            return Err(BoundMapError {
+                class: 0,
+                lower,
+                upper,
+            });
+        }
+        Ok(BoundMap {
+            bounds: vec![(lower, upper); classes],
+        })
+    }
+
+    /// Appends a class with bounds `(lower, upper)`, returning its index.
+    ///
+    /// # Errors
+    ///
+    /// [`BoundMapError`] if `lower > upper`.
+    pub fn push_class(
+        &mut self,
+        lower: TimeDelta,
+        upper: TimeDelta,
+    ) -> Result<usize, BoundMapError> {
+        if lower > upper {
+            return Err(BoundMapError {
+                class: self.bounds.len(),
+                lower,
+                upper,
+            });
+        }
+        self.bounds.push((lower, upper));
+        Ok(self.bounds.len() - 1)
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// The bounds of class `class`, if it exists.
+    #[must_use]
+    pub fn get(&self, class: usize) -> Option<(TimeDelta, TimeDelta)> {
+        self.bounds.get(class).copied()
+    }
+}
+
+/// Checks one class's fired-event times against its bounds: consecutive
+/// events between `lower` and `upper` apart (and the first within `upper`
+/// of `origin`, if provided — a class enabled from the start must fire by
+/// `upper`).
+///
+/// # Errors
+///
+/// The underlying [`TimingAxiomError`], or a synthetic `SpacingTooLarge` if
+/// the class is in the map but has no events despite `origin` being given
+/// and an `end` time more than `upper` past it.
+pub fn check_class_spacing(
+    map: &BoundMap,
+    class: usize,
+    fired: &[Time],
+    origin: Option<Time>,
+    end: Option<Time>,
+) -> Result<(), TimingAxiomError> {
+    let Some((lower, upper)) = map.get(class) else {
+        return Ok(()); // unknown class: nothing to check
+    };
+    check_spacing(fired, lower, upper, origin)?;
+    // A perpetually enabled class must keep firing until `end`.
+    if let (Some(end), Some(origin)) = (end, origin) {
+        let last = fired.last().copied().unwrap_or(origin);
+        if let Some(gap) = end.checked_since(last) {
+            if gap > upper {
+                return Err(TimingAxiomError::SpacingTooLarge {
+                    index: fired.len(),
+                    gap,
+                    max: upper,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> Time {
+        Time::from_ticks(n)
+    }
+
+    fn dt(n: u64) -> TimeDelta {
+        TimeDelta::from_ticks(n)
+    }
+
+    #[test]
+    fn uniform_boundmap() {
+        let m = BoundMap::uniform(3, dt(1), dt(2)).unwrap();
+        assert_eq!(m.classes(), 3);
+        assert_eq!(m.get(2), Some((dt(1), dt(2))));
+        assert_eq!(m.get(3), None);
+    }
+
+    #[test]
+    fn invalid_bounds_rejected() {
+        assert!(BoundMap::uniform(1, dt(3), dt(2)).is_err());
+        let mut m = BoundMap::new();
+        assert!(m.push_class(dt(5), dt(4)).is_err());
+        let idx = m.push_class(dt(1), dt(4)).unwrap();
+        assert_eq!(idx, 0);
+        let e = BoundMap::uniform(1, dt(3), dt(2)).unwrap_err();
+        assert!(e.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn spacing_within_bounds_passes() {
+        let m = BoundMap::uniform(1, dt(2), dt(3)).unwrap();
+        check_class_spacing(&m, 0, &[t(0), t(2), t(5), t(8)], Some(Time::ZERO), Some(t(9)))
+            .unwrap();
+    }
+
+    #[test]
+    fn stalled_class_detected_via_end_time() {
+        // Last fired at 5, end at 20, upper 3 — the class stalled.
+        let m = BoundMap::uniform(1, dt(2), dt(3)).unwrap();
+        let err = check_class_spacing(&m, 0, &[t(0), t(3), t(5)], Some(Time::ZERO), Some(t(20)))
+            .unwrap_err();
+        assert!(matches!(err, TimingAxiomError::SpacingTooLarge { .. }));
+    }
+
+    #[test]
+    fn never_fired_class_detected() {
+        let m = BoundMap::uniform(1, dt(1), dt(3)).unwrap();
+        let err =
+            check_class_spacing(&m, 0, &[], Some(Time::ZERO), Some(t(10))).unwrap_err();
+        assert!(matches!(err, TimingAxiomError::SpacingTooLarge { .. }));
+        // …but fine if the run ends within `upper`.
+        check_class_spacing(&m, 0, &[], Some(Time::ZERO), Some(t(3))).unwrap();
+    }
+
+    #[test]
+    fn unknown_class_is_vacuous() {
+        let m = BoundMap::new();
+        check_class_spacing(&m, 7, &[t(0), t(100)], None, None).unwrap();
+    }
+}

@@ -1,0 +1,503 @@
+//! Timings and timed executions (paper §2.2).
+//!
+//! A *timing* for an execution maps each event to a nonnegative time such
+//! that (1) the first event happens at time 0, (2) times are nondecreasing
+//! along the execution, and (3) only finitely many events fall in any bounded
+//! interval — automatic for the finite executions this crate manipulates.
+//!
+//! RSTP's two timing assumptions (paper §4) are *timing properties*, i.e.
+//! predicates over timed executions:
+//!
+//! * `Σ(A_t, A_r)`: consecutive locally controlled events of each component
+//!   are between `c1` and `c2` apart — checked by [`check_spacing`];
+//! * `Δ(C(P))`: every `recv` happens at most `d` after its matching `send` —
+//!   checked by [`check_delays`].
+//!
+//! Timed executions satisfying both are the paper's `good(A)` set; the
+//! concrete `good`-ness predicate for RSTP systems lives in `rstp-core`,
+//! built on these checkers.
+
+use crate::execution::Execution;
+use crate::time::{Time, TimeDelta};
+use core::fmt;
+
+/// A timing: one [`Time`] per event of an execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Timing {
+    times: Vec<Time>,
+}
+
+/// A violation of the timing axioms or of a timing property.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TimingAxiomError {
+    /// The timing has a different number of entries than the execution has
+    /// events.
+    LengthMismatch {
+        /// Number of events in the execution.
+        events: usize,
+        /// Number of times in the timing.
+        times: usize,
+    },
+    /// The first event is not at time 0 (paper §2.2 axiom 1).
+    FirstEventNotAtZero {
+        /// The recorded time of the first event.
+        actual: Time,
+    },
+    /// Times decrease between consecutive events (paper §2.2 axiom 2).
+    NotMonotone {
+        /// Index of the later event.
+        index: usize,
+        /// Time of the earlier event.
+        earlier: Time,
+        /// Time of the later event.
+        later: Time,
+    },
+    /// Two consecutive selected events are closer than the lower bound.
+    SpacingTooSmall {
+        /// Index (into the selected subsequence) of the second event.
+        index: usize,
+        /// Observed gap.
+        gap: TimeDelta,
+        /// Required minimum gap (`c1`).
+        min: TimeDelta,
+    },
+    /// Two consecutive selected events are farther apart than the upper
+    /// bound.
+    SpacingTooLarge {
+        /// Index (into the selected subsequence) of the second event.
+        index: usize,
+        /// Observed gap.
+        gap: TimeDelta,
+        /// Allowed maximum gap (`c2`).
+        max: TimeDelta,
+    },
+    /// A matched (send, recv) pair violates the delivery bound `d`.
+    DelayTooLarge {
+        /// Index of the pair in the supplied matching.
+        index: usize,
+        /// Observed delay.
+        delay: TimeDelta,
+        /// Allowed maximum delay (`d`).
+        max: TimeDelta,
+    },
+    /// A matched (send, recv) pair has the recv before the send.
+    RecvBeforeSend {
+        /// Index of the pair in the supplied matching.
+        index: usize,
+        /// Send time.
+        send: Time,
+        /// Recv time.
+        recv: Time,
+    },
+}
+
+impl fmt::Display for TimingAxiomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimingAxiomError::LengthMismatch { events, times } => {
+                write!(f, "{events} events but {times} times")
+            }
+            TimingAxiomError::FirstEventNotAtZero { actual } => {
+                write!(f, "first event at {actual}, not t=0")
+            }
+            TimingAxiomError::NotMonotone {
+                index,
+                earlier,
+                later,
+            } => write!(
+                f,
+                "time decreases at event {index}: {earlier} then {later}"
+            ),
+            TimingAxiomError::SpacingTooSmall { index, gap, min } => {
+                write!(f, "selected events {} apart at #{index}, min {min}", gap)
+            }
+            TimingAxiomError::SpacingTooLarge { index, gap, max } => {
+                write!(f, "selected events {} apart at #{index}, max {max}", gap)
+            }
+            TimingAxiomError::DelayTooLarge { index, delay, max } => {
+                write!(f, "pair #{index} delivered after {delay}, max {max}")
+            }
+            TimingAxiomError::RecvBeforeSend { index, send, recv } => {
+                write!(f, "pair #{index} received ({recv}) before sent ({send})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimingAxiomError {}
+
+impl Timing {
+    /// An empty timing.
+    #[must_use]
+    pub fn new() -> Self {
+        Timing { times: Vec::new() }
+    }
+
+    /// A timing from explicit times.
+    #[must_use]
+    pub fn from_times(times: Vec<Time>) -> Self {
+        Timing { times }
+    }
+
+    /// Appends the time of the next event.
+    pub fn push(&mut self, time: Time) {
+        self.times.push(time);
+    }
+
+    /// The recorded times in order.
+    #[must_use]
+    pub fn times(&self) -> &[Time] {
+        &self.times
+    }
+
+    /// Number of timed events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether no events have been timed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The time of event `index`.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<Time> {
+        self.times.get(index).copied()
+    }
+
+    /// Checks the timing axioms of paper §2.2 against an event count.
+    ///
+    /// # Errors
+    ///
+    /// [`TimingAxiomError::LengthMismatch`], `FirstEventNotAtZero`, or
+    /// `NotMonotone`.
+    pub fn validate(&self, event_count: usize) -> Result<(), TimingAxiomError> {
+        if self.times.len() != event_count {
+            return Err(TimingAxiomError::LengthMismatch {
+                events: event_count,
+                times: self.times.len(),
+            });
+        }
+        if let Some(&first) = self.times.first() {
+            if first != Time::ZERO {
+                return Err(TimingAxiomError::FirstEventNotAtZero { actual: first });
+            }
+        }
+        for (i, pair) in self.times.windows(2).enumerate() {
+            if pair[1] < pair[0] {
+                return Err(TimingAxiomError::NotMonotone {
+                    index: i + 1,
+                    earlier: pair[0],
+                    later: pair[1],
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Checks the step-bound property `Σ`: every two *consecutive* times in
+/// `selected` are at least `min` and at most `max` apart.
+///
+/// `selected` should be the times of one component's locally controlled
+/// events, in order (extract them with [`TimedExecution::times_where`]).
+/// Pass `origin` = `Some(t0)` to also bound the gap from `t0` to the first
+/// selected event (the paper's constructions start processes at time 0).
+///
+/// # Errors
+///
+/// [`TimingAxiomError::SpacingTooSmall`] or `SpacingTooLarge` at the first
+/// offending gap.
+pub fn check_spacing(
+    selected: &[Time],
+    min: TimeDelta,
+    max: TimeDelta,
+    origin: Option<Time>,
+) -> Result<(), TimingAxiomError> {
+    let mut prev: Option<Time> = origin;
+    for (index, &t) in selected.iter().enumerate() {
+        if let Some(p) = prev {
+            let gap = t.checked_since(p).ok_or(TimingAxiomError::NotMonotone {
+                index,
+                earlier: p,
+                later: t,
+            })?;
+            // The origin gap has no lower bound: a process may take its
+            // first step immediately at time 0.
+            let is_origin_gap = index == 0;
+            if !is_origin_gap && gap < min {
+                return Err(TimingAxiomError::SpacingTooSmall { index, gap, min });
+            }
+            if gap > max {
+                return Err(TimingAxiomError::SpacingTooLarge { index, gap, max });
+            }
+        }
+        prev = Some(t);
+    }
+    Ok(())
+}
+
+/// Checks the delivery property `Δ`: each `(send, recv)` pair satisfies
+/// `send <= recv <= send + d`.
+///
+/// The caller supplies the matching (the bijection between send and recv
+/// events required by the channel's fairness condition, paper §4).
+///
+/// # Errors
+///
+/// [`TimingAxiomError::RecvBeforeSend`] or `DelayTooLarge` at the first
+/// offending pair.
+pub fn check_delays(pairs: &[(Time, Time)], d: TimeDelta) -> Result<(), TimingAxiomError> {
+    for (index, &(send, recv)) in pairs.iter().enumerate() {
+        let delay = recv
+            .checked_since(send)
+            .ok_or(TimingAxiomError::RecvBeforeSend { index, send, recv })?;
+        if delay > d {
+            return Err(TimingAxiomError::DelayTooLarge {
+                index,
+                delay,
+                max: d,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// A timed execution `η^t = (η, t)`: an execution paired with a timing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimedExecution<S, A> {
+    execution: Execution<S, A>,
+    timing: Timing,
+}
+
+impl<S, A> TimedExecution<S, A>
+where
+    S: Clone + fmt::Debug,
+    A: Clone + fmt::Debug + PartialEq,
+{
+    /// Pairs an execution with a timing.
+    ///
+    /// # Errors
+    ///
+    /// Fails with the axiom violation if the timing does not satisfy the
+    /// paper's timing axioms for this execution.
+    pub fn new(execution: Execution<S, A>, timing: Timing) -> Result<Self, TimingAxiomError> {
+        timing.validate(execution.len())?;
+        Ok(TimedExecution { execution, timing })
+    }
+
+    /// The underlying (untimed) execution.
+    pub fn execution(&self) -> &Execution<S, A> {
+        &self.execution
+    }
+
+    /// The timing.
+    pub fn timing(&self) -> &Timing {
+        &self.timing
+    }
+
+    /// `(time, action)` pairs in order.
+    pub fn timed_actions(&self) -> impl Iterator<Item = (Time, &A)> {
+        self.timing
+            .times()
+            .iter()
+            .copied()
+            .zip(self.execution.actions())
+    }
+
+    /// The times of all events whose action satisfies `pred`, in order.
+    pub fn times_where<F>(&self, mut pred: F) -> Vec<Time>
+    where
+        F: FnMut(&A) -> bool,
+    {
+        self.timed_actions()
+            .filter(|(_, a)| pred(a))
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    /// The time of the *last* event satisfying `pred` — e.g. the paper's
+    /// `t(last-send(η^t))`.
+    pub fn last_time_where<F>(&self, mut pred: F) -> Option<Time>
+    where
+        F: FnMut(&A) -> bool,
+    {
+        self.timed_actions()
+            .filter(|(_, a)| pred(a))
+            .map(|(t, _)| t)
+            .last()
+    }
+
+    /// The time of the final event, or `None` for an empty execution.
+    pub fn end_time(&self) -> Option<Time> {
+        self.timing.times().last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> Time {
+        Time::from_ticks(n)
+    }
+
+    fn dt(n: u64) -> TimeDelta {
+        TimeDelta::from_ticks(n)
+    }
+
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    enum Act {
+        A,
+        B,
+    }
+
+    fn exec_of(actions: &[Act]) -> Execution<u32, Act> {
+        let mut e = Execution::new(0);
+        for (i, a) in actions.iter().enumerate() {
+            e.push(a.clone(), (i + 1) as u32);
+        }
+        e
+    }
+
+    #[test]
+    fn timing_axioms_pass() {
+        let timing = Timing::from_times(vec![t(0), t(3), t(3), t(9)]);
+        timing.validate(4).unwrap();
+    }
+
+    #[test]
+    fn timing_axioms_empty() {
+        Timing::new().validate(0).unwrap();
+    }
+
+    #[test]
+    fn length_mismatch() {
+        let timing = Timing::from_times(vec![t(0)]);
+        assert!(matches!(
+            timing.validate(2),
+            Err(TimingAxiomError::LengthMismatch { events: 2, times: 1 })
+        ));
+    }
+
+    #[test]
+    fn first_event_must_be_zero() {
+        let timing = Timing::from_times(vec![t(1), t(2)]);
+        assert!(matches!(
+            timing.validate(2),
+            Err(TimingAxiomError::FirstEventNotAtZero { .. })
+        ));
+    }
+
+    #[test]
+    fn monotonicity_enforced() {
+        let timing = Timing::from_times(vec![t(0), t(5), t(4)]);
+        assert!(matches!(
+            timing.validate(3),
+            Err(TimingAxiomError::NotMonotone { index: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn spacing_within_bounds() {
+        check_spacing(&[t(0), t(2), t(5), t(8)], dt(2), dt(3), None).unwrap();
+    }
+
+    #[test]
+    fn spacing_too_small() {
+        let err = check_spacing(&[t(0), t(1)], dt(2), dt(3), None).unwrap_err();
+        assert!(matches!(err, TimingAxiomError::SpacingTooSmall { .. }));
+    }
+
+    #[test]
+    fn spacing_too_large() {
+        let err = check_spacing(&[t(0), t(9)], dt(2), dt(3), None).unwrap_err();
+        assert!(matches!(err, TimingAxiomError::SpacingTooLarge { .. }));
+    }
+
+    #[test]
+    fn spacing_origin_has_upper_bound_only() {
+        // First step may come immediately (gap 0 < min is fine at origin)…
+        check_spacing(&[t(0), t(2)], dt(2), dt(3), Some(Time::ZERO)).unwrap();
+        // …but may not be later than max after the origin.
+        let err = check_spacing(&[t(4)], dt(2), dt(3), Some(Time::ZERO)).unwrap_err();
+        assert!(matches!(err, TimingAxiomError::SpacingTooLarge { .. }));
+    }
+
+    #[test]
+    fn delays_ok() {
+        check_delays(&[(t(0), t(4)), (t(2), t(2))], dt(4)).unwrap();
+    }
+
+    #[test]
+    fn delay_too_large() {
+        let err = check_delays(&[(t(0), t(5))], dt(4)).unwrap_err();
+        assert!(matches!(err, TimingAxiomError::DelayTooLarge { .. }));
+    }
+
+    #[test]
+    fn recv_before_send() {
+        let err = check_delays(&[(t(3), t(2))], dt(4)).unwrap_err();
+        assert!(matches!(err, TimingAxiomError::RecvBeforeSend { .. }));
+    }
+
+    #[test]
+    fn timed_execution_accessors() {
+        let e = exec_of(&[Act::A, Act::B, Act::A]);
+        let timing = Timing::from_times(vec![t(0), t(2), t(7)]);
+        let te = TimedExecution::new(e, timing).unwrap();
+        assert_eq!(te.end_time(), Some(t(7)));
+        assert_eq!(te.times_where(|a| *a == Act::A), vec![t(0), t(7)]);
+        assert_eq!(te.last_time_where(|a| *a == Act::B), Some(t(2)));
+        assert_eq!(te.last_time_where(|_| false), None);
+        assert_eq!(te.timed_actions().count(), 3);
+        assert_eq!(te.execution().len(), 3);
+        assert_eq!(te.timing().len(), 3);
+    }
+
+    #[test]
+    fn timed_execution_rejects_bad_timing() {
+        let e = exec_of(&[Act::A]);
+        let timing = Timing::from_times(vec![t(1)]);
+        assert!(TimedExecution::new(e, timing).is_err());
+    }
+
+    #[test]
+    fn error_display_strings() {
+        let errs: Vec<TimingAxiomError> = vec![
+            TimingAxiomError::LengthMismatch { events: 1, times: 2 },
+            TimingAxiomError::FirstEventNotAtZero { actual: t(1) },
+            TimingAxiomError::NotMonotone {
+                index: 1,
+                earlier: t(2),
+                later: t(1),
+            },
+            TimingAxiomError::SpacingTooSmall {
+                index: 1,
+                gap: dt(1),
+                min: dt(2),
+            },
+            TimingAxiomError::SpacingTooLarge {
+                index: 1,
+                gap: dt(9),
+                max: dt(2),
+            },
+            TimingAxiomError::DelayTooLarge {
+                index: 0,
+                delay: dt(9),
+                max: dt(2),
+            },
+            TimingAxiomError::RecvBeforeSend {
+                index: 0,
+                send: t(3),
+                recv: t(1),
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

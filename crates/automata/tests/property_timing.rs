@@ -1,0 +1,97 @@
+//! Property tests for the timing machinery: the axioms of paper §2.2 and
+//! the `Σ`/`Δ` checkers used to define `good(A)`.
+
+use proptest::prelude::*;
+use rstp_automata::timed::{check_delays, check_spacing};
+use rstp_automata::{Time, TimeDelta, Timing, TimingAxiomError};
+
+fn t(n: u64) -> Time {
+    Time::from_ticks(n)
+}
+
+fn dt(n: u64) -> TimeDelta {
+    TimeDelta::from_ticks(n)
+}
+
+proptest! {
+    #[test]
+    fn cumulative_sums_always_satisfy_the_axioms(
+        gaps in proptest::collection::vec(0u64..1000, 0..50),
+    ) {
+        // Any sequence of nonnegative gaps starting at 0 is a valid timing.
+        let mut now = 0u64;
+        let mut times = Vec::new();
+        if !gaps.is_empty() {
+            times.push(t(0));
+            for g in &gaps[1..] {
+                now += g;
+                times.push(t(now));
+            }
+        }
+        let timing = Timing::from_times(times.clone());
+        prop_assert!(timing.validate(times.len()).is_ok());
+    }
+
+    #[test]
+    fn any_decrease_is_caught(
+        prefix in proptest::collection::vec(0u64..100, 1..20),
+        dip in 1u64..50,
+    ) {
+        // Build a monotone sequence, then force one decrease.
+        let mut now = 0u64;
+        let mut times = vec![t(0)];
+        for g in &prefix {
+            now += g;
+            times.push(t(now));
+        }
+        times.push(t(now.saturating_sub(dip.min(now).max(1))));
+        if *times.last().unwrap() < times[times.len() - 2] {
+            let timing = Timing::from_times(times.clone());
+            let verdict = timing.validate(times.len());
+            prop_assert!(
+                matches!(verdict, Err(TimingAxiomError::NotMonotone { index: _, earlier: _, later: _ })),
+                "{verdict:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn spacing_accepts_exactly_gaps_within_bounds(
+        c1 in 1u64..10,
+        extra in 0u64..10,
+        gaps in proptest::collection::vec(0u64..25, 1..30),
+    ) {
+        let c2 = c1 + extra;
+        let mut now = 0u64;
+        let mut times = vec![t(0)];
+        for g in &gaps {
+            now += g;
+            times.push(t(now));
+        }
+        let ok = gaps.iter().all(|&g| g >= c1 && g <= c2);
+        let result = check_spacing(&times, dt(c1), dt(c2), None);
+        prop_assert_eq!(result.is_ok(), ok, "gaps {:?} c1={} c2={}", gaps, c1, c2);
+    }
+
+    #[test]
+    fn delays_accept_exactly_window_satisfying_pairs(
+        d in 1u64..50,
+        pairs in proptest::collection::vec((0u64..100, 0u64..160), 0..20),
+    ) {
+        let matched: Vec<(Time, Time)> =
+            pairs.iter().map(|&(s, r)| (t(s), t(r))).collect();
+        let ok = pairs.iter().all(|&(s, r)| r >= s && r - s <= d);
+        prop_assert_eq!(check_delays(&matched, dt(d)).is_ok(), ok);
+    }
+
+    #[test]
+    fn origin_bound_has_no_lower_constraint(
+        first in 0u64..5,
+        c1 in 2u64..6,
+    ) {
+        // The first step after the origin may come arbitrarily soon.
+        let times = [t(first)];
+        let result = check_spacing(&times, dt(c1), dt(10), Some(Time::ZERO));
+        prop_assert_eq!(result.is_ok(), first <= 10);
+    }
+}

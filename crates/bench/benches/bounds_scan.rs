@@ -1,0 +1,23 @@
+//! Bound-formula throughput: the effort-vs-k curve and crossover scan
+//! (experiments E6/E7's analytic halves) under Criterion timing.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rstp_core::bounds;
+use rstp_core::TimingParams;
+
+fn bench_bounds(c: &mut Criterion) {
+    let params = TimingParams::from_ticks(1, 2, 64).unwrap();
+    let ks: Vec<u64> = (2..=64).collect();
+    c.bench_function("effort_curve_k2_64", |b| {
+        b.iter(|| bounds::effort_curve(black_box(params), black_box(&ks)));
+    });
+    c.bench_function("crossover_scan", |b| {
+        b.iter(|| bounds::crossover_ratio(black_box(1), black_box(64), black_box(4), 64));
+    });
+    c.bench_function("log2_zeta_k16_n128", |b| {
+        b.iter(|| bounds::log2_zeta(black_box(16), black_box(128)));
+    });
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Block-codec throughput: encoding a message stream into bursts and
+//! decoding multisets back — the per-block work of `A^β(k)` / `A^γ(k)`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rstp_codec::{BlockCodec, Multiset};
+
+fn bench_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec_stream");
+    let input: Vec<bool> = (0..4096).map(|i| i % 3 == 0).collect();
+    for &(k, delta) in &[(2u64, 8u64), (4, 8), (16, 8), (16, 32)] {
+        let codec = BlockCodec::new(k, delta).unwrap();
+        g.throughput(Throughput::Elements(input.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("encode", format!("k{k}_d{delta}")),
+            &codec,
+            |b, codec| b.iter(|| codec.encode_stream(black_box(&input)).unwrap()),
+        );
+        let blocks: Vec<Multiset> = codec
+            .encode_stream(&input)
+            .unwrap()
+            .iter()
+            .map(|blk| codec.collect(blk.packets()).unwrap())
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::new("decode", format!("k{k}_d{delta}")),
+            &blocks,
+            |b, blocks| {
+                b.iter(|| codec.decode_stream(black_box(blocks), input.len()).unwrap())
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_stream);
+criterion_main!(benches);

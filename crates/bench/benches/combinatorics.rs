@@ -1,0 +1,45 @@
+//! Microbenchmarks for the §3 counting machinery: `μ_k(n)`, `ζ_k(n)`,
+//! and multiset rank/unrank — the per-burst cost the protocols pay.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rstp_combinatorics::{mu, zeta, Multiset, MultisetCodec};
+
+fn bench_counting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("counting");
+    for &(k, n) in &[(2u64, 8u64), (16, 16), (16, 64), (64, 64)] {
+        g.bench_with_input(BenchmarkId::new("mu", format!("k{k}_n{n}")), &(k, n), |b, &(k, n)| {
+            b.iter(|| mu(black_box(k), black_box(n)).unwrap());
+        });
+        g.bench_with_input(
+            BenchmarkId::new("zeta", format!("k{k}_n{n}")),
+            &(k, n),
+            |b, &(k, n)| {
+                b.iter(|| zeta(black_box(k), black_box(n)).unwrap());
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_rank(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rank");
+    for &(k, n) in &[(4u64, 8u64), (16, 16), (8, 32)] {
+        let codec = MultisetCodec::new(k, n).unwrap();
+        let mid = codec.total() / 2;
+        let m: Multiset = codec.unrank(mid).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("rank", format!("k{k}_n{n}")),
+            &m,
+            |b, m| b.iter(|| codec.rank(black_box(m)).unwrap()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("unrank", format!("k{k}_n{n}")),
+            &mid,
+            |b, &r| b.iter(|| codec.unrank(black_box(r)).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_counting, bench_rank);
+criterion_main!(benches);

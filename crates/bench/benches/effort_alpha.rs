@@ -1,0 +1,39 @@
+//! End-to-end simulation throughput for `A^α` (Figure 1) — one full
+//! transmit-and-check run per iteration. Regenerates experiment E1's
+//! measurement path under Criterion timing.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rstp_core::TimingParams;
+use rstp_sim::adversary::{DeliveryPolicy, StepPolicy};
+use rstp_sim::harness::{random_input, run_configured, ProtocolKind, RunConfig};
+
+fn bench_alpha(c: &mut Criterion) {
+    let params = TimingParams::from_ticks(1, 2, 8).unwrap();
+    let mut g = c.benchmark_group("effort_alpha");
+    for &n in &[64usize, 256, 1024] {
+        let input = random_input(n, 0xA1);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &input, |b, input| {
+            b.iter(|| {
+                let out = run_configured(
+                    &RunConfig {
+                        kind: ProtocolKind::Alpha,
+                        params,
+                        step: StepPolicy::AllSlow,
+                        delivery: DeliveryPolicy::MaxDelay,
+                        record_trace: false,
+                        ..RunConfig::default()
+                    },
+                    black_box(input),
+                )
+                .unwrap();
+                assert_eq!(out.metrics.writes as usize, input.len());
+                out.metrics.effort(input.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_alpha);
+criterion_main!(benches);

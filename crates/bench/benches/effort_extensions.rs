@@ -1,0 +1,70 @@
+//! Simulation throughput for the extension protocols: the pipelined
+//! window-2 active protocol (E11) and the Stenning baseline (E9), plus the
+//! §7 window-optimized passive protocol (E8).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rstp_core::TimingParams;
+use rstp_sim::adversary::{DeliveryPolicy, StepPolicy};
+use rstp_sim::harness::{random_input, run_configured, ProtocolKind, RunConfig};
+
+fn bench_extensions(c: &mut Criterion) {
+    let params = TimingParams::from_ticks(1, 2, 8).unwrap();
+    let n = 256usize;
+    let input = random_input(n, 0xE11);
+    let mut g = c.benchmark_group("effort_extensions");
+    g.throughput(Throughput::Elements(n as u64));
+    let cases = [
+        ("pipelined_k4", ProtocolKind::Pipelined { k: 4, window: 2 }),
+        (
+            "stenning",
+            ProtocolKind::Stenning {
+                timeout_steps: None,
+            },
+        ),
+        ("framed_k4", ProtocolKind::Framed { k: 4 }),
+    ];
+    for (label, kind) in cases {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &input, |b, input| {
+            b.iter(|| {
+                let out = run_configured(
+                    &RunConfig {
+                        kind,
+                        params,
+                        step: StepPolicy::AllSlow,
+                        delivery: DeliveryPolicy::MaxDelay,
+                        record_trace: false,
+                        ..RunConfig::default()
+                    },
+                    black_box(input),
+                )
+                .unwrap();
+                assert_eq!(out.metrics.writes as usize, input.len());
+                out.metrics.effort(input.len())
+            });
+        });
+    }
+    // Window-optimized passive protocol at d_lo = 6 (window [6, 8]).
+    g.bench_function("beta_window_k4", |b| {
+        b.iter(|| {
+            let out = run_configured(
+                &RunConfig {
+                    kind: ProtocolKind::BetaWindow { k: 4 },
+                    params,
+                    d_lo_ticks: 6,
+                    step: StepPolicy::AllSlow,
+                    delivery: DeliveryPolicy::Random { seed: 5 },
+                    record_trace: false,
+                    ..RunConfig::default()
+                },
+                black_box(&input),
+            )
+            .unwrap();
+            assert_eq!(out.metrics.writes as usize, input.len());
+            out.metrics.effort(input.len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

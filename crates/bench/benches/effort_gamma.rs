@@ -1,0 +1,39 @@
+//! End-to-end simulation throughput for `A^γ(k)` (Figure 4) — the
+//! ack-clocked active protocol, measurement path of experiments E3/E5.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rstp_core::TimingParams;
+use rstp_sim::adversary::{DeliveryPolicy, StepPolicy};
+use rstp_sim::harness::{random_input, run_configured, ProtocolKind, RunConfig};
+
+fn bench_gamma(c: &mut Criterion) {
+    let params = TimingParams::from_ticks(1, 2, 8).unwrap();
+    let n = 512usize;
+    let input = random_input(n, 0xC3);
+    let mut g = c.benchmark_group("effort_gamma");
+    g.throughput(Throughput::Elements(n as u64));
+    for &k in &[2u64, 4, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &input, |b, input| {
+            b.iter(|| {
+                let out = run_configured(
+                    &RunConfig {
+                        kind: ProtocolKind::Gamma { k },
+                        params,
+                        step: StepPolicy::AllSlow,
+                        delivery: DeliveryPolicy::IntervalBatch,
+                        record_trace: false,
+                        ..RunConfig::default()
+                    },
+                    black_box(input),
+                )
+                .unwrap();
+                assert_eq!(out.metrics.writes as usize, input.len());
+                out.metrics.effort(input.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gamma);
+criterion_main!(benches);

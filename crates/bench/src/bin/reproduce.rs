@@ -1,0 +1,35 @@
+//! Regenerates every experiment table of the RSTP reproduction.
+//!
+//! ```text
+//! cargo run -p rstp-bench --release --bin reproduce            # all of E1..E9
+//! cargo run -p rstp-bench --release --bin reproduce e2 e7      # a subset
+//! ```
+//!
+//! See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
+//! recorded paper-vs-measured discussion.
+
+use rstp_bench::{all_experiments, run_experiment, ExperimentId};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<ExperimentId> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        all_experiments()
+    } else {
+        args.iter()
+            .map(|a| {
+                ExperimentId::parse(a).unwrap_or_else(|| {
+                    eprintln!("unknown experiment {a:?}; expected e1..e9 or all");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+
+    println!("RSTP reproduction — Wang & Zuck, Real-Time Sequence Transmission Problem (1991)");
+    println!("{} experiment(s)\n", ids.len());
+    for id in ids {
+        let out = run_experiment(id);
+        println!("{out}");
+        println!();
+    }
+}

@@ -1,0 +1,136 @@
+//! E10 — worst-case vs typical effort (repository extension, not a paper
+//! claim): the paper's effort is a `max` over `good(A)`; this experiment
+//! shows where *randomly scheduled* runs land inside that envelope. For
+//! the r-passive protocols the spread is pure step-rate variance (delivery
+//! timing is invisible to effort); for the active protocol delivery delay
+//! variance shows up too, so its distribution is wider relative to its
+//! ceiling.
+
+use super::{ExperimentId, ExperimentOutput};
+use crate::table::{f2, Table};
+use rstp_core::{bounds, TimingParams};
+use rstp_sim::harness::{random_input, worst_case_effort, ProtocolKind};
+use rstp_sim::stats::{effort_distribution, Summary};
+
+/// One protocol row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Protocol label.
+    pub name: String,
+    /// Distribution over 24 random schedules.
+    pub dist: Summary,
+    /// Worst case over the adversary sweep.
+    pub worst: f64,
+    /// The relevant guarantee (finite-n) for context.
+    pub guarantee: f64,
+}
+
+/// Fixed parameters.
+#[must_use]
+pub fn params() -> TimingParams {
+    TimingParams::from_ticks(1, 3, 12).expect("valid parameters")
+}
+
+/// Measures the distribution for alpha, beta(4), gamma(4).
+#[must_use]
+pub fn rows() -> Vec<Row> {
+    let p = params();
+    let n = 240;
+    let k = 4;
+    [
+        (ProtocolKind::Alpha, bounds::alpha_effort(p)),
+        (
+            ProtocolKind::Beta { k },
+            bounds::passive_upper_finite(p, k, n),
+        ),
+        (
+            ProtocolKind::Gamma { k },
+            bounds::active_upper_finite(p, k, n),
+        ),
+    ]
+    .into_iter()
+    .map(|(kind, guarantee)| {
+        let dist = effort_distribution(kind, p, n, 0..24).expect("distribution runs");
+        let input = random_input(n, 0xE10);
+        let worst = worst_case_effort(kind, p, &input, 0xE10)
+            .expect("sweep")
+            .effort;
+        Row {
+            name: kind.name(),
+            dist,
+            worst,
+            guarantee,
+        }
+    })
+    .collect()
+}
+
+/// Renders the experiment.
+#[must_use]
+pub fn output() -> ExperimentOutput {
+    let rows = rows();
+    let mut table = Table::new([
+        "protocol", "min", "mean", "max", "σ", "worst-case", "guarantee",
+    ]);
+    for r in &rows {
+        table.push([
+            r.name.clone(),
+            f2(r.dist.min),
+            f2(r.dist.mean),
+            f2(r.dist.max),
+            f2(r.dist.stddev),
+            f2(r.worst),
+            f2(r.guarantee),
+        ]);
+    }
+    ExperimentOutput {
+        id: ExperimentId::E10,
+        title: format!(
+            "typical vs worst-case effort over 24 random schedules at {}",
+            params()
+        ),
+        table,
+        notes: vec![
+            "random-schedule efforts stay inside [best-possible, worst-case]".into(),
+            "the adversary sweep's worst case dominates every random run — the".into(),
+            "paper's max-based effort is a real ceiling, not a typical cost".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_runs_never_exceed_the_worst_case() {
+        for r in rows() {
+            assert!(
+                r.dist.max <= r.worst + 1e-9,
+                "{}: random max {} exceeds worst {}",
+                r.name,
+                r.dist.max,
+                r.worst
+            );
+            assert!(r.worst <= r.guarantee + 1e-9, "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn distributions_are_nondegenerate() {
+        for r in rows() {
+            assert!(r.dist.min <= r.dist.mean && r.dist.mean <= r.dist.max);
+            // Random schedules over [c1, 3·c1] must actually vary.
+            assert!(r.dist.stddev > 0.0, "{}: zero variance", r.name);
+        }
+    }
+
+    #[test]
+    fn ordering_alpha_worst() {
+        let rs = rows();
+        let alpha = rs.iter().find(|r| r.name == "alpha").unwrap();
+        for other in rs.iter().filter(|r| r.name != "alpha") {
+            assert!(other.dist.mean < alpha.dist.mean, "{}", other.name);
+        }
+    }
+}

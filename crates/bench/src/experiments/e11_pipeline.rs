@@ -1,0 +1,195 @@
+//! E11 — pipelining vs alphabet-spending (repository extension).
+//!
+//! The window-2 active protocol `A^δ(k)` halves `A^γ`'s per-burst
+//! handshake stall, but pays for it in *alphabet*: its parity tag doubles
+//! the wire alphabet to `2k`. The fair comparison is therefore against
+//! `A^γ(2k)` — the stop-and-wait protocol *spending the same symbols on
+//! coding instead*. Which investment wins depends on the regime:
+//!
+//! * `δ2 ≫ k` (long bursts, small alphabet): `log2 μ_2k(δ2) ≈
+//!   ((2k-1)/(k-1))·log2 μ_k(δ2)` — doubling the alphabet roughly doubles
+//!   the bits per burst, beating the ≤ 2× pipelining gain. **Coding wins.**
+//! * `k ≫ δ2` (short bursts, rich alphabet): the extra symbol bit adds only
+//!   `δ2` of `≈ δ2·log2 k` bits, while pipelining still halves the
+//!   `~3d`-dominated round. **Pipelining wins.**
+//!
+//! This experiment measures both regimes and locates the flip.
+
+use super::{ExperimentId, ExperimentOutput};
+use crate::table::{f2, Table};
+use rstp_core::{bounds, TimingParams};
+use rstp_sim::harness::{random_input, worst_case_effort, ProtocolKind};
+
+/// One regime row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Parameters.
+    pub params: TimingParams,
+    /// Base alphabet `k` (pipelined uses `w·k` on the wire; gamma gets
+    /// `w·k` outright).
+    pub k: u64,
+    /// Window size.
+    pub window: u64,
+    /// Bits per burst for `gamma(w·k)`.
+    pub gamma_bits: u32,
+    /// Bits per burst for `pipelined(k, w)`.
+    pub pipe_bits: u32,
+    /// Measured worst-case effort of `gamma(w·k)`.
+    pub gamma_effort: f64,
+    /// Measured worst-case effort of `pipelined(k, w)`.
+    pub pipe_effort: f64,
+}
+
+impl Row {
+    /// Whether pipelining beat coding here.
+    #[must_use]
+    pub fn pipelining_wins(&self) -> bool {
+        self.pipe_effort < self.gamma_effort
+    }
+}
+
+fn measure(c1: u64, c2: u64, k: u64, window: u64) -> Row {
+    let n = 240;
+    let params = TimingParams::from_ticks(c1, c2, 24).expect("valid parameters");
+    let input = random_input(n, 0xE11 + k + 97 * window);
+    let gamma = worst_case_effort(ProtocolKind::Gamma { k: window * k }, params, &input, 3)
+        .expect("gamma simulation");
+    let pipe = worst_case_effort(ProtocolKind::Pipelined { k, window }, params, &input, 3)
+        .expect("pipelined simulation");
+    Row {
+        params,
+        k,
+        window,
+        gamma_bits: bounds::block_bits(window * k, params.delta2()),
+        pipe_bits: bounds::block_bits(k, params.delta2()),
+        gamma_effort: gamma.effort,
+        pipe_effort: pipe.effort,
+    }
+}
+
+/// The regime sweep at window 2 (`δ2` from 24 down to 2, `k` from 2 up to
+/// 32) plus a window sweep `w ∈ {1, 2, 4}` in the pipelining-friendly
+/// regime.
+#[must_use]
+pub fn rows() -> Vec<Row> {
+    let mut out = vec![
+        measure(1, 1, 2, 2),  // δ2 = 24, k = 2: long bursts, tiny alphabet
+        measure(1, 2, 4, 2),  // δ2 = 12
+        measure(1, 8, 16, 2), // δ2 = 3
+        measure(1, 12, 32, 2), // δ2 = 2: short bursts, rich alphabet
+    ];
+    // Window sweep in the friendly regime (δ2 = 2, k = 32): w = 1 is
+    // stop-and-wait with an untagged wire; larger windows divide the
+    // handshake stall further at a growing tag cost.
+    out.push(measure(1, 12, 32, 1));
+    out.push(measure(1, 12, 32, 4));
+    out
+}
+
+/// Renders the experiment.
+#[must_use]
+pub fn output() -> ExperimentOutput {
+    let rows = rows();
+    let mut table = Table::new([
+        "δ2",
+        "k",
+        "w",
+        "gamma(wk) bits",
+        "pipe(k) bits",
+        "gamma effort",
+        "pipe effort",
+        "winner",
+    ]);
+    for r in &rows {
+        table.push([
+            r.params.delta2().to_string(),
+            r.k.to_string(),
+            r.window.to_string(),
+            r.gamma_bits.to_string(),
+            r.pipe_bits.to_string(),
+            f2(r.gamma_effort),
+            f2(r.pipe_effort),
+            if r.pipelining_wins() {
+                "pipeline"
+            } else {
+                "coding"
+            }
+            .to_string(),
+        ]);
+    }
+    ExperimentOutput {
+        id: ExperimentId::E11,
+        title: "pipelining vs alphabet-spending at equal wire alphabets (d = 24)".into(),
+        table,
+        notes: vec![
+            "gamma(w·k) spends the extra symbols on coding; pipelined(k, w) spends".into(),
+            "them on a window tag. Long bursts (δ2 >> k) favor coding; short bursts".into(),
+            "with rich alphabets (k >> δ2) favor pipelining. w = 1 is untagged".into(),
+            "stop-and-wait; the last rows sweep w in the friendly regime.".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coding_wins_long_bursts_pipelining_wins_short() {
+        let rs = rows();
+        assert!(
+            !rs[0].pipelining_wins(),
+            "δ2 = 24, k = 2 should favor coding: gamma {} vs pipe {}",
+            rs[0].gamma_effort,
+            rs[0].pipe_effort
+        );
+        assert!(
+            rs[3].pipelining_wins(),
+            "δ2 = 2, k = 32, w = 2 should favor pipelining: gamma {} vs pipe {}",
+            rs[3].gamma_effort,
+            rs[3].pipe_effort
+        );
+    }
+
+    #[test]
+    fn bits_ratio_explains_the_flip() {
+        // In the coding regime gamma's bits advantage exceeds 2.5x (well
+        // beyond the max 2x pipelining gain); in the pipelining regime it
+        // is ~1.2x.
+        let rs = rows();
+        let first = &rs[0];
+        assert!(f64::from(first.gamma_bits) / f64::from(first.pipe_bits) > 2.5);
+        let friendly = &rs[3];
+        assert!(f64::from(friendly.gamma_bits) / f64::from(friendly.pipe_bits) < 1.5);
+    }
+
+    #[test]
+    fn window_sweep_monotone_in_the_friendly_regime() {
+        // w = 1 ties stop-and-wait (same protocol shape, untagged wire has
+        // MORE bits so gamma(k) == pipelined(k,1) up to decode bit counts);
+        // w = 2 and w = 4 progressively beat it.
+        let rs = rows();
+        let w1 = rs.iter().find(|r| r.window == 1).unwrap();
+        let w2 = rs.iter().find(|r| r.window == 2 && r.k == 32).unwrap();
+        let w4 = rs.iter().find(|r| r.window == 4).unwrap();
+        assert!(
+            w2.pipe_effort < w1.pipe_effort,
+            "w=2 {} !< w=1 {}",
+            w2.pipe_effort,
+            w1.pipe_effort
+        );
+        assert!(
+            w4.pipe_effort <= w2.pipe_effort * 1.05,
+            "w=4 {} should not regress past w=2 {}",
+            w4.pipe_effort,
+            w2.pipe_effort
+        );
+    }
+
+    #[test]
+    fn all_rows_measured() {
+        for r in rows() {
+            assert!(r.gamma_effort > 0.0 && r.pipe_effort > 0.0);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! E2 — the r-passive sandwich (Theorem 5.3 and §6.1): for each alphabet
+//! size `k`, the measured worst-case effort of `A^β(k)` must lie between
+//! the lower bound `δ1·c2 / log2 ζ_k(δ1)` and the protocol guarantee
+//! `2·δ1·c2 / ⌊log2 μ_k(δ1)⌋`, with a modest constant-factor gap
+//! ("the effort of these solutions is only a constant factor worse than
+//! the corresponding lower bound", §1).
+
+use super::{ExperimentId, ExperimentOutput};
+use crate::table::{f2, Table};
+use rstp_core::{bounds, TimingParams};
+use rstp_sim::harness::{random_input, worst_case_effort, ProtocolKind};
+
+/// One `k` row of the sandwich table.
+#[derive(Clone, Copy, Debug)]
+pub struct Row {
+    /// Alphabet size.
+    pub k: u64,
+    /// Bits per burst, `⌊log2 μ_k(δ1)⌋`.
+    pub bits_per_burst: u32,
+    /// Theorem 5.3 lower bound.
+    pub lower: f64,
+    /// Measured worst-case effort.
+    pub measured: f64,
+    /// Finite-`n` protocol guarantee.
+    pub upper_finite: f64,
+    /// Asymptotic protocol guarantee (§6.1).
+    pub upper: f64,
+}
+
+impl Row {
+    /// The constant factor measured/lower.
+    #[must_use]
+    pub fn gap(&self) -> f64 {
+        self.measured / self.lower
+    }
+}
+
+/// The fixed parameters of this experiment: `δ1 = 8`, uncertainty 2.
+#[must_use]
+pub fn params() -> TimingParams {
+    TimingParams::from_ticks(1, 2, 8).expect("valid parameters")
+}
+
+/// The alphabet sweep.
+#[must_use]
+pub fn ks() -> Vec<u64> {
+    vec![2, 3, 4, 8, 16]
+}
+
+/// Measures the sweep.
+#[must_use]
+pub fn rows() -> Vec<Row> {
+    let p = params();
+    let n = 960;
+    ks().into_iter()
+        .map(|k| {
+            let input = random_input(n, 0xE2 + k);
+            let sample = worst_case_effort(ProtocolKind::Beta { k }, p, &input, 0xE2)
+                .expect("beta simulation");
+            Row {
+                k,
+                bits_per_burst: bounds::block_bits(k, p.delta1()),
+                lower: bounds::passive_lower(p, k),
+                measured: sample.effort,
+                upper_finite: bounds::passive_upper_finite(p, k, n),
+                upper: bounds::passive_upper(p, k),
+            }
+        })
+        .collect()
+}
+
+/// Renders the experiment.
+#[must_use]
+pub fn output() -> ExperimentOutput {
+    let rows = rows();
+    let mut table = Table::new([
+        "k", "bits/burst", "lower", "measured", "upper(n)", "upper(∞)", "meas/lower",
+    ]);
+    for r in &rows {
+        table.push([
+            r.k.to_string(),
+            r.bits_per_burst.to_string(),
+            f2(r.lower),
+            f2(r.measured),
+            f2(r.upper_finite),
+            f2(r.upper),
+            f2(r.gap()),
+        ]);
+    }
+    ExperimentOutput {
+        id: ExperimentId::E2,
+        title: format!(
+            "r-passive sandwich for A^beta(k) at {} (Thm 5.3 + §6.1)",
+            params()
+        ),
+        table,
+        notes: vec![
+            "lower = δ1·c2/log2 ζ_k(δ1); upper = 2·δ1·c2/⌊log2 μ_k(δ1)⌋".into(),
+            "measured sits inside the sandwich at every k; the gap stays a small constant"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sandwich_holds_at_every_k() {
+        for r in rows() {
+            assert!(
+                r.lower <= r.measured + 1e-9,
+                "k={}: measured {} below lower {}",
+                r.k,
+                r.measured,
+                r.lower
+            );
+            assert!(
+                r.measured <= r.upper_finite + 1e-9,
+                "k={}: measured {} above upper {}",
+                r.k,
+                r.measured,
+                r.upper_finite
+            );
+        }
+    }
+
+    #[test]
+    fn constant_factor_gap() {
+        for r in rows() {
+            assert!(r.gap() < 6.0, "k={}: gap {}", r.k, r.gap());
+        }
+    }
+
+    #[test]
+    fn effort_decreases_with_k() {
+        let rs = rows();
+        for w in rs.windows(2) {
+            assert!(
+                w[1].measured <= w[0].measured + 1e-9,
+                "effort should not increase with k: {} -> {}",
+                w[0].measured,
+                w[1].measured
+            );
+        }
+    }
+
+    #[test]
+    fn output_has_all_rows() {
+        assert_eq!(output().table.len(), ks().len());
+    }
+}

@@ -1,0 +1,162 @@
+//! E3 — the active sandwich (Theorem 5.6 and §6.2): measured worst-case
+//! effort of `A^γ(k)` between `d / log2 ζ_k(δ2)` and
+//! `(3d + c2) / ⌊log2 μ_k(δ2)⌋`.
+
+use super::{ExperimentId, ExperimentOutput};
+use crate::table::{f2, Table};
+use rstp_core::{bounds, TimingParams};
+use rstp_sim::harness::{random_input, worst_case_effort, ProtocolKind};
+
+/// One `k` row of the sandwich table.
+#[derive(Clone, Copy, Debug)]
+pub struct Row {
+    /// Alphabet size.
+    pub k: u64,
+    /// Bits per burst, `⌊log2 μ_k(δ2)⌋`.
+    pub bits_per_burst: u32,
+    /// Theorem 5.6 lower bound.
+    pub lower: f64,
+    /// Measured worst-case effort.
+    pub measured: f64,
+    /// Finite-`n` guarantee.
+    pub upper_finite: f64,
+    /// Asymptotic guarantee (§6.2).
+    pub upper: f64,
+    /// Acks sent in the worst run's configuration (one per data packet).
+    pub acks: u64,
+}
+
+impl Row {
+    /// measured / lower.
+    #[must_use]
+    pub fn gap(&self) -> f64 {
+        self.measured / self.lower
+    }
+}
+
+/// Fixed parameters: `δ2 = 4`, uncertainty 2.
+#[must_use]
+pub fn params() -> TimingParams {
+    TimingParams::from_ticks(1, 2, 8).expect("valid parameters")
+}
+
+/// The alphabet sweep.
+#[must_use]
+pub fn ks() -> Vec<u64> {
+    vec![2, 3, 4, 8, 16]
+}
+
+/// Measures the sweep.
+#[must_use]
+pub fn rows() -> Vec<Row> {
+    let p = params();
+    let n = 720;
+    ks().into_iter()
+        .map(|k| {
+            let input = random_input(n, 0xE3 + k);
+            let sample = worst_case_effort(ProtocolKind::Gamma { k }, p, &input, 0xE3)
+                .expect("gamma simulation");
+            // Count acks with a deterministic re-run of the worst config.
+            let out = rstp_sim::harness::run_configured(
+                &rstp_sim::harness::RunConfig {
+                    kind: ProtocolKind::Gamma { k },
+                    params: p,
+                    step: sample.step,
+                    delivery: sample.delivery,
+                    ..rstp_sim::harness::RunConfig::default()
+                },
+                &input,
+            )
+            .expect("re-run");
+            Row {
+                k,
+                bits_per_burst: bounds::block_bits(k, p.delta2()),
+                lower: bounds::active_lower(p, k),
+                measured: sample.effort,
+                upper_finite: bounds::active_upper_finite(p, k, n),
+                upper: bounds::active_upper(p, k),
+                acks: out.metrics.ack_sends,
+            }
+        })
+        .collect()
+}
+
+/// Renders the experiment.
+#[must_use]
+pub fn output() -> ExperimentOutput {
+    let rows = rows();
+    let mut table = Table::new([
+        "k", "bits/burst", "lower", "measured", "upper(n)", "upper(∞)", "meas/lower", "acks",
+    ]);
+    for r in &rows {
+        table.push([
+            r.k.to_string(),
+            r.bits_per_burst.to_string(),
+            f2(r.lower),
+            f2(r.measured),
+            f2(r.upper_finite),
+            f2(r.upper),
+            f2(r.gap()),
+            r.acks.to_string(),
+        ]);
+    }
+    ExperimentOutput {
+        id: ExperimentId::E3,
+        title: format!(
+            "active sandwich for A^gamma(k) at {} (Thm 5.6 + §6.2)",
+            params()
+        ),
+        table,
+        notes: vec![
+            "lower = d/log2 ζ_k(δ2); upper = (3d + c2)/⌊log2 μ_k(δ2)⌋".into(),
+            "the receiver acknowledges every data packet: acks = data sends".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sandwich_holds_at_every_k() {
+        for r in rows() {
+            assert!(
+                r.lower <= r.measured + 1e-9,
+                "k={}: measured {} below lower {}",
+                r.k,
+                r.measured,
+                r.lower
+            );
+            assert!(
+                r.measured <= r.upper_finite + 1e-9,
+                "k={}: measured {} above upper {}",
+                r.k,
+                r.measured,
+                r.upper_finite
+            );
+        }
+    }
+
+    #[test]
+    fn constant_factor_gap() {
+        for r in rows() {
+            assert!(r.gap() < 12.0, "k={}: gap {}", r.k, r.gap());
+        }
+    }
+
+    #[test]
+    fn one_ack_per_data_packet() {
+        let p = params();
+        for r in rows() {
+            // δ2 packets per burst, ⌈n/b⌉ bursts.
+            let bursts = 720u64.div_ceil(u64::from(r.bits_per_burst));
+            assert_eq!(r.acks, bursts * p.delta2(), "k={}", r.k);
+        }
+    }
+
+    #[test]
+    fn output_has_all_rows() {
+        assert_eq!(output().table.len(), ks().len());
+    }
+}

@@ -1,0 +1,144 @@
+//! E6 — "the larger `P` is, the least effort the solution requires" (§6):
+//! the effort-vs-`k` curve. Bounds for `k = 2..64`, measurements at a
+//! subset, and the diminishing-returns shape `effort ≈ Θ(1/log k)` for
+//! fixed `δ` (since `log2 μ_k(δ) ≈ δ·log2 k` once `k ≫ δ`).
+
+use super::{ExperimentId, ExperimentOutput};
+use crate::table::{f2, Table};
+use rstp_core::bounds::{self, BoundsRow};
+use rstp_core::TimingParams;
+use rstp_sim::harness::{random_input, worst_case_effort, ProtocolKind};
+
+/// One `k` row: the four bounds plus (optionally) measurements.
+#[derive(Clone, Copy, Debug)]
+pub struct Row {
+    /// The bounds at this `k`.
+    pub bounds: BoundsRow,
+    /// Measured `A^β(k)` effort, for the measured subset of `k`s.
+    pub beta_measured: Option<f64>,
+    /// Measured `A^γ(k)` effort, for the measured subset of `k`s.
+    pub gamma_measured: Option<f64>,
+}
+
+/// Fixed parameters: `δ1 = 12`, `δ2 = 6`.
+#[must_use]
+pub fn params() -> TimingParams {
+    TimingParams::from_ticks(1, 2, 12).expect("valid parameters")
+}
+
+/// The full `k` sweep (bounds) and the measured subset.
+#[must_use]
+pub fn rows() -> Vec<Row> {
+    let p = params();
+    let ks: Vec<u64> = vec![2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64];
+    let measured: &[u64] = &[2, 4, 16];
+    let n = 600;
+    bounds::effort_curve(p, &ks)
+        .into_iter()
+        .map(|b| {
+            let (beta_measured, gamma_measured) = if measured.contains(&b.k) {
+                let input = random_input(n, 0xE6 + b.k);
+                let beta = worst_case_effort(ProtocolKind::Beta { k: b.k }, p, &input, 0xE6)
+                    .expect("beta simulation")
+                    .effort;
+                let gamma = worst_case_effort(ProtocolKind::Gamma { k: b.k }, p, &input, 0xE6)
+                    .expect("gamma simulation")
+                    .effort;
+                (Some(beta), Some(gamma))
+            } else {
+                (None, None)
+            };
+            Row {
+                bounds: b,
+                beta_measured,
+                gamma_measured,
+            }
+        })
+        .collect()
+}
+
+fn opt(x: Option<f64>) -> String {
+    x.map_or_else(|| "-".into(), f2)
+}
+
+/// Renders the experiment.
+#[must_use]
+pub fn output() -> ExperimentOutput {
+    let rows = rows();
+    let mut table = Table::new([
+        "k",
+        "passive lower",
+        "beta measured",
+        "beta upper",
+        "active lower",
+        "gamma measured",
+        "gamma upper",
+    ]);
+    for r in &rows {
+        table.push([
+            r.bounds.k.to_string(),
+            f2(r.bounds.passive_lower),
+            opt(r.beta_measured),
+            f2(r.bounds.passive_upper),
+            f2(r.bounds.active_lower),
+            opt(r.gamma_measured),
+            f2(r.bounds.active_upper),
+        ]);
+    }
+    ExperimentOutput {
+        id: ExperimentId::E6,
+        title: format!("effort vs alphabet size k at {} (§6 remark)", params()),
+        table,
+        notes: vec![
+            "every column decreases in k with ~1/log k diminishing returns".into(),
+            "measured rows ('-' = bounds only) respect their sandwich".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_bounds_decrease_in_k() {
+        let rs = rows();
+        for w in rs.windows(2) {
+            assert!(w[1].bounds.passive_upper <= w[0].bounds.passive_upper);
+            assert!(w[1].bounds.active_upper <= w[0].bounds.active_upper);
+            assert!(w[1].bounds.passive_lower <= w[0].bounds.passive_lower);
+            assert!(w[1].bounds.active_lower <= w[0].bounds.active_lower);
+        }
+    }
+
+    #[test]
+    fn diminishing_returns_shape() {
+        // Doubling k from 2 to 4 helps much more than from 32 to 64.
+        let rs = rows();
+        let at = |k: u64| {
+            rs.iter()
+                .find(|r| r.bounds.k == k)
+                .map(|r| r.bounds.passive_upper)
+                .unwrap()
+        };
+        let early_gain = at(2) / at(4);
+        let late_gain = at(32) / at(64);
+        assert!(
+            early_gain > late_gain,
+            "early {early_gain} should exceed late {late_gain}"
+        );
+        assert!(late_gain < 1.5);
+    }
+
+    #[test]
+    fn measured_subset_respects_sandwich() {
+        for r in rows() {
+            if let Some(m) = r.beta_measured {
+                assert!(r.bounds.passive_lower <= m + 1e-9, "k={}", r.bounds.k);
+            }
+            if let Some(m) = r.gamma_measured {
+                assert!(r.bounds.active_lower <= m + 1e-9, "k={}", r.bounds.k);
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! E7 — when does *active* beat *r-passive*? (Theorem 5.3 vs 5.6.)
+//!
+//! The r-passive protocol pays `2·δ1·c2 ≈ 2d·(c2/c1)` per burst window
+//! (counted idling inflates with timing uncertainty), while the active
+//! protocol pays a flat `3d + c2` (ack-clocked). So `A^γ` overtakes `A^β`
+//! once the uncertainty ratio `c2/c1` crosses a threshold — this
+//! experiment locates the crossover by bounds and confirms it by
+//! measurement, and prices the difference in packets (acks double traffic).
+
+use super::{ExperimentId, ExperimentOutput};
+use crate::table::{f2, Table};
+use rstp_core::bounds::{self, Family};
+use rstp_core::TimingParams;
+use rstp_sim::harness::{random_input, run_configured, ProtocolKind, RunConfig};
+use rstp_sim::adversary::{DeliveryPolicy, StepPolicy};
+
+/// One uncertainty-ratio row.
+#[derive(Clone, Copy, Debug)]
+pub struct Row {
+    /// `c2/c1` (with `c1 = 1`).
+    pub ratio: u64,
+    /// Parameters.
+    pub params: TimingParams,
+    /// `A^β(k)` guarantee.
+    pub beta_upper: f64,
+    /// `A^γ(k)` guarantee.
+    pub gamma_upper: f64,
+    /// Winner per the bounds.
+    pub bound_winner: Family,
+    /// Measured `A^β(k)` worst effort (AllSlow — the binding schedule).
+    pub beta_measured: f64,
+    /// Measured `A^γ(k)` worst effort.
+    pub gamma_measured: f64,
+    /// Packets-per-message of beta (1/b·δ1 data only).
+    pub beta_packets_per_msg: f64,
+    /// Packets-per-message of gamma (data + acks).
+    pub gamma_packets_per_msg: f64,
+    /// Gamma's data packet count.
+    pub gamma_data: u64,
+    /// Gamma's ack count.
+    pub gamma_acks: u64,
+}
+
+impl Row {
+    /// Winner per the measurements.
+    #[must_use]
+    pub fn measured_winner(&self) -> Family {
+        if self.gamma_measured < self.beta_measured {
+            Family::Active
+        } else {
+            Family::Passive
+        }
+    }
+}
+
+/// The alphabet used throughout.
+pub const K: u64 = 4;
+
+/// Sweeps `c2/c1 ∈ {1, 2, 4, 8}` at `c1 = 1`, `d = 16`.
+#[must_use]
+pub fn rows() -> Vec<Row> {
+    let n = 480;
+    [1u64, 2, 4, 8]
+        .into_iter()
+        .map(|ratio| {
+            let params = TimingParams::from_ticks(1, ratio, 16).expect("valid parameters");
+            let input = random_input(n, 0xE7 + ratio);
+            let measure = |kind: ProtocolKind| {
+                let out = run_configured(
+                    &RunConfig {
+                        kind,
+                        params,
+                        step: StepPolicy::AllSlow,
+                        delivery: DeliveryPolicy::MaxDelay,
+                        ..RunConfig::default()
+                    },
+                    &input,
+                )
+                .expect("simulation");
+                assert!(out.report.all_good(), "{}", out.report);
+                (
+                    out.metrics.effort(n).unwrap_or(0.0),
+                    out.metrics.packets_per_message().unwrap_or(0.0),
+                    out.metrics.data_sends,
+                    out.metrics.ack_sends,
+                )
+            };
+            let (beta_measured, beta_ppm, _, _) = measure(ProtocolKind::Beta { k: K });
+            let (gamma_measured, gamma_ppm, gamma_data, gamma_acks) =
+                measure(ProtocolKind::Gamma { k: K });
+            Row {
+                ratio,
+                params,
+                beta_upper: bounds::passive_upper(params, K),
+                gamma_upper: bounds::active_upper(params, K),
+                bound_winner: bounds::compare_upper_bounds(params, K),
+                beta_measured,
+                gamma_measured,
+                beta_packets_per_msg: beta_ppm,
+                gamma_packets_per_msg: gamma_ppm,
+                gamma_data,
+                gamma_acks,
+            }
+        })
+        .collect()
+}
+
+fn family(f: Family) -> &'static str {
+    match f {
+        Family::Passive => "passive",
+        Family::Active => "active",
+    }
+}
+
+/// Renders the experiment.
+#[must_use]
+pub fn output() -> ExperimentOutput {
+    let rows = rows();
+    let mut table = Table::new([
+        "c2/c1",
+        "beta upper",
+        "gamma upper",
+        "bound winner",
+        "beta meas",
+        "gamma meas",
+        "meas winner",
+        "beta pkt/msg",
+        "gamma pkt/msg",
+    ]);
+    for r in &rows {
+        table.push([
+            r.ratio.to_string(),
+            f2(r.beta_upper),
+            f2(r.gamma_upper),
+            family(r.bound_winner).to_string(),
+            f2(r.beta_measured),
+            f2(r.gamma_measured),
+            family(r.measured_winner()).to_string(),
+            f2(r.beta_packets_per_msg),
+            f2(r.gamma_packets_per_msg),
+        ]);
+    }
+    let crossover = bounds::crossover_ratio(1, 16, K, 16);
+    ExperimentOutput {
+        id: ExperimentId::E7,
+        title: format!("passive/active crossover in c2/c1 (k = {K}, d = 16)"),
+        table,
+        notes: vec![
+            format!(
+                "bound crossover at c2/c1 = {} (scan of Thm 5.3/5.6 guarantees)",
+                crossover.map_or("none".into(), |r| r.to_string())
+            ),
+            "gamma pays ~2x packets (one ack per data packet) for uncertainty-free rounds"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passive_wins_at_low_uncertainty_active_at_high() {
+        let rs = rows();
+        assert_eq!(rs.first().unwrap().bound_winner, Family::Passive);
+        assert_eq!(rs.last().unwrap().bound_winner, Family::Active);
+        assert_eq!(rs.first().unwrap().measured_winner(), Family::Passive);
+        assert_eq!(rs.last().unwrap().measured_winner(), Family::Active);
+    }
+
+    #[test]
+    fn beta_effort_grows_with_uncertainty_gamma_stays_flat() {
+        let rs = rows();
+        let beta_growth = rs.last().unwrap().beta_measured / rs[0].beta_measured;
+        let gamma_growth = rs.last().unwrap().gamma_measured / rs[0].gamma_measured;
+        assert!(beta_growth > 4.0, "beta growth {beta_growth}");
+        assert!(gamma_growth < 3.0, "gamma growth {gamma_growth}");
+    }
+
+    #[test]
+    fn acks_double_gamma_traffic() {
+        // Gamma sends exactly one ack per data packet, so its channel
+        // traffic is exactly twice its data traffic.
+        for r in rows() {
+            assert_eq!(
+                r.gamma_acks, r.gamma_data,
+                "ratio {}: acks {} != data {}",
+                r.ratio, r.gamma_acks, r.gamma_data
+            );
+            assert!(r.gamma_packets_per_msg > 0.0);
+        }
+    }
+
+    #[test]
+    fn crossover_exists_within_range() {
+        assert!(bounds::crossover_ratio(1, 16, K, 16).is_some());
+    }
+}

@@ -1,0 +1,166 @@
+//! The experiment suite (see crate docs and DESIGN.md §4 for the index).
+
+pub mod e10_distribution;
+pub mod e11_pipeline;
+pub mod e12_ablation;
+pub mod e1_alpha;
+pub mod e2_passive;
+pub mod e3_active;
+pub mod e4_distinguish;
+pub mod e5_interval;
+pub mod e6_alphabet;
+pub mod e7_crossover;
+pub mod e8_window;
+pub mod e9_faults;
+
+use crate::table::Table;
+use core::fmt;
+
+/// Identifier of one experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExperimentId {
+    /// E1: `A^α` vs its closed-form effort.
+    E1,
+    /// E2: the r-passive sandwich (Theorem 5.3 / §6.1).
+    E2,
+    /// E3: the active sandwich (Theorem 5.6 / §6.2).
+    E3,
+    /// E4: exhaustive Lemma 5.1 distinguishability.
+    E4,
+    /// E5: the Figure 2 interval-batch adversary.
+    E5,
+    /// E6: effort vs alphabet size `k`.
+    E6,
+    /// E7: passive/active crossover in `c2/c1`.
+    E7,
+    /// E8: the §7 delivery-window extension.
+    E8,
+    /// E9: fault injection (loss/duplication, FIFO vs reordering).
+    E9,
+    /// E10: typical vs worst-case effort distribution (extension).
+    E10,
+    /// E11: pipelining vs alphabet-spending (extension).
+    E11,
+    /// E12: design-choice ablations (multiset coding, wait phase).
+    E12,
+}
+
+impl ExperimentId {
+    /// Parses `"e1"`..`"e9"` (case-insensitive).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "e1" => ExperimentId::E1,
+            "e2" => ExperimentId::E2,
+            "e3" => ExperimentId::E3,
+            "e4" => ExperimentId::E4,
+            "e5" => ExperimentId::E5,
+            "e6" => ExperimentId::E6,
+            "e7" => ExperimentId::E7,
+            "e8" => ExperimentId::E8,
+            "e9" => ExperimentId::E9,
+            "e10" => ExperimentId::E10,
+            "e11" => ExperimentId::E11,
+            "e12" => ExperimentId::E12,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ExperimentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A rendered experiment: title, table, and interpretation notes.
+#[derive(Clone, Debug)]
+pub struct ExperimentOutput {
+    /// Which experiment.
+    pub id: ExperimentId,
+    /// Human title with the paper cross-reference.
+    pub title: String,
+    /// The result table.
+    pub table: Table,
+    /// Interpretation lines printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl fmt::Display for ExperimentOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "### {}: {}", self.id, self.title)?;
+        writeln!(f)?;
+        write!(f, "{}", self.table.render())?;
+        for n in &self.notes {
+            writeln!(f, "  {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// All experiment ids, in order.
+#[must_use]
+pub fn all_experiments() -> Vec<ExperimentId> {
+    vec![
+        ExperimentId::E1,
+        ExperimentId::E2,
+        ExperimentId::E3,
+        ExperimentId::E4,
+        ExperimentId::E5,
+        ExperimentId::E6,
+        ExperimentId::E7,
+        ExperimentId::E8,
+        ExperimentId::E9,
+        ExperimentId::E10,
+        ExperimentId::E11,
+        ExperimentId::E12,
+    ]
+}
+
+/// Runs one experiment and returns its rendered output.
+#[must_use]
+pub fn run_experiment(id: ExperimentId) -> ExperimentOutput {
+    match id {
+        ExperimentId::E1 => e1_alpha::output(),
+        ExperimentId::E2 => e2_passive::output(),
+        ExperimentId::E3 => e3_active::output(),
+        ExperimentId::E4 => e4_distinguish::output(),
+        ExperimentId::E5 => e5_interval::output(),
+        ExperimentId::E6 => e6_alphabet::output(),
+        ExperimentId::E7 => e7_crossover::output(),
+        ExperimentId::E8 => e8_window::output(),
+        ExperimentId::E9 => e9_faults::output(),
+        ExperimentId::E10 => e10_distribution::output(),
+        ExperimentId::E11 => e11_pipeline::output(),
+        ExperimentId::E12 => e12_ablation::output(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_parsing() {
+        assert_eq!(ExperimentId::parse("e1"), Some(ExperimentId::E1));
+        assert_eq!(ExperimentId::parse("E9"), Some(ExperimentId::E9));
+        assert_eq!(ExperimentId::parse("e10"), Some(ExperimentId::E10));
+        assert_eq!(ExperimentId::parse("e11"), Some(ExperimentId::E11));
+        assert_eq!(ExperimentId::parse("e12"), Some(ExperimentId::E12));
+        assert_eq!(ExperimentId::parse("e13"), None);
+        assert_eq!(ExperimentId::parse(""), None);
+    }
+
+    #[test]
+    fn all_experiments_listed_once() {
+        let ids = all_experiments();
+        assert_eq!(ids.len(), 12);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(
+                ExperimentId::parse(&format!("e{}", i + 1)),
+                Some(*id),
+                "order mismatch at {i}"
+            );
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Experiment harness: regenerates every table/figure of the RSTP
+//! reproduction (see DESIGN.md §4 for the experiment index).
+//!
+//! Each experiment module exposes a `run()` returning a rendered
+//! [`table::Table`] plus typed rows, so the binary can print them and the
+//! tests can assert the *shape* of the results (who wins, bounded ratios,
+//! monotonicity) rather than scraping stdout.
+//!
+//! | id | paper source | what is regenerated |
+//! |----|--------------|---------------------|
+//! | E1 | Fig 1, §4    | `A^α` measured effort vs closed form `δ1·c2` |
+//! | E2 | Thm 5.3, §6.1 | `A^β(k)` sandwich: lower ≤ measured ≤ upper |
+//! | E3 | Thm 5.6, §6.2 | `A^γ(k)` sandwich |
+//! | E4 | Lemma 5.1    | exhaustive interval-multiset distinguishability |
+//! | E5 | Fig 2, §5.2  | interval-batch adversary vs `A^γ(k)` |
+//! | E6 | §6 remark    | effort vs `k` (diminishing `1/log k` returns) |
+//! | E7 | Thm 5.3 vs 5.6 | passive/active crossover in `c2/c1` |
+//! | E8 | §7           | delivery-window `[d_lo, d_hi]` extension |
+//! | E9 | §1 (\[BSW69\], \[WZ89\], \[Ste76\]) | fault injection: loss/dup/FIFO vs reordering |
+//! | E10 | (extension) | typical vs worst-case effort distribution |
+//! | E11 | (extension) | pipelining vs alphabet-spending (`A^δ(k, w)`) |
+//! | E12 | (ablations) | positional coding; wait-phase shrink |
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{all_experiments, run_experiment, ExperimentId};

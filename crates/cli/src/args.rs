@@ -1,0 +1,175 @@
+//! A small flag parser — `--key value` pairs plus positional arguments.
+//! Hand-rolled to keep the dependency set at the workspace's approved five.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command-line arguments: a subcommand, positionals, and flags.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Args {
+    /// The first positional (the subcommand), if any.
+    pub command: Option<String>,
+    /// Remaining positionals.
+    pub positional: Vec<String>,
+    flags: BTreeMap<String, String>,
+}
+
+/// A parse or validation error, rendered for the user.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses an iterator of raw arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError`] if a `--flag` has no value.
+    pub fn parse<I, S>(raw: I) -> Result<Self, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().map(Into::into).peekable();
+        while let Some(token) = iter.next() {
+            if let Some(name) = token.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ArgError(format!("--{name} requires a value")))?;
+                args.flags.insert(name.to_string(), value);
+            } else if args.command.is_none() {
+                args.command = Some(token);
+            } else {
+                args.positional.push(token);
+            }
+        }
+        Ok(args)
+    }
+
+    /// A string flag.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// A `u64` flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError`] if present but unparsable.
+    pub fn get_u64(&self, name: &str, default: u64) -> Result<u64, ArgError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{name} expects an integer, got {v:?}"))),
+        }
+    }
+
+    /// A `usize` flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError`] if present but unparsable.
+    pub fn get_usize(&self, name: &str, default: usize) -> Result<usize, ArgError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{name} expects an integer, got {v:?}"))),
+        }
+    }
+
+    /// Rejects any flag not in `allowed`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError`] naming the first unknown flag.
+    pub fn ensure_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for name in self.flags.keys() {
+            if !allowed.contains(&name.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown flag --{name}; allowed: {}",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses a bit string like `10110` into messages.
+///
+/// # Errors
+///
+/// [`ArgError`] on any character other than `0`/`1`.
+pub fn parse_bits(s: &str) -> Result<Vec<bool>, ArgError> {
+    s.chars()
+        .map(|c| match c {
+            '0' => Ok(false),
+            '1' => Ok(true),
+            other => Err(ArgError(format!("invalid bit {other:?} in input"))),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_flags_and_positionals() {
+        let a = Args::parse(["run", "--k", "4", "extra", "--n", "100"]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("run"));
+        assert_eq!(a.positional, vec!["extra"]);
+        assert_eq!(a.get("k"), Some("4"));
+        assert_eq!(a.get_u64("n", 0).unwrap(), 100);
+        assert_eq!(a.get_u64("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let e = Args::parse(["run", "--k"]).unwrap_err();
+        assert!(e.to_string().contains("requires a value"));
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let a = Args::parse(["x", "--n", "abc"]).unwrap();
+        assert!(a.get_u64("n", 0).is_err());
+        assert!(a.get_usize("n", 0).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_rejected() {
+        let a = Args::parse(["x", "--bogus", "1"]).unwrap();
+        let e = a.ensure_known(&["k", "n"]).unwrap_err();
+        assert!(e.to_string().contains("--bogus"));
+        a.ensure_known(&["bogus"]).unwrap();
+    }
+
+    #[test]
+    fn bit_parsing() {
+        assert_eq!(parse_bits("101").unwrap(), vec![true, false, true]);
+        assert_eq!(parse_bits("").unwrap(), Vec::<bool>::new());
+        assert!(parse_bits("10x").is_err());
+    }
+
+    #[test]
+    fn empty_args() {
+        let a = Args::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(a.command, None);
+    }
+}

@@ -1,0 +1,36 @@
+//! `rstp` — command-line interface to the RSTP reproduction.
+//!
+//! ```text
+//! rstp bounds --c1 1 --c2 2 --d 8 --k 4
+//! rstp run    --protocol gamma --k 4 --n 100 --step slow --delivery batch
+//! rstp trace  --protocol beta --input 10110 --c1 2 --c2 3 --d 6
+//! rstp effort --protocol beta --k 8 --n 512
+//! rstp distinguish --protocol beta --k 2 --n 8 --c1 1 --c2 1 --d 3
+//! rstp curve  --c1 1 --c2 2 --d 12 --kmax 32
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let parsed = match args::Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match commands::dispatch(&parsed) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `rstp help` for usage");
+            ExitCode::from(2)
+        }
+    }
+}

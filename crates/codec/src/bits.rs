@@ -1,0 +1,129 @@
+//! Bit-level helpers: the paper's message domain is `M = {0, 1}`, so input
+//! sequences are bit vectors. These helpers convert between bit slices,
+//! integers (block ranks) and bytes (for the file-transfer example).
+//!
+//! Bit order is **most-significant first** within both integers and bytes:
+//! `bits_to_u128(&[true, false]) == 2`.
+
+/// Interprets up to 128 bits (most-significant first) as an integer.
+///
+/// # Panics
+///
+/// Panics if `bits.len() > 128`.
+#[must_use]
+pub fn bits_to_u128(bits: &[bool]) -> u128 {
+    assert!(bits.len() <= 128, "more than 128 bits");
+    bits.iter().fold(0u128, |acc, &b| (acc << 1) | u128::from(b))
+}
+
+/// Writes `value` as exactly `width` bits, most-significant first.
+///
+/// # Panics
+///
+/// Panics if `width > 128` or if `value` does not fit in `width` bits.
+#[must_use]
+pub fn u128_to_bits(value: u128, width: usize) -> Vec<bool> {
+    assert!(width <= 128, "width exceeds 128");
+    if width < 128 {
+        assert!(
+            value < (1u128 << width),
+            "value {value} does not fit in {width} bits"
+        );
+    }
+    (0..width)
+        .rev()
+        .map(|i| (value >> i) & 1 == 1)
+        .collect()
+}
+
+/// Expands bytes into bits, most-significant bit of each byte first.
+#[must_use]
+pub fn bits_from_bytes(bytes: &[u8]) -> Vec<bool> {
+    bytes
+        .iter()
+        .flat_map(|&byte| (0..8).rev().map(move |i| (byte >> i) & 1 == 1))
+        .collect()
+}
+
+/// Packs bits into bytes (most-significant first), zero-padding the final
+/// partial byte.
+#[must_use]
+pub fn bits_to_bytes(bits: &[bool]) -> Vec<u8> {
+    bits.chunks(8)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .fold(0u8, |acc, (i, &b)| acc | (u8::from(b) << (7 - i)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bits_to_u128_msb_first() {
+        assert_eq!(bits_to_u128(&[]), 0);
+        assert_eq!(bits_to_u128(&[true]), 1);
+        assert_eq!(bits_to_u128(&[true, false]), 2);
+        assert_eq!(bits_to_u128(&[true, false, true, true]), 0b1011);
+    }
+
+    #[test]
+    fn u128_to_bits_examples() {
+        assert_eq!(u128_to_bits(0, 0), Vec::<bool>::new());
+        assert_eq!(u128_to_bits(5, 4), vec![false, true, false, true]);
+        assert_eq!(u128_to_bits(1, 1), vec![true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn u128_to_bits_overflow_panics() {
+        let _ = u128_to_bits(4, 2);
+    }
+
+    #[test]
+    fn full_width_roundtrip() {
+        let v = u128::MAX - 12345;
+        assert_eq!(bits_to_u128(&u128_to_bits(v, 128)), v);
+    }
+
+    #[test]
+    fn bytes_roundtrip_exact() {
+        let bytes = [0x00, 0xFF, 0xA5, 0x3C];
+        let bits = bits_from_bytes(&bytes);
+        assert_eq!(bits.len(), 32);
+        assert_eq!(bits_to_bytes(&bits), bytes);
+    }
+
+    #[test]
+    fn bytes_partial_final_byte_zero_padded() {
+        let bits = [true, true, true]; // 0b1110_0000
+        assert_eq!(bits_to_bytes(&bits), vec![0xE0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_int_roundtrip(value in any::<u128>(), extra in 0usize..8) {
+            let width = (128 - value.leading_zeros() as usize + extra).min(128);
+            prop_assert_eq!(bits_to_u128(&u128_to_bits(value, width)), value);
+        }
+
+        #[test]
+        fn prop_bytes_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            prop_assert_eq!(bits_to_bytes(&bits_from_bytes(&bytes)), bytes);
+        }
+
+        #[test]
+        fn prop_bits_roundtrip_via_bytes(bits in proptest::collection::vec(any::<bool>(), 0..200)) {
+            let bytes = bits_to_bytes(&bits);
+            let back = bits_from_bytes(&bytes);
+            // Padded to a byte boundary; the prefix must match.
+            prop_assert_eq!(&back[..bits.len()], &bits[..]);
+            prop_assert!(back[bits.len()..].iter().all(|&b| !b));
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Block codec between binary message streams and multiset-encoded packet
+//! bursts — the realization of `tomulti_k(n)` ∘ `toseq_k(n)` from paper §3
+//! used by the `A^β(k)` and `A^γ(k)` protocols of §6.
+//!
+//! The transmitter-side pipeline for one block:
+//!
+//! ```text
+//! b = ⌊log2 μ_k(δ)⌋ input bits
+//!     │  interpret as an integer r ∈ [0, 2^b) ⊆ [0, μ_k(δ))
+//!     ▼
+//! multiset P = unrank(r) ∈ multi_k(δ)          (tomulti_k(δ))
+//!     │  linearize
+//!     ▼
+//! k-ary packet sequence of length δ            (toseq_k(δ))
+//! ```
+//!
+//! and the receiver inverts it, crucially **from the multiset alone** — the
+//! packets of one burst may arrive in any order, so the decoder accepts a
+//! [`Multiset`] rather than a sequence.
+//!
+//! The paper simplifies by assuming `|X| ≡ 0 (mod b)`; real inputs are not
+//! multiples of `b`, so [`BlockCodec::encode_stream`] pads the last block
+//! with zeros and the decoder truncates to the announced message count.
+//!
+//! # Example
+//!
+//! ```
+//! use rstp_codec::BlockCodec;
+//!
+//! // Blocks of delta=7 packets over a binary packet alphabet: mu_2(7) = 8,
+//! // so each burst of 7 packets carries 3 input bits.
+//! let codec = BlockCodec::new(2, 7).unwrap();
+//! assert_eq!(codec.bits_per_block(), 3);
+//!
+//! let input = [true, false, true, true, false];
+//! let blocks = codec.encode_stream(&input).unwrap();
+//! assert_eq!(blocks.len(), 2); // ceil(5 / 3)
+//!
+//! let mut out = Vec::new();
+//! for block in &blocks {
+//!     let multiset = codec.collect(block.packets()).unwrap();
+//!     out.extend(codec.decode_block(&multiset).unwrap());
+//! }
+//! out.truncate(input.len());
+//! assert_eq!(out, input);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bits;
+pub mod block;
+pub mod stream;
+
+pub use bits::{bits_from_bytes, bits_to_bytes, bits_to_u128, u128_to_bits};
+pub use block::{Block, BlockCodec, CodecError};
+pub use stream::{StreamDecoder, StreamEncoder};
+
+pub use rstp_combinatorics::Multiset;

@@ -1,0 +1,365 @@
+//! A push-style streaming decoder.
+//!
+//! [`StreamDecoder`] is the receiver-side decoding loop of Figures 3/4 as a
+//! reusable component: push packets one at a time (in *any* order within a
+//! burst), and decoded message bits become available as each burst
+//! completes. The protocol receiver automata inline this logic to keep
+//! their state structs transparent; downstream users building on the codec
+//! directly get it here, with the same padding/truncation rules as
+//! [`BlockCodec::decode_stream`](crate::BlockCodec::decode_stream).
+
+use crate::block::{BlockCodec, CodecError};
+use rstp_combinatorics::Multiset;
+
+/// Incremental decoder: packets in, message bits out.
+///
+/// # Example
+///
+/// ```
+/// use rstp_codec::{BlockCodec, StreamDecoder};
+///
+/// let codec = BlockCodec::new(3, 4).unwrap(); // 3 bits per 4 packets
+/// let input = [true, false, true, true, false];
+/// let blocks = codec.encode_stream(&input).unwrap();
+///
+/// let mut decoder = StreamDecoder::new(codec.clone(), input.len());
+/// for block in &blocks {
+///     // bursts may arrive reordered — push in reverse:
+///     for &p in block.packets().iter().rev() {
+///         decoder.push(p).unwrap();
+///     }
+/// }
+/// assert!(decoder.is_complete());
+/// assert_eq!(decoder.bits(), &input);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StreamDecoder {
+    codec: BlockCodec,
+    burst: Multiset,
+    bits: Vec<bool>,
+    expected_bits: usize,
+    failures: u32,
+}
+
+impl StreamDecoder {
+    /// Creates a decoder that will reconstruct exactly `expected_bits`
+    /// message bits (trailing padding in the final burst is dropped).
+    #[must_use]
+    pub fn new(codec: BlockCodec, expected_bits: usize) -> Self {
+        let k = codec.alphabet();
+        StreamDecoder {
+            codec,
+            burst: Multiset::empty(k),
+            bits: Vec::with_capacity(expected_bits),
+            expected_bits,
+            failures: 0,
+        }
+    }
+
+    /// Pushes one received packet. Returns the number of *new* message
+    /// bits made available (0 unless this packet completed a burst).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Rank`] if the symbol is outside the alphabet. Burst
+    /// decode failures (possible only on a faulty channel) are *not*
+    /// errors; they increment [`failures`](Self::failures) and skip the
+    /// burst, mirroring the receiver automata.
+    pub fn push(&mut self, symbol: u64) -> Result<usize, CodecError> {
+        if symbol >= self.codec.alphabet() {
+            return Err(CodecError::Rank(
+                rstp_combinatorics::rank::RankError::WrongUniverse {
+                    expected: self.codec.alphabet(),
+                    actual: symbol + 1,
+                },
+            ));
+        }
+        self.burst.insert(symbol);
+        if self.burst.len() < self.codec.packets_per_block() {
+            return Ok(0);
+        }
+        let decoded = self.codec.decode_block(&self.burst);
+        self.burst.clear();
+        match decoded {
+            Ok(bits) => {
+                let remaining = self.expected_bits.saturating_sub(self.bits.len());
+                let take = bits.len().min(remaining);
+                self.bits.extend_from_slice(&bits[..take]);
+                Ok(take)
+            }
+            Err(_) => {
+                self.failures += 1;
+                Ok(0)
+            }
+        }
+    }
+
+    /// All message bits decoded so far, in order.
+    #[must_use]
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Whether the full expected payload has been decoded.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.bits.len() >= self.expected_bits
+    }
+
+    /// Packets of the burst in progress.
+    #[must_use]
+    pub fn pending_packets(&self) -> u64 {
+        self.burst.len()
+    }
+
+    /// Bursts that failed to decode (nonzero only on faulty channels).
+    #[must_use]
+    pub fn failures(&self) -> u32 {
+        self.failures
+    }
+}
+
+/// Incremental encoder: message bits in, packet bursts out — the
+/// transmitter-side mirror of [`StreamDecoder`], for callers that produce
+/// bits on the fly rather than holding all of `X` up front.
+///
+/// # Example
+///
+/// ```
+/// use rstp_codec::{BlockCodec, StreamDecoder, StreamEncoder};
+///
+/// let codec = BlockCodec::new(3, 4).unwrap(); // 3 bits per 4 packets
+/// let input = [true, false, true, true, false];
+///
+/// let mut enc = StreamEncoder::new(codec.clone());
+/// let mut bursts = Vec::new();
+/// for &bit in &input {
+///     if let Some(burst) = enc.push(bit).unwrap() {
+///         bursts.push(burst);
+///     }
+/// }
+/// if let Some(last) = enc.finish().unwrap() {
+///     bursts.push(last);
+/// }
+///
+/// let mut dec = StreamDecoder::new(codec, input.len());
+/// for burst in bursts {
+///     for sym in burst {
+///         dec.push(sym).unwrap();
+///     }
+/// }
+/// assert_eq!(dec.bits(), &input);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StreamEncoder {
+    codec: BlockCodec,
+    pending: Vec<bool>,
+    bits_consumed: usize,
+}
+
+impl StreamEncoder {
+    /// Creates an encoder over `codec`'s `(k, δ)` block shape.
+    #[must_use]
+    pub fn new(codec: BlockCodec) -> Self {
+        StreamEncoder {
+            codec,
+            pending: Vec::new(),
+            bits_consumed: 0,
+        }
+    }
+
+    /// Pushes one message bit; returns a full burst when one completes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors (none occur for a well-formed codec).
+    pub fn push(&mut self, bit: bool) -> Result<Option<Vec<u64>>, CodecError> {
+        self.pending.push(bit);
+        self.bits_consumed += 1;
+        if self.pending.len() == self.codec.bits_per_block() as usize {
+            let burst = self.codec.encode_block(&self.pending)?;
+            self.pending.clear();
+            Ok(Some(burst))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Bits buffered toward the next burst.
+    #[must_use]
+    pub fn pending_bits(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total bits consumed so far (what the receiver's `expected_bits`
+    /// must be, once finished).
+    #[must_use]
+    pub fn bits_consumed(&self) -> usize {
+        self.bits_consumed
+    }
+
+    /// Flushes the final partial block (zero-padded), if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors.
+    pub fn finish(mut self) -> Result<Option<Vec<u64>>, CodecError> {
+        if self.pending.is_empty() {
+            return Ok(None);
+        }
+        self.pending
+            .resize(self.codec.bits_per_block() as usize, false);
+        Ok(Some(self.codec.encode_block(&self.pending)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn codec() -> BlockCodec {
+        BlockCodec::new(3, 4).unwrap()
+    }
+
+    #[test]
+    fn decodes_in_order_stream() {
+        let c = codec();
+        let input = vec![true, false, true, true, false, false, true];
+        let mut d = StreamDecoder::new(c.clone(), input.len());
+        let mut produced = 0;
+        for b in c.encode_stream(&input).unwrap() {
+            for &p in b.packets() {
+                produced += d.push(p).unwrap();
+            }
+        }
+        assert!(d.is_complete());
+        assert_eq!(d.bits(), &input[..]);
+        assert_eq!(produced, input.len());
+        assert_eq!(d.failures(), 0);
+        assert_eq!(d.pending_packets(), 0);
+    }
+
+    #[test]
+    fn partial_burst_yields_nothing() {
+        let c = codec();
+        let mut d = StreamDecoder::new(c, 3);
+        assert_eq!(d.push(0).unwrap(), 0);
+        assert_eq!(d.push(1).unwrap(), 0);
+        assert_eq!(d.pending_packets(), 2);
+        assert!(!d.is_complete());
+        assert!(d.bits().is_empty());
+    }
+
+    #[test]
+    fn out_of_alphabet_rejected() {
+        let mut d = StreamDecoder::new(codec(), 3);
+        assert!(d.push(3).is_err());
+        assert_eq!(d.pending_packets(), 0); // rejected packet not absorbed
+    }
+
+    #[test]
+    fn corrupt_burst_counted_and_skipped() {
+        // k=2, delta=6: mu=7, b=2; all-ones burst has rank 6 >= 4.
+        let c = BlockCodec::new(2, 6).unwrap();
+        let mut d = StreamDecoder::new(c.clone(), 2);
+        for _ in 0..6 {
+            d.push(1).unwrap();
+        }
+        assert_eq!(d.failures(), 1);
+        assert!(d.bits().is_empty());
+        // A good burst afterwards still decodes.
+        let good = c.encode_stream(&[true, false]).unwrap();
+        for &p in good[0].packets() {
+            d.push(p).unwrap();
+        }
+        assert_eq!(d.bits(), &[true, false]);
+    }
+
+    #[test]
+    fn encoder_emits_on_block_boundaries() {
+        let c = codec(); // 3 bits/block
+        let mut e = StreamEncoder::new(c);
+        assert_eq!(e.push(true).unwrap(), None);
+        assert_eq!(e.push(false).unwrap(), None);
+        assert_eq!(e.pending_bits(), 2);
+        let burst = e.push(true).unwrap().expect("third bit completes a block");
+        assert_eq!(burst.len(), 4);
+        assert_eq!(e.pending_bits(), 0);
+        assert_eq!(e.bits_consumed(), 3);
+        assert!(e.finish().unwrap().is_none());
+    }
+
+    #[test]
+    fn encoder_finish_pads_partial_block() {
+        let c = codec();
+        let mut e = StreamEncoder::new(c.clone());
+        e.push(true).unwrap();
+        let last = e.finish().unwrap().expect("partial block flushes");
+        // Must equal the batch encoder's padded block.
+        let batch = c.encode_stream(&[true]).unwrap();
+        assert_eq!(last, batch[0].packets());
+    }
+
+    #[test]
+    fn encoder_finish_empty_is_none() {
+        assert!(StreamEncoder::new(codec()).finish().unwrap().is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_stream_encoder_matches_batch_encoder(
+            k in 2u64..6,
+            delta in 2u64..8,
+            input in proptest::collection::vec(any::<bool>(), 0..100),
+        ) {
+            let c = BlockCodec::new(k, delta).unwrap();
+            let mut e = StreamEncoder::new(c.clone());
+            let mut bursts = Vec::new();
+            for &b in &input {
+                if let Some(burst) = e.push(b).unwrap() {
+                    bursts.push(burst);
+                }
+            }
+            prop_assert_eq!(e.bits_consumed(), input.len());
+            if let Some(last) = e.finish().unwrap() {
+                bursts.push(last);
+            }
+            let batch: Vec<Vec<u64>> = c
+                .encode_stream(&input)
+                .unwrap()
+                .iter()
+                .map(|b| b.packets().to_vec())
+                .collect();
+            prop_assert_eq!(bursts, batch);
+        }
+
+        #[test]
+        fn prop_any_within_burst_order_decodes(
+            k in 2u64..6,
+            delta in 2u64..8,
+            input in proptest::collection::vec(any::<bool>(), 1..80),
+            seed in any::<u64>(),
+        ) {
+            let c = BlockCodec::new(k, delta).unwrap();
+            let mut d = StreamDecoder::new(c.clone(), input.len());
+            let mut state = seed | 1;
+            for b in c.encode_stream(&input).unwrap() {
+                let mut burst = b.packets().to_vec();
+                // Deterministic pseudo-shuffle within the burst.
+                for i in (1..burst.len()).rev() {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let j = (state >> 33) as usize % (i + 1);
+                    burst.swap(i, j);
+                }
+                for p in burst {
+                    d.push(p).unwrap();
+                }
+            }
+            prop_assert!(d.is_complete());
+            prop_assert_eq!(d.bits(), &input[..]);
+        }
+    }
+}

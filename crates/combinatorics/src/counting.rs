@@ -1,0 +1,372 @@
+//! Exact counting: binomials, `μ_k(n)`, `ζ_k(n)`, and integer logarithms.
+//!
+//! Paper §3:
+//!
+//! * `|multi_k(n)| = μ_k(n) = C(n+k-1, k-1)` — multisets of size `n` over a
+//!   universe of `k` symbols;
+//! * `ζ_k(n) = Σ_{j=1..n} μ_k(j)` — multisets of size at most `n` (and at
+//!   least 1), the denominator of the lower-bound theorems;
+//! * the protocols pack `⌊log2 μ_k(n)⌋` bits into one size-`n` multiset
+//!   ([`block_bits`]).
+//!
+//! Everything is computed exactly in `u128` with overflow detection.
+
+use core::fmt;
+
+/// Error for counting operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CountError {
+    /// The exact value does not fit in `u128`.
+    Overflow {
+        /// Which quantity overflowed, e.g. `"C(200, 100)"`.
+        what: String,
+    },
+    /// A parameter is outside its domain (e.g. `k = 0`).
+    Domain {
+        /// Human-readable description of the violated constraint.
+        what: String,
+    },
+}
+
+impl fmt::Display for CountError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CountError::Overflow { what } => write!(f, "{what} exceeds u128"),
+            CountError::Domain { what } => write!(f, "domain error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CountError {}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// The binomial coefficient `C(n, r)`, exactly.
+///
+/// Uses the multiplicative formula with per-step GCD reduction so that the
+/// intermediate never exceeds `result * (n - r + i)` reduced by common
+/// factors; overflow of the true value is still reported.
+///
+/// # Errors
+///
+/// [`CountError::Overflow`] if `C(n, r)` does not fit in `u128`.
+pub fn binomial(n: u64, r: u64) -> Result<u128, CountError> {
+    if r > n {
+        return Ok(0);
+    }
+    let r = r.min(n - r);
+    let mut acc: u128 = 1;
+    for i in 1..=r {
+        // acc <- acc * (n - r + i) / i ; the division is exact after the
+        // loop body because C(n-r+i, i) is an integer. Reduce first to keep
+        // intermediates small.
+        let mut num = u128::from(n - r + i);
+        let mut den = u128::from(i);
+        let g = gcd(acc, den);
+        let acc_red = acc / g;
+        den /= g;
+        let g2 = gcd(num, den);
+        num /= g2;
+        den /= g2;
+        debug_assert_eq!(den, 1, "binomial division not exact after reduction");
+        acc = acc_red
+            .checked_mul(num)
+            .ok_or_else(|| CountError::Overflow {
+                what: format!("C({n}, {r})"),
+            })?;
+    }
+    Ok(acc)
+}
+
+/// `μ_k(n) = C(n+k-1, k-1)` — the number of multisets of size `n` over a
+/// `k`-symbol universe (paper §3).
+///
+/// `μ_k(0) = 1` (the empty multiset), matching the combinatorial convention;
+/// the paper only uses `n ≥ 1`.
+///
+/// # Errors
+///
+/// [`CountError::Domain`] if `k = 0`; [`CountError::Overflow`] if the value
+/// exceeds `u128`.
+pub fn mu(k: u64, n: u64) -> Result<u128, CountError> {
+    if k == 0 {
+        return Err(CountError::Domain {
+            what: "mu: universe size k must be >= 1".into(),
+        });
+    }
+    let nk = n.checked_add(k - 1).ok_or_else(|| CountError::Overflow {
+        what: format!("mu({k}, {n}) parameter n+k-1"),
+    })?;
+    binomial(nk, k - 1)
+}
+
+/// `ζ_k(n) = Σ_{j=1..n} μ_k(j)` — the number of nonempty multisets of size
+/// at most `n` over a `k`-symbol universe (paper §3).
+///
+/// Satisfies `ζ_k(n) ≤ n · μ_k(n)`, the estimate the paper uses to relate
+/// the two bound forms.
+///
+/// # Errors
+///
+/// [`CountError::Domain`] if `k = 0`; [`CountError::Overflow`] on `u128`
+/// overflow of the sum.
+pub fn zeta(k: u64, n: u64) -> Result<u128, CountError> {
+    let mut total: u128 = 0;
+    for j in 1..=n {
+        total = total
+            .checked_add(mu(k, j)?)
+            .ok_or_else(|| CountError::Overflow {
+                what: format!("zeta({k}, {n})"),
+            })?;
+    }
+    Ok(total)
+}
+
+/// `⌊log2 x⌋` for `x ≥ 1`.
+///
+/// # Panics
+///
+/// Panics if `x == 0` (the logarithm is undefined).
+#[must_use]
+pub fn log2_floor(x: u128) -> u32 {
+    assert!(x > 0, "log2_floor(0) is undefined");
+    127 - x.leading_zeros()
+}
+
+/// `⌈log2 x⌉` for `x ≥ 1`.
+///
+/// # Panics
+///
+/// Panics if `x == 0`.
+#[must_use]
+pub fn log2_ceil(x: u128) -> u32 {
+    assert!(x > 0, "log2_ceil(0) is undefined");
+    if x == 1 {
+        0
+    } else {
+        log2_floor(x - 1) + 1
+    }
+}
+
+/// `log2` of a `u128` as `f64`, exact to f64 precision — used by the
+/// real-valued bound formulas (`log2 ζ_k(δ)` in Theorems 5.3 / 5.6).
+#[must_use]
+pub fn log2_f64(x: u128) -> f64 {
+    assert!(x > 0, "log2_f64(0) is undefined");
+    // Split into high/low 64-bit halves to keep f64 conversion accurate.
+    if x <= u128::from(u64::MAX) {
+        (x as f64).log2()
+    } else {
+        let bits = log2_floor(x);
+        let shift = bits - 52; // keep a 53-bit mantissa
+        let top = (x >> shift) as f64;
+        top.log2() + f64::from(shift)
+    }
+}
+
+/// The number of binary messages packed into one size-`n` multiset over a
+/// `k`-symbol alphabet: `⌊log2 μ_k(n)⌋` (paper §6, the block length of
+/// `A^β(k)` and `A^γ(k)`).
+///
+/// # Errors
+///
+/// Propagates [`mu`]'s errors. Additionally returns
+/// [`CountError::Domain`] if `μ_k(n) = 1` (i.e. `k = 1` or `n = 0`), since a
+/// one-element code carries no information.
+pub fn block_bits(k: u64, n: u64) -> Result<u32, CountError> {
+    let m = mu(k, n)?;
+    if m < 2 {
+        return Err(CountError::Domain {
+            what: format!("block_bits({k}, {n}): mu = {m} carries no information"),
+        });
+    }
+    Ok(log2_floor(m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force multiset count by enumeration (stars and bars check).
+    fn mu_brute(k: u64, n: u64) -> u128 {
+        // Count nondecreasing sequences of length n over {0..k-1}
+        // recursively.
+        fn rec(remaining: u64, lo: u64, k: u64) -> u128 {
+            if remaining == 0 {
+                return 1;
+            }
+            (lo..k).map(|s| rec(remaining - 1, s, k)).sum()
+        }
+        rec(n, 0, k)
+    }
+
+    #[test]
+    fn binomial_small_table() {
+        assert_eq!(binomial(0, 0).unwrap(), 1);
+        assert_eq!(binomial(5, 0).unwrap(), 1);
+        assert_eq!(binomial(5, 5).unwrap(), 1);
+        assert_eq!(binomial(5, 2).unwrap(), 10);
+        assert_eq!(binomial(10, 3).unwrap(), 120);
+        assert_eq!(binomial(52, 5).unwrap(), 2_598_960);
+        assert_eq!(binomial(3, 7).unwrap(), 0);
+    }
+
+    #[test]
+    fn binomial_pascal_identity() {
+        for n in 1..40u64 {
+            for r in 1..n {
+                let lhs = binomial(n, r).unwrap();
+                let rhs = binomial(n - 1, r - 1).unwrap() + binomial(n - 1, r).unwrap();
+                assert_eq!(lhs, rhs, "Pascal fails at C({n},{r})");
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_symmetry() {
+        for n in 0..30u64 {
+            for r in 0..=n {
+                assert_eq!(binomial(n, r).unwrap(), binomial(n, n - r).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_large_exact() {
+        // C(128, 64), cross-checked by Pascal's rule below and against
+        // independent big-integer computation.
+        assert_eq!(
+            binomial(128, 64).unwrap(),
+            23_951_146_041_928_082_866_135_587_776_380_551_750
+        );
+        // Consistency with Pascal at the boundary of the table test above.
+        assert_eq!(
+            binomial(128, 64).unwrap(),
+            binomial(127, 63).unwrap() + binomial(127, 64).unwrap()
+        );
+    }
+
+    #[test]
+    fn binomial_overflow_detected() {
+        let err = binomial(600, 300).unwrap_err();
+        assert!(matches!(err, CountError::Overflow { .. }));
+        assert!(err.to_string().contains("exceeds u128"));
+    }
+
+    #[test]
+    fn mu_matches_brute_force() {
+        for k in 1..=4u64 {
+            for n in 0..=6u64 {
+                assert_eq!(mu(k, n).unwrap(), mu_brute(k, n), "mu({k},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn mu_known_values() {
+        // Paper's running example: mu_2(n) = n + 1.
+        for n in 0..20u64 {
+            assert_eq!(mu(2, n).unwrap(), u128::from(n) + 1);
+        }
+        assert_eq!(mu(3, 2).unwrap(), 6);
+        assert_eq!(mu(1, 9).unwrap(), 1);
+        assert_eq!(mu(16, 64).unwrap(), binomial(79, 15).unwrap());
+    }
+
+    #[test]
+    fn mu_rejects_empty_universe() {
+        assert!(matches!(mu(0, 3), Err(CountError::Domain { .. })));
+    }
+
+    #[test]
+    fn zeta_matches_definition() {
+        for k in 1..=5u64 {
+            for n in 1..=8u64 {
+                let direct: u128 = (1..=n).map(|j| mu(k, j).unwrap()).sum();
+                assert_eq!(zeta(k, n).unwrap(), direct);
+            }
+        }
+        assert_eq!(zeta(2, 3).unwrap(), 2 + 3 + 4);
+        assert_eq!(zeta(4, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn zeta_upper_estimate_from_paper() {
+        // The paper notes zeta_k(n) <= n * mu_k(n) since mu is increasing.
+        for k in 2..=6u64 {
+            for n in 1..=10u64 {
+                assert!(zeta(k, n).unwrap() <= u128::from(n) * mu(k, n).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn mu_monotone_in_both_arguments() {
+        for k in 2..=6u64 {
+            for n in 1..=10u64 {
+                assert!(mu(k, n).unwrap() < mu(k, n + 1).unwrap());
+                assert!(mu(k, n).unwrap() < mu(k + 1, n).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn log2_floor_and_ceil() {
+        assert_eq!(log2_floor(1), 0);
+        assert_eq!(log2_floor(2), 1);
+        assert_eq!(log2_floor(3), 1);
+        assert_eq!(log2_floor(4), 2);
+        assert_eq!(log2_floor(u128::MAX), 127);
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(4), 2);
+        assert_eq!(log2_ceil(5), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn log2_floor_zero_panics() {
+        let _ = log2_floor(0);
+    }
+
+    #[test]
+    fn log2_f64_accuracy() {
+        assert!((log2_f64(1024) - 10.0).abs() < 1e-12);
+        let big = u128::MAX;
+        assert!((log2_f64(big) - 128.0).abs() < 1e-9);
+        let c = binomial(128, 64).unwrap();
+        let expected = 124.1714; // log2 C(128,64)
+        assert!((log2_f64(c) - expected).abs() < 0.001, "{}", log2_f64(c));
+    }
+
+    #[test]
+    fn block_bits_examples() {
+        // k=2, n=7: mu = 8 -> 3 bits per block of 7 packets.
+        assert_eq!(block_bits(2, 7).unwrap(), 3);
+        // k=4, n=4: mu_4(4) = C(7,3) = 35 -> 5 bits.
+        assert_eq!(block_bits(4, 4).unwrap(), 5);
+        // Degenerate alphabets carry nothing.
+        assert!(matches!(block_bits(1, 5), Err(CountError::Domain { .. })));
+        assert!(matches!(block_bits(2, 0), Err(CountError::Domain { .. })));
+    }
+
+    #[test]
+    fn block_bits_is_floor_log() {
+        for k in 2..=8u64 {
+            for n in 1..=12u64 {
+                let m = mu(k, n).unwrap();
+                let b = block_bits(k, n).unwrap();
+                assert!(u128::from(2u64).pow(b) <= m);
+                assert!(u128::from(2u64).pow(b + 1) > m);
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Multisets over finite alphabets and the counting functions of
+//! Wang & Zuck's RSTP paper (§3).
+//!
+//! The paper's protocols encode blocks of binary messages as **multisets** of
+//! packets, because the bounded-delay channel may reorder any burst of
+//! packets whose delivery windows overlap — the multiset is exactly the
+//! information that survives reordering. Three objects from §3:
+//!
+//! * `multi_k(n)` — the set of multisets of size `n` over `{0, …, k-1}`;
+//!   its cardinality is `μ_k(n) = C(n+k-1, k-1)` ([`mu`]);
+//! * `ζ_k(n) = Σ_{j=1..n} μ_k(j)` — multisets of size between 1 and `n`
+//!   ([`zeta`]);
+//! * `toseq_k(n)` — a linearization of a multiset into a `k`-ary sequence,
+//!   and `tomulti_k(n)` — an injection from binary strings of length
+//!   `⌊log2 μ_k(n)⌋` into `multi_k(n)`. Both are realized here by an exact
+//!   lexicographic rank/unrank bijection ([`MultisetCodec`]).
+//!
+//! All counting is exact over checked `u128`; overflow is reported, never
+//! wrapped. For every parameter used by the experiments (`k ≤ 64`,
+//! `n ≤ 128`) the values fit comfortably.
+//!
+//! # Example
+//!
+//! ```
+//! use rstp_combinatorics::{mu, zeta, Multiset, MultisetCodec};
+//!
+//! // μ_2(3) = C(4,1) = 4 multisets of size 3 over {0,1}.
+//! assert_eq!(mu(2, 3).unwrap(), 4);
+//! // ζ_2(3) = μ_2(1) + μ_2(2) + μ_2(3) = 2 + 3 + 4.
+//! assert_eq!(zeta(2, 3).unwrap(), 9);
+//!
+//! // Rank/unrank is a bijection multi_k(n) <-> [0, μ_k(n)).
+//! let codec = MultisetCodec::new(2, 3).unwrap();
+//! for r in 0..4 {
+//!     let m: Multiset = codec.unrank(r).unwrap();
+//!     assert_eq!(codec.rank(&m).unwrap(), r);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod counting;
+pub mod iter;
+pub mod multiset;
+pub mod rank;
+
+pub use counting::{binomial, block_bits, log2_ceil, log2_f64, log2_floor, mu, zeta, CountError};
+pub use iter::MultisetIter;
+pub use multiset::Multiset;
+pub use rank::{MultisetCodec, RankError};

@@ -1,0 +1,260 @@
+//! The concrete action alphabet of RSTP systems (paper §4).
+//!
+//! A composed RSTP system `A = A_t ∘ A_r ∘ C(P)` uses:
+//!
+//! * `send(p)` / `recv(p)` for packets `p ∈ P = P^tr ∪ P^rt` — the
+//!   transmitter's data alphabet `P^tr = {0, …, k-1}` and the receiver's
+//!   acknowledgement alphabet `P^rt` (a single `ack` for `A^γ(k)`; tagged
+//!   acks for the alternating-bit baseline),
+//! * `write(m)` for messages `m ∈ M = {0, 1}` — the receiver's output tape,
+//! * the internal bookkeeping actions `wait_t` / `idle_t` / `idle_r` of the
+//!   figures.
+//!
+//! All protocol automata, the channel, and the simulator share this one
+//! action type, which is what makes them composable in the I/O-automata
+//! sense.
+
+use core::fmt;
+
+/// A message — the paper fixes `M = {0, 1}` (§4).
+pub type Message = bool;
+
+/// A packet on the channel.
+///
+/// `Data(s)` travels transmitter → receiver and carries a symbol
+/// `s ∈ {0, …, k-1}`; `Ack(t)` travels receiver → transmitter and carries a
+/// tag (always 0 for `A^γ(k)`, whose ack alphabet is a single packet; the
+/// alternating-bit baseline uses tags 0/1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Packet {
+    /// A data packet from the transmitter's alphabet `P^tr`.
+    Data(u64),
+    /// An acknowledgement from the receiver's alphabet `P^rt`.
+    Ack(u64),
+}
+
+impl Packet {
+    /// Whether this packet travels transmitter → receiver.
+    #[must_use]
+    pub const fn is_data(self) -> bool {
+        matches!(self, Packet::Data(_))
+    }
+
+    /// Whether this packet travels receiver → transmitter.
+    #[must_use]
+    pub const fn is_ack(self) -> bool {
+        matches!(self, Packet::Ack(_))
+    }
+
+    /// The carried symbol or tag.
+    #[must_use]
+    pub const fn symbol(self) -> u64 {
+        match self {
+            Packet::Data(s) | Packet::Ack(s) => s,
+        }
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Packet::Data(s) => write!(f, "data({s})"),
+            Packet::Ack(t) => write!(f, "ack({t})"),
+        }
+    }
+}
+
+/// The named internal actions of the paper's figures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InternalKind {
+    /// `wait_t` — the transmitter's counted idling between bursts
+    /// (Figures 1 and 3). Progress: it advances the round counter.
+    Wait,
+    /// `idle_t` / `idle_r` — true idling: enabled exactly when the process
+    /// has nothing else to do, with no effect (the processes must take a
+    /// local step at least every `c2`, so *something* must be enabled).
+    Idle,
+}
+
+/// One action of a composed RSTP system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RstpAction {
+    /// `send(p)`: output of the sending process, input of the channel.
+    Send(Packet),
+    /// `recv(p)`: output of the channel, input of the receiving process.
+    Recv(Packet),
+    /// `write(m)`: the receiver writes the next message onto `Y`.
+    Write(Message),
+    /// An internal action of the transmitter.
+    TransmitterInternal(InternalKind),
+    /// An internal action of the receiver.
+    ReceiverInternal(InternalKind),
+}
+
+impl RstpAction {
+    /// Whether this is a `send` of a data packet (the events whose last
+    /// occurrence defines the effort numerator, paper §4).
+    #[must_use]
+    pub const fn is_data_send(self) -> bool {
+        matches!(self, RstpAction::Send(Packet::Data(_)))
+    }
+
+    /// Whether this is any `send`.
+    #[must_use]
+    pub const fn is_send(self) -> bool {
+        matches!(self, RstpAction::Send(_))
+    }
+
+    /// Whether this is any `recv`.
+    #[must_use]
+    pub const fn is_recv(self) -> bool {
+        matches!(self, RstpAction::Recv(_))
+    }
+
+    /// Whether this is a `write`.
+    #[must_use]
+    pub const fn is_write(self) -> bool {
+        matches!(self, RstpAction::Write(_))
+    }
+
+    /// Whether this is a pure idle step (no state change, enabled only when
+    /// nothing else is). A process whose only enabled actions are idles is
+    /// *settled*: it will never act again unless an input arrives.
+    #[must_use]
+    pub const fn is_idle(self) -> bool {
+        matches!(
+            self,
+            RstpAction::TransmitterInternal(InternalKind::Idle)
+                | RstpAction::ReceiverInternal(InternalKind::Idle)
+        )
+    }
+
+    /// The packet carried by a `send`/`recv`, if any.
+    #[must_use]
+    pub const fn packet(self) -> Option<Packet> {
+        match self {
+            RstpAction::Send(p) | RstpAction::Recv(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RstpAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RstpAction::Send(p) => write!(f, "send({p})"),
+            RstpAction::Recv(p) => write!(f, "recv({p})"),
+            RstpAction::Write(m) => write!(f, "write({})", u8::from(*m)),
+            RstpAction::TransmitterInternal(InternalKind::Wait) => f.write_str("wait_t"),
+            RstpAction::TransmitterInternal(InternalKind::Idle) => f.write_str("idle_t"),
+            RstpAction::ReceiverInternal(InternalKind::Wait) => f.write_str("wait_r"),
+            RstpAction::ReceiverInternal(InternalKind::Idle) => f.write_str("idle_r"),
+        }
+    }
+}
+
+/// Which process an action belongs to, from the *system* point of view.
+///
+/// `send`s belong to the sending process, `recv`s to the channel (they are
+/// channel outputs / process inputs). Used by trace checkers to select each
+/// component's locally controlled events for the `Σ` step-bound property.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Owner {
+    /// A locally controlled event of the transmitter.
+    Transmitter,
+    /// A locally controlled event of the receiver.
+    Receiver,
+    /// A locally controlled event of the channel (deliveries).
+    Channel,
+}
+
+impl RstpAction {
+    /// The component that controls this action.
+    #[must_use]
+    pub const fn owner(self) -> Owner {
+        match self {
+            RstpAction::Send(Packet::Data(_)) | RstpAction::TransmitterInternal(_) => {
+                Owner::Transmitter
+            }
+            RstpAction::Send(Packet::Ack(_))
+            | RstpAction::Write(_)
+            | RstpAction::ReceiverInternal(_) => Owner::Receiver,
+            RstpAction::Recv(_) => Owner::Channel,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_direction_and_symbol() {
+        assert!(Packet::Data(3).is_data());
+        assert!(!Packet::Data(3).is_ack());
+        assert!(Packet::Ack(0).is_ack());
+        assert_eq!(Packet::Data(5).symbol(), 5);
+        assert_eq!(Packet::Ack(1).symbol(), 1);
+    }
+
+    #[test]
+    fn action_predicates() {
+        assert!(RstpAction::Send(Packet::Data(0)).is_data_send());
+        assert!(!RstpAction::Send(Packet::Ack(0)).is_data_send());
+        assert!(RstpAction::Send(Packet::Ack(0)).is_send());
+        assert!(RstpAction::Recv(Packet::Data(1)).is_recv());
+        assert!(RstpAction::Write(true).is_write());
+        assert!(RstpAction::ReceiverInternal(InternalKind::Idle).is_idle());
+        assert!(RstpAction::TransmitterInternal(InternalKind::Idle).is_idle());
+        assert!(!RstpAction::TransmitterInternal(InternalKind::Wait).is_idle());
+    }
+
+    #[test]
+    fn packet_extraction() {
+        assert_eq!(
+            RstpAction::Send(Packet::Data(2)).packet(),
+            Some(Packet::Data(2))
+        );
+        assert_eq!(RstpAction::Write(false).packet(), None);
+    }
+
+    #[test]
+    fn ownership() {
+        use Owner::*;
+        assert_eq!(RstpAction::Send(Packet::Data(0)).owner(), Transmitter);
+        assert_eq!(RstpAction::Send(Packet::Ack(0)).owner(), Receiver);
+        assert_eq!(RstpAction::Write(true).owner(), Receiver);
+        assert_eq!(RstpAction::Recv(Packet::Data(0)).owner(), Channel);
+        assert_eq!(RstpAction::Recv(Packet::Ack(0)).owner(), Channel);
+        assert_eq!(
+            RstpAction::TransmitterInternal(InternalKind::Wait).owner(),
+            Transmitter
+        );
+        assert_eq!(
+            RstpAction::ReceiverInternal(InternalKind::Idle).owner(),
+            Receiver
+        );
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(RstpAction::Send(Packet::Data(7)).to_string(), "send(data(7))");
+        assert_eq!(RstpAction::Recv(Packet::Ack(0)).to_string(), "recv(ack(0))");
+        assert_eq!(RstpAction::Write(true).to_string(), "write(1)");
+        assert_eq!(
+            RstpAction::TransmitterInternal(InternalKind::Wait).to_string(),
+            "wait_t"
+        );
+        assert_eq!(
+            RstpAction::ReceiverInternal(InternalKind::Idle).to_string(),
+            "idle_r"
+        );
+    }
+
+    #[test]
+    fn packets_order_deterministically() {
+        let mut v = vec![Packet::Ack(0), Packet::Data(2), Packet::Data(0)];
+        v.sort();
+        assert_eq!(v, vec![Packet::Data(0), Packet::Data(2), Packet::Ack(0)]);
+    }
+}

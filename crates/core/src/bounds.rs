@@ -1,0 +1,504 @@
+//! Closed-form effort bounds (paper §5 and §6).
+//!
+//! | function | paper result | formula |
+//! |---|---|---|
+//! | [`alpha_effort`] | §4 example | `δ1 · c2` per message |
+//! | [`passive_lower`] | Theorem 5.3 | `δ1 · c2 / log2 ζ_k(δ1)` |
+//! | [`passive_upper`] | §6.1 | `2 · δ1 · c2 / ⌊log2 μ_k(δ1)⌋` (effort of `A^β(k)`) |
+//! | [`active_lower`] | Theorem 5.6 | `d / log2 ζ_k(δ2)` |
+//! | [`active_upper`] | §6.2 | `(3d + c2) / ⌊log2 μ_k(δ2)⌋` (effort of `A^γ(k)`) |
+//!
+//! All bounds are returned as `f64` ticks-per-message. Logarithms of the
+//! (potentially astronomically large) counting functions are computed as
+//! sums of `f64` logs, so no bound ever overflows — [`log2_mu`] handles
+//! `k`, `δ` far beyond what exact `u128` counting allows, and agrees with
+//! exact counting to ~1e-10 relative error where both are defined.
+//!
+//! The passive/active **crossover** analysis (which protocol's guarantee is
+//! better for given parameters) is in [`compare_upper_bounds`] and
+//! [`crossover_ratio`]: `A^β` pays `2·δ1·c2 ≈ 2d·(c2/c1)·(c2/c1)⁻¹…` — in
+//! uncertainty terms, `2·d·(c2/c1)` per window versus `A^γ`'s flat `3d + c2`
+//! — so the active protocol wins once `c2/c1` is large enough (modulo the
+//! differing block sizes `δ1 ≥ δ2`).
+
+use crate::params::TimingParams;
+
+/// `log2 C(n, r)` as `f64`, overflow-free: `Σ_{i=1..r} log2((n-r+i)/i)`.
+///
+/// Returns `0.0` for `r = 0` or `r = n`, and `-inf`-free `0` convention is
+/// never needed because callers only use `r ≤ n`.
+///
+/// # Panics
+///
+/// Panics if `r > n` (the coefficient would be zero and its log undefined).
+#[must_use]
+pub fn log2_binomial(n: u64, r: u64) -> f64 {
+    assert!(r <= n, "log2_binomial: r = {r} > n = {n}");
+    let r = r.min(n - r);
+    (1..=r)
+        .map(|i| (((n - r + i) as f64) / (i as f64)).log2())
+        .sum()
+}
+
+/// `log2 μ_k(n) = log2 C(n+k-1, k-1)` as `f64` (paper §3).
+///
+/// # Panics
+///
+/// Panics if `k = 0`.
+#[must_use]
+pub fn log2_mu(k: u64, n: u64) -> f64 {
+    assert!(k >= 1, "log2_mu: k must be >= 1");
+    log2_binomial(n + k - 1, k - 1)
+}
+
+/// `log2 ζ_k(n) = log2 Σ_{j=1..n} μ_k(j)` as `f64`, via log-sum-exp so the
+/// sum never overflows.
+///
+/// # Panics
+///
+/// Panics if `k = 0` or `n = 0` (`ζ_k(0) = 0` has no logarithm).
+#[must_use]
+pub fn log2_zeta(k: u64, n: u64) -> f64 {
+    assert!(n >= 1, "log2_zeta: n must be >= 1");
+    let logs: Vec<f64> = (1..=n).map(|j| log2_mu(k, j)).collect();
+    let max = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let sum: f64 = logs.iter().map(|&l| (l - max).exp2()).sum();
+    max + sum.log2()
+}
+
+/// `⌊log2 μ_k(n)⌋` as a `u32`, the block length `b` of the §6 protocols.
+///
+/// Uses exact `u128` counting when it fits and falls back to the `f64`
+/// logarithm (with a guard band against the floor landing on a rounding
+/// error) beyond that.
+///
+/// # Panics
+///
+/// Panics if `μ_k(n) < 2` (no information; `k < 2` or `n = 0`).
+#[must_use]
+pub fn block_bits(k: u64, n: u64) -> u32 {
+    if let Ok(bits) = rstp_combinatorics::block_bits(k, n) {
+        return bits;
+    }
+    let l = log2_mu(k, n);
+    assert!(l >= 1.0, "block_bits: mu_{k}({n}) carries no information");
+    // mu values this large (> u128) put l >= 127, far from any plausible
+    // rounding-induced off-by-one at the floor.
+    l.floor() as u32
+}
+
+/// Effort of the simple r-passive protocol `A^α`: `δ1 · c2` ticks per
+/// message (paper §4: one message per round of `δ1` steps, each step at
+/// most `c2`).
+#[must_use]
+pub fn alpha_effort(params: TimingParams) -> f64 {
+    params.delta1() as f64 * params.c2().ticks() as f64
+}
+
+/// Theorem 5.3: every r-passive solution with `|P^tr| = k` has effort at
+/// least `δ1 · c2 / log2 ζ_k(δ1)`.
+#[must_use]
+pub fn passive_lower(params: TimingParams, k: u64) -> f64 {
+    let delta1 = params.delta1();
+    (delta1 as f64) * (params.c2().ticks() as f64) / log2_zeta(k, delta1)
+}
+
+/// §6.1: the effort of `A^β(k)` is at most
+/// `2 · δ1 · c2 / ⌊log2 μ_k(δ1)⌋`.
+#[must_use]
+pub fn passive_upper(params: TimingParams, k: u64) -> f64 {
+    let delta1 = params.delta1();
+    2.0 * (delta1 as f64) * (params.c2().ticks() as f64) / f64::from(block_bits(k, delta1))
+}
+
+/// Theorem 5.6: every active solution with `|P^tr| = k` has effort at least
+/// `d / log2 ζ_k(δ2)`.
+#[must_use]
+pub fn active_lower(params: TimingParams, k: u64) -> f64 {
+    (params.d().ticks() as f64) / log2_zeta(k, params.delta2())
+}
+
+/// §6.2: the effort of `A^γ(k)` is at most
+/// `(3d + c2) / ⌊log2 μ_k(δ2)⌋`.
+#[must_use]
+pub fn active_upper(params: TimingParams, k: u64) -> f64 {
+    let delta2 = params.delta2();
+    (3.0 * params.d().ticks() as f64 + params.c2().ticks() as f64)
+        / f64::from(block_bits(k, delta2))
+}
+
+/// Finite-`n` version of [`passive_upper`]: the exact worst-case effort
+/// sample of `A^β(k)` on an input of length `n`.
+///
+/// The asymptotic bound assumes `b | n`; a real input pays for
+/// `⌈n/b⌉` bursts, and the last send happens at local step
+/// `(blocks-1)·2δ1 + δ1 - 1` (0-based, first step at time 0), each step at
+/// most `c2`. As `n → ∞` this converges to [`passive_upper`] from either
+/// side of the divisibility boundary.
+///
+/// Returns 0 for `n = 0`.
+#[must_use]
+pub fn passive_upper_finite(params: TimingParams, k: u64, n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let delta1 = params.delta1();
+    let b = u64::from(block_bits(k, delta1));
+    let blocks = (n as u64).div_ceil(b);
+    let last_send_step = (blocks - 1) * 2 * delta1 + delta1 - 1;
+    (last_send_step * params.c2().ticks()) as f64 / n as f64
+}
+
+/// Finite-`n` version of [`active_upper`]: worst-case effort sample of
+/// `A^γ(k)` on an input of length `n` — `⌈n/b⌉` rounds of at most
+/// `3d + c2` wall-clock each (§6.2's per-round argument), divided by `n`.
+///
+/// Returns 0 for `n = 0`.
+#[must_use]
+pub fn active_upper_finite(params: TimingParams, k: u64, n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let delta2 = params.delta2();
+    let b = u64::from(block_bits(k, delta2));
+    let blocks = (n as u64).div_ceil(b);
+    let per_round = 3 * params.d().ticks() + params.c2().ticks();
+    (blocks * per_round) as f64 / n as f64
+}
+
+/// Which family's §6 protocol has the better (smaller) guaranteed effort.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// The r-passive `A^β(k)` guarantee is at least as good.
+    Passive,
+    /// The active `A^γ(k)` guarantee is strictly better.
+    Active,
+}
+
+/// Compares the §6 upper bounds for the same `k`: returns
+/// [`Family::Active`] iff `A^γ(k)`'s guarantee beats `A^β(k)`'s.
+#[must_use]
+pub fn compare_upper_bounds(params: TimingParams, k: u64) -> Family {
+    if active_upper(params, k) < passive_upper(params, k) {
+        Family::Active
+    } else {
+        Family::Passive
+    }
+}
+
+/// The smallest integer uncertainty ratio `c2/c1` (scanning `c2 = r·c1`,
+/// `r = 1, 2, …, max_ratio`) at which the active guarantee beats the
+/// passive one, holding `c1` and `d` fixed. `None` if the crossover does
+/// not occur within `max_ratio` (or `r·c1 > d` exits the parameter space
+/// first).
+#[must_use]
+pub fn crossover_ratio(c1: u64, d: u64, k: u64, max_ratio: u64) -> Option<u64> {
+    for r in 1..=max_ratio {
+        let c2 = r * c1;
+        if c2 > d {
+            return None;
+        }
+        let Ok(params) = TimingParams::from_ticks(c1, c2, d) else {
+            return None;
+        };
+        if compare_upper_bounds(params, k) == Family::Active {
+            return Some(r);
+        }
+    }
+    None
+}
+
+/// Capacity planning: the smallest alphabet size `k ∈ [2, max_k]` whose
+/// guaranteed effort (for the given family) meets `target_effort`
+/// ticks/message, or `None` if even `max_k` does not.
+///
+/// Inverts the §6 guarantees: effort falls monotonically in `k` (more
+/// symbols → more bits per burst), so a linear scan from 2 up finds the
+/// minimum. Typical use: "my packets can carry `B` bits, so `k ≤ 2^B` —
+/// what's the cheapest alphabet meeting my latency budget?"
+#[must_use]
+pub fn min_alphabet_for(
+    params: TimingParams,
+    family: Family,
+    target_effort: f64,
+    max_k: u64,
+) -> Option<u64> {
+    (2..=max_k).find(|&k| {
+        let bound = match family {
+            Family::Passive => passive_upper(params, k),
+            Family::Active => active_upper(params, k),
+        };
+        bound <= target_effort
+    })
+}
+
+/// The theoretical floor for a family at `k`: no alphabet of size `≤ k`
+/// can beat this (Theorems 5.3 / 5.6).
+#[must_use]
+pub fn family_lower(params: TimingParams, family: Family, k: u64) -> f64 {
+    match family {
+        Family::Passive => passive_lower(params, k),
+        Family::Active => active_lower(params, k),
+    }
+}
+
+/// One row of the effort-vs-`k` curve (experiment E6): the four bounds at a
+/// given alphabet size.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoundsRow {
+    /// Alphabet size.
+    pub k: u64,
+    /// Theorem 5.3 lower bound.
+    pub passive_lower: f64,
+    /// `A^β(k)` upper bound.
+    pub passive_upper: f64,
+    /// Theorem 5.6 lower bound.
+    pub active_lower: f64,
+    /// `A^γ(k)` upper bound.
+    pub active_upper: f64,
+}
+
+/// The effort-vs-`k` curve over `k ∈ ks` (experiment E6: "the larger `P`
+/// is, the less effort the solution requires", §6).
+#[must_use]
+pub fn effort_curve(params: TimingParams, ks: &[u64]) -> Vec<BoundsRow> {
+    ks.iter()
+        .map(|&k| BoundsRow {
+            k,
+            passive_lower: passive_lower(params, k),
+            passive_upper: passive_upper(params, k),
+            active_lower: active_lower(params, k),
+            active_upper: active_upper(params, k),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstp_combinatorics::{log2_f64, mu, zeta};
+
+    fn params() -> TimingParams {
+        TimingParams::from_ticks(2, 3, 12).unwrap() // δ1 = 6, δ2 = 4
+    }
+
+    #[test]
+    fn log2_binomial_matches_exact() {
+        for n in 1..=60u64 {
+            for r in 0..=n {
+                let exact = log2_f64(rstp_combinatorics::binomial(n, r).unwrap());
+                let approx = log2_binomial(n, r);
+                assert!(
+                    (exact - approx).abs() < 1e-9,
+                    "C({n},{r}): {exact} vs {approx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn log2_binomial_handles_huge_inputs() {
+        // C(2000, 1000) has ~1994 bits; exact u128 counting would overflow.
+        let l = log2_binomial(2000, 1000);
+        assert!(l > 1980.0 && l < 2000.0, "{l}");
+    }
+
+    #[test]
+    #[should_panic(expected = "r = 3 > n = 2")]
+    fn log2_binomial_domain() {
+        let _ = log2_binomial(2, 3);
+    }
+
+    #[test]
+    fn log2_mu_and_zeta_match_exact_counting() {
+        for k in 2..=8u64 {
+            for n in 1..=12u64 {
+                let exact_mu = log2_f64(mu(k, n).unwrap());
+                assert!((log2_mu(k, n) - exact_mu).abs() < 1e-9);
+                let exact_zeta = log2_f64(zeta(k, n).unwrap());
+                assert!(
+                    (log2_zeta(k, n) - exact_zeta).abs() < 1e-9,
+                    "zeta({k},{n})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_bits_agrees_with_exact_and_survives_overflow() {
+        assert_eq!(block_bits(2, 7), 3);
+        assert_eq!(block_bits(4, 4), 5);
+        // Far beyond u128: mu_64(1000) has thousands of bits.
+        let huge = block_bits(64, 1000);
+        assert!(huge > 128, "{huge}");
+        let expected = log2_mu(64, 1000).floor() as u32;
+        assert_eq!(huge, expected);
+    }
+
+    #[test]
+    fn alpha_effort_formula() {
+        // δ1 = 6, c2 = 3 -> 18 ticks per message.
+        assert!((alpha_effort(params()) - 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_bounds_below_upper_bounds() {
+        // The sandwich the paper proves: lower <= protocol effort <= upper,
+        // so in particular lower < upper for every parameter point.
+        for k in [2u64, 3, 4, 8, 16] {
+            for (c1, c2, d) in [(1, 1, 4), (1, 2, 8), (2, 3, 12), (1, 4, 16), (3, 5, 30)] {
+                let p = TimingParams::from_ticks(c1, c2, d).unwrap();
+                assert!(
+                    passive_lower(p, k) <= passive_upper(p, k),
+                    "passive k={k} {p}"
+                );
+                assert!(
+                    active_lower(p, k) <= active_upper(p, k),
+                    "active k={k} {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_factor_gap_is_bounded() {
+        // The paper: the §6 solutions are "only a constant factor worse"
+        // than the lower bounds. Check the ratio stays modest across a
+        // parameter sweep (the constant depends on zeta-vs-mu and the
+        // floor, empirically < 8 here).
+        for k in [2u64, 4, 16] {
+            for d in [8u64, 16, 64, 256] {
+                let p = TimingParams::from_ticks(1, 2, d).unwrap();
+                let ratio = passive_upper(p, k) / passive_lower(p, k);
+                assert!(ratio < 8.0, "passive ratio {ratio} at k={k}, d={d}");
+                let ratio = active_upper(p, k) / active_lower(p, k);
+                assert!(ratio < 16.0, "active ratio {ratio} at k={k}, d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn finite_bounds_converge_to_asymptotic() {
+        let p = params();
+        let k = 4;
+        for n in [1usize, 7, 64, 1000, 100_000] {
+            // The finite bound is within one block's slop of the
+            // asymptotic bound, from either side.
+            let fin = passive_upper_finite(p, k, n);
+            assert!(fin > 0.0);
+            let act = active_upper_finite(p, k, n);
+            assert!(act > 0.0);
+        }
+        let big = 10_000_000usize;
+        assert!(
+            (passive_upper_finite(p, k, big) - passive_upper(p, k)).abs()
+                / passive_upper(p, k)
+                < 0.01
+        );
+        assert!(
+            (active_upper_finite(p, k, big) - active_upper(p, k)).abs() / active_upper(p, k)
+                < 0.01
+        );
+        assert_eq!(passive_upper_finite(p, k, 0), 0.0);
+        assert_eq!(active_upper_finite(p, k, 0), 0.0);
+    }
+
+    #[test]
+    fn finite_passive_bound_accounts_for_padding_slop() {
+        // (c1, c2, d) = (1, 2, 8), k = 4: delta1 = 8, mu_4(8) = 165,
+        // b = 7. n = 240 is not a multiple of 7, so the finite bound
+        // exceeds the asymptotic one — the case that motivated this
+        // function.
+        let p = TimingParams::from_ticks(1, 2, 8).unwrap();
+        let fin = passive_upper_finite(p, 4, 240);
+        let asym = passive_upper(p, 4);
+        assert!(fin > asym, "fin {fin} !> asym {asym}");
+        assert!(fin < asym * 1.1);
+    }
+
+    #[test]
+    fn beta_beats_alpha_once_blocks_carry_more_than_two_bits() {
+        // alpha: delta1*c2 per bit; beta: 2*delta1*c2/b per bit. beta wins
+        // iff b > 2.
+        let p = TimingParams::from_ticks(1, 1, 8).unwrap(); // δ1 = 8
+        let b = block_bits(2, 8); // mu_2(8) = 9 -> 3 bits
+        assert_eq!(b, 3);
+        assert!(passive_upper(p, 2) < alpha_effort(p));
+        // With δ1 = 2: mu_2(2) = 3 -> 1 bit; alpha is better.
+        let p2 = TimingParams::from_ticks(4, 4, 8).unwrap();
+        assert_eq!(block_bits(2, p2.delta1()), 1);
+        assert!(passive_upper(p2, 2) > alpha_effort(p2));
+    }
+
+    #[test]
+    fn effort_decreases_in_k() {
+        // §6: "the larger P is, the least effort the solution requires".
+        let p = params();
+        let curve = effort_curve(p, &[2, 4, 8, 16, 32]);
+        for w in curve.windows(2) {
+            assert!(w[1].passive_upper <= w[0].passive_upper);
+            assert!(w[1].active_upper <= w[0].active_upper);
+            assert!(w[1].passive_lower <= w[0].passive_lower);
+            assert!(w[1].active_lower <= w[0].active_lower);
+        }
+    }
+
+    #[test]
+    fn active_wins_at_high_uncertainty() {
+        // c2/c1 = 1: passive's 2*δ1*c2 = 2*d*… is comparable to 3d; the
+        // passive guarantee (denominator log mu_k(δ1), larger block) wins
+        // or ties. At c2/c1 = 8 the passive bound inflates 8x and active
+        // must win.
+        let k = 4;
+        let even = TimingParams::from_ticks(1, 1, 16).unwrap();
+        let skewed = TimingParams::from_ticks(1, 8, 16).unwrap();
+        assert_eq!(compare_upper_bounds(even, k), Family::Passive);
+        assert_eq!(compare_upper_bounds(skewed, k), Family::Active);
+    }
+
+    #[test]
+    fn crossover_ratio_found_and_monotone_sensible() {
+        let r = crossover_ratio(1, 64, 4, 64).expect("crossover must exist");
+        assert!(r > 1, "active cannot win at ratio 1 here");
+        // Everything at or past the crossover stays active.
+        for ratio in r..=(r + 3).min(64) {
+            let p = TimingParams::from_ticks(1, ratio, 64).unwrap();
+            assert_eq!(compare_upper_bounds(p, 4), Family::Active);
+        }
+    }
+
+    #[test]
+    fn min_alphabet_scan() {
+        let p = params(); // δ1 = 6, δ2 = 4
+        // The k=2 passive guarantee is 2·6·3/2 = 18; asking for 18 should
+        // return 2, asking for something only a larger alphabet meets
+        // should return that k, and an impossible target returns None.
+        let at2 = passive_upper(p, 2);
+        assert_eq!(min_alphabet_for(p, Family::Passive, at2, 64), Some(2));
+        let at16 = passive_upper(p, 16);
+        let k = min_alphabet_for(p, Family::Passive, at16, 64).unwrap();
+        assert!(k <= 16 && passive_upper(p, k) <= at16);
+        if k > 2 {
+            assert!(passive_upper(p, k - 1) > at16);
+        }
+        assert_eq!(min_alphabet_for(p, Family::Passive, 0.0001, 64), None);
+        // Active family goes through the same scan.
+        let g = active_upper(p, 8);
+        let ka = min_alphabet_for(p, Family::Active, g, 64).unwrap();
+        assert!(active_upper(p, ka) <= g);
+    }
+
+    #[test]
+    fn family_lower_dispatch() {
+        let p = params();
+        assert_eq!(family_lower(p, Family::Passive, 4), passive_lower(p, 4));
+        assert_eq!(family_lower(p, Family::Active, 4), active_lower(p, 4));
+    }
+
+    #[test]
+    fn crossover_ratio_none_when_out_of_range() {
+        assert_eq!(crossover_ratio(1, 4, 2, 1), None);
+        // c2 exceeds d before any crossover.
+        assert_eq!(crossover_ratio(3, 6, 2, 10), None);
+    }
+}

@@ -1,0 +1,235 @@
+//! The real-time parameters `(c1, c2, d)` of RSTP (paper §1, §4).
+//!
+//! Every process takes a locally controlled step at least every `c1` and at
+//! most every `c2` time units; every packet is delivered within `d` of being
+//! sent. The paper fixes `0 < c1 ≤ c2 ≤ d`.
+//!
+//! Two derived step counts pervade the analysis:
+//!
+//! * `δ1 = d / c1` — the most steps a process can take in `d` time
+//!   ([`TimingParams::delta1`], rounded *up* for inexact division: a
+//!   protocol that must wait at least `d` needs `⌈d/c1⌉` steps of length
+//!   `≥ c1`),
+//! * `δ2 = d / c2` — the fewest steps a process takes in `d` time
+//!   ([`TimingParams::delta2`], rounded *down*, and at least 1).
+//!
+//! The paper's future-work section (§7) proposes replacing `d` by a delivery
+//! window `[d_lo, d_hi]` and giving each process its own step bounds; the
+//! extended parameter set lives in [`crate::ext`].
+
+use core::fmt;
+use rstp_automata::TimeDelta;
+
+/// A violation of the parameter constraints `0 < c1 ≤ c2 ≤ d`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParamError {
+    what: String,
+}
+
+impl ParamError {
+    pub(crate) fn new(what: impl Into<String>) -> Self {
+        ParamError { what: what.into() }
+    }
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid timing parameters: {}", self.what)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// The validated triple `(c1, c2, d)` with `0 < c1 ≤ c2 ≤ d`.
+///
+/// # Example
+///
+/// ```
+/// use rstp_core::TimingParams;
+///
+/// // c1 = 2, c2 = 3, d = 12  =>  delta1 = 6, delta2 = 4.
+/// let p = TimingParams::from_ticks(2, 3, 12).unwrap();
+/// assert_eq!(p.delta1(), 6);
+/// assert_eq!(p.delta2(), 4);
+///
+/// assert!(TimingParams::from_ticks(3, 2, 12).is_err()); // c1 > c2
+/// assert!(TimingParams::from_ticks(0, 2, 12).is_err()); // c1 = 0
+/// assert!(TimingParams::from_ticks(2, 3, 2).is_err());  // d < c2
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TimingParams {
+    c1: TimeDelta,
+    c2: TimeDelta,
+    d: TimeDelta,
+}
+
+impl TimingParams {
+    /// Validates and constructs the parameter triple.
+    ///
+    /// # Errors
+    ///
+    /// [`ParamError`] unless `0 < c1 ≤ c2 ≤ d`.
+    pub fn new(c1: TimeDelta, c2: TimeDelta, d: TimeDelta) -> Result<Self, ParamError> {
+        if c1.is_zero() {
+            return Err(ParamError::new("c1 must be positive"));
+        }
+        if c1 > c2 {
+            return Err(ParamError::new(format!("c1 = {c1} exceeds c2 = {c2}")));
+        }
+        if c2 > d {
+            return Err(ParamError::new(format!("c2 = {c2} exceeds d = {d}")));
+        }
+        Ok(TimingParams { c1, c2, d })
+    }
+
+    /// Convenience constructor from raw tick counts.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TimingParams::new`].
+    pub fn from_ticks(c1: u64, c2: u64, d: u64) -> Result<Self, ParamError> {
+        TimingParams::new(
+            TimeDelta::from_ticks(c1),
+            TimeDelta::from_ticks(c2),
+            TimeDelta::from_ticks(d),
+        )
+    }
+
+    /// The minimum time between consecutive local steps of a process.
+    #[must_use]
+    pub fn c1(self) -> TimeDelta {
+        self.c1
+    }
+
+    /// The maximum time between consecutive local steps of a process.
+    #[must_use]
+    pub fn c2(self) -> TimeDelta {
+        self.c2
+    }
+
+    /// The maximum packet delivery delay.
+    #[must_use]
+    pub fn d(self) -> TimeDelta {
+        self.d
+    }
+
+    /// `δ1 = ⌈d / c1⌉` — the most steps a process can take in `d` time;
+    /// equivalently, the fewest `c1`-spaced steps spanning at least `d`.
+    ///
+    /// Equals the paper's `d/c1` whenever `c1` divides `d`.
+    #[must_use]
+    pub fn delta1(self) -> u64 {
+        self.d.div_ceil(self.c1)
+    }
+
+    /// `δ2 = max(1, ⌊d / c2⌋)` — the fewest steps a process takes in `d`
+    /// time. Equals the paper's `d/c2` whenever `c2` divides `d` (and since
+    /// `c2 ≤ d`, the value is at least 1 before clamping).
+    #[must_use]
+    pub fn delta2(self) -> u64 {
+        (self.d.div_floor(self.c2)).max(1)
+    }
+
+    /// The timing-uncertainty ratio `c2 / c1` as a float — the quantity that
+    /// governs the passive-vs-active crossover (passive pays `Θ(δ1·c2)` =
+    /// `Θ(d · c2/c1)` per burst window, active pays `Θ(d)`).
+    #[must_use]
+    pub fn uncertainty_ratio(self) -> f64 {
+        self.c2.ticks() as f64 / self.c1.ticks() as f64
+    }
+
+    /// Uniformly rescales all three constants (bounds are homogeneous of
+    /// degree 1, so this changes effort by exactly `factor`).
+    ///
+    /// # Errors
+    ///
+    /// [`ParamError`] if `factor` is zero (the triple would degenerate).
+    pub fn scaled(self, factor: u64) -> Result<Self, ParamError> {
+        if factor == 0 {
+            return Err(ParamError::new("scale factor must be positive"));
+        }
+        TimingParams::new(self.c1 * factor, self.c2 * factor, self.d * factor)
+    }
+}
+
+impl fmt::Display for TimingParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "c1={}, c2={}, d={} (δ1={}, δ2={})",
+            self.c1.ticks(),
+            self.c2.ticks(),
+            self.d.ticks(),
+            self.delta1(),
+            self.delta2()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_paper_constraints() {
+        let p = TimingParams::from_ticks(1, 1, 1).unwrap(); // c1 = c2 = d allowed
+        assert_eq!(p.delta1(), 1);
+        assert_eq!(p.delta2(), 1);
+        let p = TimingParams::from_ticks(2, 5, 20).unwrap();
+        assert_eq!(p.c1().ticks(), 2);
+        assert_eq!(p.c2().ticks(), 5);
+        assert_eq!(p.d().ticks(), 20);
+    }
+
+    #[test]
+    fn rejects_violations() {
+        assert!(TimingParams::from_ticks(0, 1, 2).is_err());
+        assert!(TimingParams::from_ticks(2, 1, 2).is_err());
+        assert!(TimingParams::from_ticks(1, 3, 2).is_err());
+        let e = TimingParams::from_ticks(2, 1, 2).unwrap_err();
+        assert!(e.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn deltas_exact_division() {
+        let p = TimingParams::from_ticks(2, 4, 12).unwrap();
+        assert_eq!(p.delta1(), 6); // 12/2
+        assert_eq!(p.delta2(), 3); // 12/4
+    }
+
+    #[test]
+    fn deltas_inexact_division() {
+        let p = TimingParams::from_ticks(5, 7, 12).unwrap();
+        assert_eq!(p.delta1(), 3); // ceil(12/5)
+        assert_eq!(p.delta2(), 1); // floor(12/7)
+    }
+
+    #[test]
+    fn delta2_is_at_least_one() {
+        let p = TimingParams::from_ticks(1, 7, 7).unwrap();
+        assert_eq!(p.delta2(), 1);
+    }
+
+    #[test]
+    fn uncertainty_ratio() {
+        let p = TimingParams::from_ticks(2, 8, 16).unwrap();
+        assert!((p.uncertainty_ratio() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_preserves_deltas() {
+        let p = TimingParams::from_ticks(2, 3, 12).unwrap();
+        let q = p.scaled(10).unwrap();
+        assert_eq!(q.c1().ticks(), 20);
+        assert_eq!(q.d().ticks(), 120);
+        assert_eq!(p.delta1(), q.delta1());
+        assert_eq!(p.delta2(), q.delta2());
+        assert!(p.scaled(0).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let p = TimingParams::from_ticks(2, 3, 12).unwrap();
+        assert_eq!(p.to_string(), "c1=2, c2=3, d=12 (δ1=6, δ2=4)");
+    }
+}

@@ -1,0 +1,118 @@
+//! Per-run counters and the effort estimate.
+//!
+//! Effort (paper §4) is `sup-lim_{n→∞} max { t(last-send(η)) : η ∈
+//! good(A(n)) } / n`. A single run yields the sample `t(last-send)/n`;
+//! the harness maximizes over an adversary sweep and over growing `n` to
+//! approximate the sup-lim.
+
+use rstp_automata::Time;
+
+/// Counters accumulated online by the [`crate::runner`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunMetrics {
+    /// `send(data(·))` events — the transmitter's packet count.
+    pub data_sends: u64,
+    /// `send(ack(·))` events — the receiver's packet count (0 for
+    /// r-passive protocols).
+    pub ack_sends: u64,
+    /// `recv(·)` events (deliveries of either direction).
+    pub deliveries: u64,
+    /// `write(·)` events — `|Y|`.
+    pub writes: u64,
+    /// `wait_t` steps (counted idling).
+    pub wait_steps: u64,
+    /// Pure idle steps (both processes).
+    pub idle_steps: u64,
+    /// Local steps taken by the transmitter.
+    pub transmitter_steps: u64,
+    /// Local steps taken by the receiver.
+    pub receiver_steps: u64,
+    /// Packets dropped by a faulty delivery adversary.
+    pub drops: u64,
+    /// Extra copies injected by a faulty delivery adversary.
+    pub duplicates: u64,
+    /// Time of the last data send, the effort numerator.
+    pub last_data_send: Option<Time>,
+    /// Time of the last write — receiver-side completion.
+    pub last_write: Option<Time>,
+    /// Time of the final processed event.
+    pub end_time: Time,
+}
+
+impl RunMetrics {
+    /// The effort sample `t(last-send) / n` in ticks per message, or `None`
+    /// if nothing was sent or `n = 0`.
+    #[must_use]
+    pub fn effort(&self, n: usize) -> Option<f64> {
+        if n == 0 {
+            return None;
+        }
+        self.last_data_send
+            .map(|t| t.ticks() as f64 / n as f64)
+    }
+
+    /// Receiver-side latency analogue: `t(last-write) / n` — "the average
+    /// time it takes the receiver to learn a message" of the paper's
+    /// abstract, measured at the output tape.
+    #[must_use]
+    pub fn learn_effort(&self, n: usize) -> Option<f64> {
+        if n == 0 {
+            return None;
+        }
+        self.last_write.map(|t| t.ticks() as f64 / n as f64)
+    }
+
+    /// Total packets put on the channel (data + acks + injected copies).
+    #[must_use]
+    pub fn total_sends(&self) -> u64 {
+        self.data_sends + self.ack_sends + self.duplicates
+    }
+
+    /// Packet overhead per message: channel packets divided by writes.
+    #[must_use]
+    pub fn packets_per_message(&self) -> Option<f64> {
+        if self.writes == 0 {
+            None
+        } else {
+            Some(self.total_sends() as f64 / self.writes as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_requires_sends_and_positive_n() {
+        let mut m = RunMetrics::default();
+        assert_eq!(m.effort(10), None);
+        m.last_data_send = Some(Time::from_ticks(120));
+        assert_eq!(m.effort(0), None);
+        assert!((m.effort(10).unwrap() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn learn_effort_uses_last_write() {
+        let m = RunMetrics {
+            last_write: Some(Time::from_ticks(200)),
+            ..RunMetrics::default()
+        };
+        assert!((m.learn_effort(10).unwrap() - 20.0).abs() < 1e-12);
+        assert_eq!(m.learn_effort(0), None);
+    }
+
+    #[test]
+    fn packet_accounting() {
+        let m = RunMetrics {
+            data_sends: 10,
+            ack_sends: 10,
+            duplicates: 2,
+            writes: 8,
+            ..RunMetrics::default()
+        };
+        assert_eq!(m.total_sends(), 22);
+        assert!((m.packets_per_message().unwrap() - 2.75).abs() < 1e-12);
+        assert_eq!(RunMetrics::default().packets_per_message(), None);
+    }
+}

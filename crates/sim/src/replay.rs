@@ -1,0 +1,175 @@
+//! Trace replay through the composed formal automaton.
+//!
+//! A [`SimTrace`] claims to be a timed behavior of `A_t ∘ A_r ∘ C(P)`.
+//! [`replay_trace`] *proves* the untimed half of that claim by stepping the
+//! actual composed I/O automaton through every recorded action — if any
+//! step is rejected, the trace (or the simulator) is wrong. Combined with
+//! [`crate::checker::check_trace`] (the timed half: `Σ`, `Δ`, safety,
+//! liveness), a passing trace is a verified `good(A)` behavior.
+//!
+//! This is the library form of what the integration test-suite does for
+//! every protocol; it is public so downstream users can validate traces of
+//! their own automata, or re-validate stored traces.
+
+use crate::trace::SimTrace;
+use core::fmt;
+use rstp_automata::{Automaton, Compose};
+use rstp_core::{Channel, RstpAction};
+
+/// A replay failure: the composed automaton rejected a recorded event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplayError {
+    /// Index of the offending event.
+    pub index: usize,
+    /// The action that was rejected.
+    pub action: String,
+    /// The automaton's rejection reason.
+    pub cause: String,
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "event {} ({}) rejected by the composed automaton: {}",
+            self.index, self.action, self.cause
+        )
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Statistics from a successful replay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Replay {
+    /// Events replayed.
+    pub events: usize,
+    /// Whether the transmitter is quiescent (no enabled local action) at
+    /// the end.
+    pub transmitter_quiescent: bool,
+    /// Packets still in flight at the end (0 for completed runs).
+    pub in_flight: usize,
+}
+
+/// Replays every event of `trace` through `transmitter ∘ receiver ∘ C(P)`.
+///
+/// # Errors
+///
+/// [`ReplayError`] at the first rejected event.
+pub fn replay_trace<T, R>(
+    transmitter: T,
+    receiver: R,
+    trace: &SimTrace,
+) -> Result<Replay, ReplayError>
+where
+    T: Automaton<Action = RstpAction>,
+    R: Automaton<Action = RstpAction>,
+{
+    let system = Compose::new(Compose::new(transmitter, receiver), Channel::new());
+    let mut state = system.initial_state();
+    for (index, event) in trace.events().iter().enumerate() {
+        state = system
+            .step(&state, &event.action)
+            .map_err(|e| ReplayError {
+                index,
+                action: event.action.to_string(),
+                cause: e.to_string(),
+            })?;
+    }
+    let ((t_state, _), channel_state) = &state;
+    Ok(Replay {
+        events: trace.len(),
+        transmitter_quiescent: system.left().left().enabled(t_state).is_empty(),
+        in_flight: channel_state.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{DeliveryPolicy, StepPolicy};
+    use crate::harness::{random_input, run_configured, ProtocolKind, RunConfig};
+    use rstp_automata::Time;
+    use rstp_core::protocols::{AlphaReceiver, AlphaTransmitter};
+    use rstp_core::{Packet, TimingParams};
+
+    fn params() -> TimingParams {
+        TimingParams::from_ticks(1, 2, 6).unwrap()
+    }
+
+    #[test]
+    fn simulated_traces_replay_cleanly() {
+        let p = params();
+        let input = random_input(20, 3);
+        let out = run_configured(
+            &RunConfig {
+                kind: ProtocolKind::Alpha,
+                params: p,
+                step: StepPolicy::Alternate,
+                delivery: DeliveryPolicy::Random { seed: 4 },
+                ..RunConfig::default()
+            },
+            &input,
+        )
+        .unwrap();
+        let replay = replay_trace(
+            AlphaTransmitter::new(p, input.clone()),
+            AlphaReceiver::new(),
+            &out.trace,
+        )
+        .unwrap();
+        assert_eq!(replay.events, out.trace.len());
+        assert!(replay.transmitter_quiescent);
+        assert_eq!(replay.in_flight, 0);
+    }
+
+    #[test]
+    fn tampered_traces_are_rejected() {
+        let p = params();
+        let input = vec![true];
+        let out = run_configured(
+            &RunConfig {
+                kind: ProtocolKind::Alpha,
+                params: p,
+                ..RunConfig::default()
+            },
+            &input,
+        )
+        .unwrap();
+        // Tamper: claim a delivery that never had a matching send.
+        let mut tampered = out.trace.clone();
+        tampered.push(Time::from_ticks(999), RstpAction::Recv(Packet::Data(0)));
+        let err = replay_trace(
+            AlphaTransmitter::new(p, input.clone()),
+            AlphaReceiver::new(),
+            &tampered,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("rejected"), "{err}");
+        assert_eq!(err.index, out.trace.len());
+    }
+
+    #[test]
+    fn wrong_input_transmitter_rejects_the_trace() {
+        let p = params();
+        let input = vec![true, true];
+        let out = run_configured(
+            &RunConfig {
+                kind: ProtocolKind::Alpha,
+                params: p,
+                ..RunConfig::default()
+            },
+            &input,
+        )
+        .unwrap();
+        // Replaying against a transmitter holding a *different* X must
+        // fail at the first send of a mismatched bit.
+        let err = replay_trace(
+            AlphaTransmitter::new(p, vec![false, false]),
+            AlphaReceiver::new(),
+            &out.trace,
+        )
+        .unwrap_err();
+        assert_eq!(err.index, 0);
+    }
+}

@@ -1,0 +1,369 @@
+//! Scripted adversaries and exhaustive schedule-space verification.
+//!
+//! The policy adversaries of [`crate::adversary`] sample the schedule
+//! space; for *small* instances the space can be enumerated outright:
+//! every assignment of a delivery delay from a finite menu to every
+//! packet, crossed with the extreme step schedules. [`verify_all_delay_schedules`]
+//! does exactly that — a bounded model check of a protocol over the
+//! delivery-timing adversary, far stronger evidence than sampling.
+//!
+//! [`ScriptedSteps`] and [`ScriptedDelays`] are also exported on their own:
+//! they let tests (and bug reproducers) pin an exact timed execution.
+
+use crate::adversary::{DeliveryAdversary, Disposition, StepAdversary};
+use crate::checker::{check_trace, CheckConfig};
+use crate::runner::{Outcome, SimError, SimSettings, Simulation};
+use rstp_automata::{Automaton, Time, TimeDelta};
+use rstp_core::{Message, Owner, Packet, RstpAction, TimingParams};
+
+/// A step adversary that replays fixed per-process gap scripts, repeating
+/// the final entry forever (an empty script pins every gap to `fallback`).
+#[derive(Clone, Debug)]
+pub struct ScriptedSteps {
+    transmitter: Vec<TimeDelta>,
+    receiver: Vec<TimeDelta>,
+    fallback: TimeDelta,
+}
+
+impl ScriptedSteps {
+    /// Creates the scripted adversary. `fallback` is used when a script
+    /// runs out (and must itself lie in `[c1, c2]`).
+    #[must_use]
+    pub fn new(
+        transmitter: Vec<TimeDelta>,
+        receiver: Vec<TimeDelta>,
+        fallback: TimeDelta,
+    ) -> Self {
+        ScriptedSteps {
+            transmitter,
+            receiver,
+            fallback,
+        }
+    }
+}
+
+impl StepAdversary for ScriptedSteps {
+    fn next_gap(&mut self, owner: Owner, step_index: u64) -> TimeDelta {
+        let script = match owner {
+            Owner::Transmitter => &self.transmitter,
+            _ => &self.receiver,
+        };
+        script
+            .get(usize::try_from(step_index).unwrap_or(usize::MAX))
+            .copied()
+            .unwrap_or(self.fallback)
+    }
+}
+
+/// A delivery adversary that assigns the `i`-th sent packet the `i`-th
+/// scripted delay, repeating the final entry (or `fallback`) beyond the
+/// script's end.
+#[derive(Clone, Debug)]
+pub struct ScriptedDelays {
+    delays: Vec<TimeDelta>,
+    fallback: TimeDelta,
+}
+
+impl ScriptedDelays {
+    /// Creates the scripted adversary.
+    #[must_use]
+    pub fn new(delays: Vec<TimeDelta>, fallback: TimeDelta) -> Self {
+        ScriptedDelays { delays, fallback }
+    }
+}
+
+impl DeliveryAdversary for ScriptedDelays {
+    fn dispose(&mut self, _packet: Packet, _send_time: Time, send_index: u64) -> Disposition {
+        let delay = self
+            .delays
+            .get(usize::try_from(send_index).unwrap_or(usize::MAX))
+            .copied()
+            .unwrap_or(self.fallback);
+        Disposition::Deliver(delay)
+    }
+}
+
+/// One counterexample from [`verify_all_delay_schedules`].
+#[derive(Clone, Debug)]
+pub struct ScheduleCounterexample {
+    /// The per-packet delays (ticks) that broke the protocol.
+    pub delays: Vec<u64>,
+    /// The step gap (ticks) used for both processes.
+    pub step_gap: u64,
+    /// What went wrong.
+    pub reason: String,
+}
+
+/// Statistics from an exhaustive schedule verification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScheduleVerification {
+    /// Total (step-gap, delay-assignment) schedules checked.
+    pub schedules: u64,
+    /// Total packets per run (the exponent's base count).
+    pub packets: usize,
+}
+
+/// Exhaustively verifies a protocol pair over **every** assignment of a
+/// delay from `delay_menu` to each of the run's packets, crossed with both
+/// extreme step schedules (`c1`-paced and `c2`-paced).
+///
+/// `make` builds a fresh transmitter/receiver pair per run. The number of
+/// packets is probed with a first run; the full check costs
+/// `2 · |menu|^packets` simulations, so keep instances tiny (≤ ~6 packets
+/// with a 3-delay menu ≈ 1458 runs).
+///
+/// # Errors
+///
+/// Returns the first [`ScheduleCounterexample`] (a schedule under which the
+/// run fails to deliver `X` exactly, or violates `good(A)`), or a
+/// [`SimError`] string if the simulation itself breaks.
+pub fn verify_all_delay_schedules<T, R, F>(
+    params: TimingParams,
+    input: &[Message],
+    delay_menu: &[u64],
+    make: F,
+) -> Result<ScheduleVerification, Box<ScheduleCounterexample>>
+where
+    T: Automaton<Action = RstpAction>,
+    R: Automaton<Action = RstpAction>,
+    F: Fn() -> (T, R),
+{
+    assert!(!delay_menu.is_empty(), "delay menu must be nonempty");
+    assert!(
+        delay_menu.iter().all(|&d| d <= params.d().ticks()),
+        "delay menu exceeds d"
+    );
+
+    // Probe run to count packets.
+    let packets = {
+        let (t, r) = make();
+        run_once(params, t, r, input, params.c2().ticks(), &[], delay_menu[0]).map_err(|e| {
+            Box::new(ScheduleCounterexample {
+                delays: vec![],
+                step_gap: params.c2().ticks(),
+                reason: e,
+            })
+        })?
+    };
+
+    let mut schedules = 0u64;
+    let mut assignment = vec![0usize; packets];
+    for &gap in &[params.c1().ticks(), params.c2().ticks()] {
+        loop {
+            let delays: Vec<u64> = assignment.iter().map(|&i| delay_menu[i]).collect();
+            let (t, r) = make();
+            run_once(params, t, r, input, gap, &delays, delay_menu[0]).map_err(|reason| {
+                Box::new(ScheduleCounterexample {
+                    delays: delays.clone(),
+                    step_gap: gap,
+                    reason,
+                })
+            })?;
+            schedules += 1;
+            // Next assignment (odometer).
+            let mut i = 0;
+            loop {
+                if i == assignment.len() {
+                    break;
+                }
+                assignment[i] += 1;
+                if assignment[i] < delay_menu.len() {
+                    break;
+                }
+                assignment[i] = 0;
+                i += 1;
+            }
+            if i == assignment.len() {
+                break; // odometer wrapped: done with this gap
+            }
+        }
+    }
+    Ok(ScheduleVerification { schedules, packets })
+}
+
+/// Runs one scripted schedule; returns the packet count on success or a
+/// failure description.
+fn run_once<T, R>(
+    params: TimingParams,
+    transmitter: T,
+    receiver: R,
+    input: &[Message],
+    gap: u64,
+    delays: &[u64],
+    fallback_delay: u64,
+) -> Result<usize, String>
+where
+    T: Automaton<Action = RstpAction>,
+    R: Automaton<Action = RstpAction>,
+{
+    let sim = Simulation::new(
+        transmitter,
+        receiver,
+        SimSettings {
+            max_events: 1_000_000,
+            ..SimSettings::from_params(params)
+        },
+    );
+    let mut steps = ScriptedSteps::new(vec![], vec![], TimeDelta::from_ticks(gap));
+    let mut deliveries = ScriptedDelays::new(
+        delays.iter().map(|&d| TimeDelta::from_ticks(d)).collect(),
+        TimeDelta::from_ticks(fallback_delay),
+    );
+    let run = sim
+        .run(input, &mut steps, &mut deliveries)
+        .map_err(|e: SimError| e.to_string())?;
+    if run.outcome != Outcome::Quiescent {
+        return Err("budget exhausted".into());
+    }
+    let report = check_trace(&run.trace, &CheckConfig::from_params(params));
+    if !report.all_good() {
+        return Err(report.to_string());
+    }
+    if run.trace.written() != input {
+        return Err(format!(
+            "wrote {:?}, expected {:?}",
+            run.trace.written(),
+            input
+        ));
+    }
+    Ok(run.metrics.data_sends as usize + run.metrics.ack_sends as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstp_core::protocols::{
+        AlphaReceiver, AlphaTransmitter, BetaReceiver, BetaTransmitter, GammaReceiver,
+        GammaTransmitter,
+    };
+
+    #[test]
+    fn scripted_steps_replay_and_fall_back() {
+        let mut s = ScriptedSteps::new(
+            vec![TimeDelta::from_ticks(1), TimeDelta::from_ticks(2)],
+            vec![],
+            TimeDelta::from_ticks(9),
+        );
+        assert_eq!(s.next_gap(Owner::Transmitter, 0).ticks(), 1);
+        assert_eq!(s.next_gap(Owner::Transmitter, 1).ticks(), 2);
+        assert_eq!(s.next_gap(Owner::Transmitter, 2).ticks(), 9);
+        assert_eq!(s.next_gap(Owner::Receiver, 0).ticks(), 9);
+    }
+
+    #[test]
+    fn scripted_delays_replay_in_send_order() {
+        let mut d = ScriptedDelays::new(
+            vec![TimeDelta::from_ticks(3)],
+            TimeDelta::from_ticks(0),
+        );
+        assert_eq!(
+            d.dispose(Packet::Data(0), Time::ZERO, 0),
+            Disposition::Deliver(TimeDelta::from_ticks(3))
+        );
+        assert_eq!(
+            d.dispose(Packet::Data(0), Time::ZERO, 1),
+            Disposition::Deliver(TimeDelta::from_ticks(0))
+        );
+    }
+
+    #[test]
+    fn alpha_survives_every_delay_schedule() {
+        // 3 messages, δ1 = 2 -> 3 packets; menu {0, d/2, d} -> 2·27 runs.
+        let p = TimingParams::from_ticks(2, 3, 4).unwrap();
+        let input = vec![true, false, true];
+        let v = verify_all_delay_schedules(p, &input, &[0, 2, 4], || {
+            (
+                AlphaTransmitter::new(p, input.clone()),
+                AlphaReceiver::new(),
+            )
+        })
+        .unwrap();
+        assert_eq!(v.packets, 3);
+        assert_eq!(v.schedules, 2 * 27);
+    }
+
+    #[test]
+    fn beta_survives_every_delay_schedule() {
+        // δ1 = 2, k = 3: μ_3(2) = 6 -> 2 bits per burst of 2; 4 bits ->
+        // 2 bursts = 4 packets; menu {0, 2, 4} -> 2·81 runs.
+        let p = TimingParams::from_ticks(2, 3, 4).unwrap();
+        let input = vec![true, false, false, true];
+        let v = verify_all_delay_schedules(p, &input, &[0, 2, 4], || {
+            (
+                BetaTransmitter::new(p, 3, &input).unwrap(),
+                BetaReceiver::new(p, 3, input.len()).unwrap(),
+            )
+        })
+        .unwrap();
+        assert_eq!(v.packets, 4);
+        assert_eq!(v.schedules, 2 * 81);
+    }
+
+    #[test]
+    fn gamma_survives_every_delay_schedule() {
+        // δ2 = 1, k = 4: 2 bits per burst of 1; 2 bits -> 1 data + 1 ack;
+        // menu of 3 -> 2·9 runs.
+        let p = TimingParams::from_ticks(2, 3, 4).unwrap();
+        let input = vec![true, false];
+        let v = verify_all_delay_schedules(p, &input, &[0, 1, 4], || {
+            (
+                GammaTransmitter::new(p, 4, &input).unwrap(),
+                GammaReceiver::new(p, 4, input.len()).unwrap(),
+            )
+        })
+        .unwrap();
+        assert_eq!(v.packets, 2);
+        assert_eq!(v.schedules, 2 * 9);
+    }
+
+    #[test]
+    fn out_of_window_delivery_is_a_model_violation() {
+        // A scripted delay beyond d must be rejected by the runner, not
+        // silently accepted.
+        let p = TimingParams::from_ticks(1, 1, 3).unwrap();
+        let input = vec![true];
+        let sim = Simulation::new(
+            AlphaTransmitter::new(p, input.clone()),
+            AlphaReceiver::new(),
+            SimSettings::from_params(p),
+        );
+        let mut steps = ScriptedSteps::new(vec![], vec![], TimeDelta::from_ticks(1));
+        let mut delays = ScriptedDelays::new(vec![TimeDelta::from_ticks(99)], TimeDelta::ZERO);
+        let err = sim.run(&input, &mut steps, &mut delays).unwrap_err();
+        assert!(
+            err.to_string().contains("delivery delay"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_step_gap_is_a_model_violation() {
+        let p = TimingParams::from_ticks(2, 3, 6).unwrap();
+        let input = vec![true];
+        let sim = Simulation::new(
+            AlphaTransmitter::new(p, input.clone()),
+            AlphaReceiver::new(),
+            SimSettings::from_params(p),
+        );
+        // Gap 1 < c1 = 2.
+        let mut steps = ScriptedSteps::new(vec![], vec![], TimeDelta::from_ticks(1));
+        let mut delays = ScriptedDelays::new(vec![], TimeDelta::ZERO);
+        let err = sim.run(&input, &mut steps, &mut delays).unwrap_err();
+        assert!(err.to_string().contains("step gap"), "{err}");
+    }
+
+    #[test]
+    fn menu_validation() {
+        let p = TimingParams::from_ticks(1, 1, 2).unwrap();
+        let input = vec![true];
+        let result = std::panic::catch_unwind(|| {
+            let _ = verify_all_delay_schedules(p, &input, &[99], || {
+                (
+                    AlphaTransmitter::new(p, input.clone()),
+                    AlphaReceiver::new(),
+                )
+            });
+        });
+        assert!(result.is_err(), "menu beyond d must be rejected");
+    }
+}

@@ -1,0 +1,140 @@
+//! Multi-seed effort statistics.
+//!
+//! The paper's effort is a worst case over `good(A)`; in practice one also
+//! wants the *distribution* under randomized schedules — how far typical
+//! runs sit from the adversarial ceiling. [`effort_distribution`] runs a
+//! protocol across many seeded random schedules and summarizes.
+
+use crate::adversary::{DeliveryPolicy, StepPolicy};
+use crate::harness::{random_input, run_configured, HarnessError, ProtocolKind, RunConfig};
+use core::fmt;
+use rstp_core::TimingParams;
+
+/// Summary statistics of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Summarizes a nonempty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    #[must_use]
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize zero samples");
+        let count = samples.len();
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &s in samples {
+            min = min.min(s);
+            max = max.max(s);
+            sum += s;
+        }
+        let mean = sum / count as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / count as f64;
+        Summary {
+            count,
+            min,
+            max,
+            mean,
+            stddev: var.sqrt(),
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} min={:.3} mean={:.3} max={:.3} σ={:.3}",
+            self.count, self.min, self.mean, self.max, self.stddev
+        )
+    }
+}
+
+/// Runs `kind` on a fresh random input and random schedule per seed, and
+/// summarizes the effort samples. Every run is checker-verified.
+///
+/// # Errors
+///
+/// [`HarnessError`] if any run fails or a trace violates `good(A)`.
+pub fn effort_distribution(
+    kind: ProtocolKind,
+    params: TimingParams,
+    n: usize,
+    seeds: core::ops::Range<u64>,
+) -> Result<Summary, HarnessError> {
+    let mut samples = Vec::with_capacity(seeds.clone().count());
+    for seed in seeds {
+        let input = random_input(n, seed);
+        let out = run_configured(
+            &RunConfig {
+                kind,
+                params,
+                step: StepPolicy::Random { seed },
+                delivery: DeliveryPolicy::Random { seed: seed ^ 0xD15C },
+                ..RunConfig::default()
+            },
+            &input,
+        )?;
+        debug_assert!(out.report.all_good(), "{}", out.report);
+        samples.push(out.metrics.effort(n).unwrap_or(0.0));
+    }
+    Ok(Summary::of(&samples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstp_core::bounds;
+
+    #[test]
+    fn summary_arithmetic() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.stddev - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_summary_panics() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn distribution_sits_inside_the_envelope() {
+        let p = TimingParams::from_ticks(1, 2, 8).unwrap();
+        let k = 4;
+        let n = 120;
+        let s = effort_distribution(ProtocolKind::Beta { k }, p, n, 0..12).unwrap();
+        assert_eq!(s.count, 12);
+        // Random schedules are never worse than the finite-n guarantee and
+        // never better than what a c1-paced run could achieve.
+        assert!(s.max <= bounds::passive_upper_finite(p, k, n) + 1e-9);
+        let fastest_possible = bounds::passive_upper_finite(p, k, n) / 2.0; // c1 = c2/2
+        assert!(s.min >= fastest_possible - 1e-9, "min {} too low", s.min);
+        assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Summary::of(&[2.0]);
+        assert!(s.to_string().contains("n=1"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Timed traces of simulated runs.
+//!
+//! A [`SimTrace`] is the timed behavior of one run: every action the system
+//! took, with its time. It is the object the [`crate::checker`] validates
+//! against the definition of `good(A)` (paper §4), and the raw material for
+//! the effort measurement (`t(last-send)` over the trace).
+
+use rstp_automata::Time;
+use rstp_core::{Message, Owner, RstpAction};
+
+/// One timed event of a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the action occurred.
+    pub time: Time,
+    /// The action.
+    pub action: RstpAction,
+}
+
+/// The timed behavior of one simulated run, plus the input it transmitted.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SimTrace {
+    events: Vec<TraceEvent>,
+    input: Vec<Message>,
+}
+
+impl SimTrace {
+    /// An empty trace for input `X`.
+    #[must_use]
+    pub fn new(input: Vec<Message>) -> Self {
+        SimTrace {
+            events: Vec::new(),
+            input,
+        }
+    }
+
+    /// Appends an event. Events must be appended in nondecreasing time
+    /// order; the checker verifies this.
+    pub fn push(&mut self, time: Time, action: RstpAction) {
+        self.events.push(TraceEvent { time, action });
+    }
+
+    /// The input sequence `X` of this run.
+    #[must_use]
+    pub fn input(&self) -> &[Message] {
+        &self.input
+    }
+
+    /// All events in order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The output sequence `Y(η)`: messages written, in order.
+    #[must_use]
+    pub fn written(&self) -> Vec<Message> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.action {
+                RstpAction::Write(m) => Some(m),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The time of the last `send` of a data packet — the paper's
+    /// `t(last-send(η^t))`. `None` if nothing was sent.
+    #[must_use]
+    pub fn last_data_send(&self) -> Option<Time> {
+        self.events
+            .iter()
+            .rev()
+            .find(|e| e.action.is_data_send())
+            .map(|e| e.time)
+    }
+
+    /// The times of one component's locally controlled events, in order —
+    /// the inputs to the `Σ` spacing check.
+    #[must_use]
+    pub fn local_event_times(&self, owner: Owner) -> Vec<Time> {
+        self.events
+            .iter()
+            .filter(|e| e.action.owner() == owner && !e.action.is_recv())
+            .map(|e| e.time)
+            .collect()
+    }
+
+    /// Events satisfying a predicate, with times.
+    pub fn filtered<'a, F>(&'a self, mut pred: F) -> impl Iterator<Item = &'a TraceEvent>
+    where
+        F: FnMut(&RstpAction) -> bool + 'a,
+    {
+        self.events.iter().filter(move |e| pred(&e.action))
+    }
+
+    /// Exports the trace as CSV (`time,owner,action`) for offline analysis
+    /// or plotting.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        use core::fmt::Write as _;
+        let mut out = String::from("time,owner,action\n");
+        for e in &self.events {
+            let _ = writeln!(
+                out,
+                "{},{:?},{}",
+                e.time.ticks(),
+                e.action.owner(),
+                e.action
+            );
+        }
+        out
+    }
+
+    /// Renders the trace as one line per event (round-tripping the
+    /// `Display` of actions) — used by the golden-trace tests and the
+    /// trace-demo example.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use core::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.events {
+            let _ = writeln!(out, "[{:>8}] {}", e.time.ticks(), e.action);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstp_core::Packet;
+
+    fn t(n: u64) -> Time {
+        Time::from_ticks(n)
+    }
+
+    fn sample() -> SimTrace {
+        let mut tr = SimTrace::new(vec![true, false]);
+        tr.push(t(0), RstpAction::Send(Packet::Data(1)));
+        tr.push(t(4), RstpAction::Recv(Packet::Data(1)));
+        tr.push(t(5), RstpAction::Write(true));
+        tr.push(t(6), RstpAction::Send(Packet::Data(0)));
+        tr.push(t(9), RstpAction::Recv(Packet::Data(0)));
+        tr.push(t(10), RstpAction::Write(false));
+        tr
+    }
+
+    #[test]
+    fn written_extracts_y() {
+        assert_eq!(sample().written(), vec![true, false]);
+    }
+
+    #[test]
+    fn last_data_send() {
+        assert_eq!(sample().last_data_send(), Some(t(6)));
+        assert_eq!(SimTrace::new(vec![]).last_data_send(), None);
+    }
+
+    #[test]
+    fn local_event_times_by_owner() {
+        let tr = sample();
+        assert_eq!(tr.local_event_times(Owner::Transmitter), vec![t(0), t(6)]);
+        assert_eq!(tr.local_event_times(Owner::Receiver), vec![t(5), t(10)]);
+        // recvs are the channel's outputs, not process-local events.
+        assert!(tr.local_event_times(Owner::Channel).is_empty());
+    }
+
+    #[test]
+    fn filtered_and_accessors() {
+        let tr = sample();
+        assert_eq!(tr.len(), 6);
+        assert!(!tr.is_empty());
+        assert_eq!(tr.input(), &[true, false]);
+        assert_eq!(tr.filtered(|a| a.is_recv()).count(), 2);
+        assert_eq!(tr.events()[0].time, t(0));
+    }
+
+    #[test]
+    fn csv_export() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time,owner,action");
+        assert_eq!(lines.len(), 7);
+        assert_eq!(lines[1], "0,Transmitter,send(data(1))");
+        assert_eq!(lines[2], "4,Channel,recv(data(1))");
+        assert_eq!(lines[3], "5,Receiver,write(1)");
+    }
+
+    #[test]
+    fn render_is_line_per_event() {
+        let r = sample().render();
+        assert_eq!(r.lines().count(), 6);
+        assert!(r.contains("send(data(1))"));
+        assert!(r.contains("write(0)"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Adversary lab: how much does each adversarial schedule actually hurt?
+//!
+//! Runs each protocol under every step × delivery adversary combination and
+//! prints the measured effort grid — the executable version of the paper's
+//! §5 proof constructions ("fast" executions, interval batching, burst
+//! reversal).
+//!
+//! Run with: `cargo run --example adversary_lab`
+
+use rstp::core::TimingParams;
+use rstp::sim::adversary::{DeliveryPolicy, StepPolicy};
+use rstp::sim::harness::{random_input, run_configured, ProtocolKind, RunConfig};
+
+fn step_name(p: StepPolicy) -> &'static str {
+    match p {
+        StepPolicy::AllFast => "fast",
+        StepPolicy::AllSlow => "slow",
+        StepPolicy::Alternate => "alternate",
+        StepPolicy::SkewedPair {
+            fast_transmitter: true,
+        } => "fast-t/slow-r",
+        StepPolicy::SkewedPair { .. } => "slow-t/fast-r",
+        StepPolicy::Random { .. } => "random",
+    }
+}
+
+fn delivery_name(p: DeliveryPolicy) -> &'static str {
+    match p {
+        DeliveryPolicy::Eager => "eager",
+        DeliveryPolicy::MaxDelay => "max-delay",
+        DeliveryPolicy::ReverseBurst { .. } => "reverse-burst",
+        DeliveryPolicy::IntervalBatch => "interval-batch",
+        DeliveryPolicy::Random { .. } => "random",
+        DeliveryPolicy::Faulty { .. } | DeliveryPolicy::FaultyFifo { .. } => "faulty",
+    }
+}
+
+fn main() {
+    let params = TimingParams::from_ticks(1, 3, 9).expect("valid parameters");
+    let n = 180;
+    let input = random_input(n, 11);
+    println!("adversary lab — {params}, n = {n}\n");
+
+    for kind in [
+        ProtocolKind::Alpha,
+        ProtocolKind::Beta { k: 4 },
+        ProtocolKind::Gamma { k: 4 },
+    ] {
+        let burst = kind.burst_size(params);
+        let deliveries = DeliveryPolicy::sweep(burst, 5);
+        println!("== {} (burst = {burst}) ==", kind.name());
+        print!("{:<16}", "step \\ delivery");
+        for d in &deliveries {
+            print!("{:>15}", delivery_name(*d));
+        }
+        println!();
+        let mut worst = (0.0f64, "", "");
+        for step in StepPolicy::sweep(5) {
+            print!("{:<16}", step_name(step));
+            for delivery in &deliveries {
+                let out = run_configured(
+                    &RunConfig {
+                        kind,
+                        params,
+                        step,
+                        delivery: *delivery,
+                        ..RunConfig::default()
+                    },
+                    &input,
+                )
+                .expect("run");
+                assert!(out.report.all_good(), "{}", out.report);
+                let effort = out.metrics.effort(n).unwrap_or(0.0);
+                if effort > worst.0 {
+                    worst = (effort, step_name(step), delivery_name(*delivery));
+                }
+                print!("{:>15.2}", effort);
+            }
+            println!();
+        }
+        println!(
+            "   worst case: {:.2} ticks/message under ({}, {})\n",
+            worst.0, worst.1, worst.2
+        );
+    }
+    println!("note: step adversaries dominate for the r-passive protocols (counted");
+    println!("idling pays c2 per step), while gamma's effort is delivery-bound (acks).");
+}

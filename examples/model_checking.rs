@@ -1,0 +1,71 @@
+//! Model checking, three ways: the verification tooling that backs this
+//! reproduction, demonstrated on small instances.
+//!
+//! 1. **State-space exploration** — every reachable state of a protocol
+//!    automaton under arbitrary channel interleavings, with invariants.
+//! 2. **Exhaustive schedule verification** — every assignment of delivery
+//!    delays to every packet (the full delivery-adversary space for the
+//!    instance).
+//! 3. **Exhaustive distinguishability** — Lemma 5.1/5.4: all `2^n` inputs
+//!    produce distinct interval-multiset signatures.
+//!
+//! Run with: `cargo run --release --example model_checking`
+
+use rstp::automata::explore;
+use rstp::core::protocols::{BetaReceiver, BetaTransmitter};
+use rstp::core::{Packet, RstpAction, TimingParams};
+use rstp::sim::distinguish::{check_beta, check_gamma};
+use rstp::sim::verify_all_delay_schedules;
+
+fn main() {
+    let params = TimingParams::from_ticks(2, 3, 4).expect("valid parameters"); // δ1 = 2
+
+    // ---- 1. Reachable-state exploration with invariants ----
+    println!("1. exploring the beta(2) receiver under arbitrary packet arrivals…");
+    let receiver = BetaReceiver::new(params, 2, 4).expect("receiver");
+    let burst = receiver.burst_size();
+    let inputs = [
+        RstpAction::Recv(Packet::Data(0)),
+        RstpAction::Recv(Packet::Data(1)),
+    ];
+    let result = explore(&receiver, &inputs, 2_000, |s| {
+        if s.burst.len() >= burst {
+            return Err(format!("burst overflow: |A| = {}", s.burst.len()));
+        }
+        if s.written > s.decoded.len() {
+            return Err("written outran decoded".into());
+        }
+        Ok(())
+    })
+    .expect("invariants hold at every reachable state");
+    println!(
+        "   {} states, {} transitions, complete = {} — invariants hold everywhere\n",
+        result.states, result.transitions, result.complete
+    );
+
+    // ---- 2. Exhaustive delay-schedule verification ----
+    println!("2. verifying beta(2) over EVERY delivery schedule…");
+    let input = vec![true, false, true];
+    let verification = verify_all_delay_schedules(params, &input, &[0, 2, 4], || {
+        (
+            BetaTransmitter::new(params, 2, &input).expect("transmitter"),
+            BetaReceiver::new(params, 2, input.len()).expect("receiver"),
+        )
+    })
+    .unwrap_or_else(|ce| panic!("counterexample found: {ce:?}"));
+    println!(
+        "   {} packets per run; all {} (step-gap × delay-assignment) schedules deliver X exactly\n",
+        verification.packets, verification.schedules
+    );
+
+    // ---- 3. Exhaustive distinguishability (Lemmas 5.1 / 5.4) ----
+    println!("3. checking interval-multiset signatures over all inputs…");
+    let passive = check_beta(params, 2, 10).expect("beta construction");
+    println!("   r-passive (Lemma 5.1): {passive}");
+    let active_params = TimingParams::from_ticks(1, 2, 4).expect("valid parameters");
+    let active = check_gamma(active_params, 2, 8);
+    println!("   active    (Lemma 5.4): {active}");
+    assert!(passive.injective() && active.injective());
+    assert!(passive.capacity_respected() && active.capacity_respected());
+    println!("\nall three checks passed: the instance is exhaustively verified.");
+}

@@ -1,0 +1,50 @@
+//! Golden-trace demo: watch the Figure 1 / Figure 3 / Figure 4 protocols
+//! run, event by event, on a tiny input.
+//!
+//! Run with: `cargo run --example trace_demo`
+
+use rstp::core::TimingParams;
+use rstp::sim::adversary::{DeliveryPolicy, StepPolicy};
+use rstp::sim::harness::{run_configured, ProtocolKind, RunConfig};
+
+fn show(kind: ProtocolKind, params: TimingParams, input: &[bool]) {
+    let out = run_configured(
+        &RunConfig {
+            kind,
+            params,
+            step: StepPolicy::AllSlow,
+            delivery: DeliveryPolicy::MaxDelay,
+            ..RunConfig::default()
+        },
+        input,
+    )
+    .expect("run");
+    println!("==== {} ({params}) ====", kind.name());
+    print!("{}", out.trace.render());
+    println!();
+    print!("{}", rstp::sim::render_timeline(&out.trace, 28));
+    println!(
+        "  => wrote {:?}, last send at {:?}, checker: {}",
+        out.trace
+            .written()
+            .iter()
+            .map(|&b| u8::from(b))
+            .collect::<Vec<_>>(),
+        out.metrics.last_data_send.map(|t| t.ticks()),
+        out.report
+    );
+    println!();
+}
+
+fn main() {
+    let input = vec![true, false, true, true];
+    let bits: Vec<u8> = input.iter().map(|&b| u8::from(b)).collect();
+    println!("input X = {bits:?}\n");
+
+    // Small parameters keep the traces readable: δ1 = 3, δ2 = 2.
+    let params = TimingParams::from_ticks(2, 3, 6).expect("valid parameters");
+
+    show(ProtocolKind::Alpha, params, &input); // Figure 1
+    show(ProtocolKind::Beta { k: 2 }, params, &input); // Figure 3
+    show(ProtocolKind::Gamma { k: 2 }, params, &input); // Figure 4
+}

@@ -1,0 +1,62 @@
+//! # rstp — the Real-Time Sequence Transmission Problem
+//!
+//! A complete, executable reproduction of Da-Wei Wang and Lenore D. Zuck,
+//! *Real-Time Sequence Transmission Problem* (Yale YALEU/DCS/TR-856, May
+//! 1991; PODC 1991): the timed I/O automata model, the bounded-delay
+//! reordering channel, the paper's three protocols with their real multiset
+//! encodings, the effort bounds of Theorems 5.3/5.6, and an adversarial
+//! discrete-event simulator that measures protocol effort against those
+//! bounds.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`automata`] | `rstp-automata` | I/O automata, composition, timed executions |
+//! | [`combinatorics`] | `rstp-combinatorics` | multisets, `μ_k`/`ζ_k`, rank/unrank |
+//! | [`codec`] | `rstp-codec` | bit-block ↔ multiset ↔ packet-burst codec |
+//! | [`core`] | `rstp-core` | problem, channel, protocols `A^α`/`A^β(k)`/`A^γ(k)`, bounds |
+//! | [`sim`] | `rstp-sim` | adversaries, event engine, checkers, effort harness |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rstp::core::TimingParams;
+//! use rstp::sim::adversary::{DeliveryPolicy, StepPolicy};
+//! use rstp::sim::harness::{run_configured, ProtocolKind, RunConfig};
+//!
+//! // Processes step every 1..=2 ticks; packets arrive within 6 ticks.
+//! let params = TimingParams::from_ticks(1, 2, 6).unwrap();
+//! let input = rstp::sim::harness::random_input(100, 42);
+//!
+//! let out = run_configured(
+//!     &RunConfig {
+//!         kind: ProtocolKind::Gamma { k: 4 },
+//!         params,
+//!         step: StepPolicy::AllSlow,
+//!         delivery: DeliveryPolicy::ReverseBurst { burst: params.delta2() },
+//!         ..RunConfig::default()
+//!     },
+//!     &input,
+//! )
+//! .unwrap();
+//!
+//! // The receiver wrote exactly X, the trace satisfies good(A), and the
+//! // measured effort respects the paper's active-case upper bound.
+//! assert!(out.report.all_good());
+//! assert_eq!(out.trace.written(), input);
+//! let effort = out.metrics.effort(input.len()).unwrap();
+//! assert!(effort <= rstp::core::bounds::active_upper(params, 4));
+//! ```
+//!
+//! See `examples/` for runnable scenarios and the `rstp-bench` crate's
+//! `reproduce` binary for the full experiment tables (E1–E9).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rstp_automata as automata;
+pub use rstp_codec as codec;
+pub use rstp_combinatorics as combinatorics;
+pub use rstp_core as core;
+pub use rstp_sim as sim;

@@ -1,0 +1,208 @@
+//! Cross-crate integration: protocols × adversaries × checkers, measured
+//! effort vs the bounds crate, and protocol-vs-protocol orderings.
+
+use rstp::core::{bounds, TimingParams};
+use rstp::sim::adversary::{DeliveryPolicy, StepPolicy};
+use rstp::sim::harness::{
+    random_input, run_configured, worst_case_effort, ProtocolKind, RunConfig,
+};
+use rstp::sim::Outcome;
+
+fn params() -> TimingParams {
+    TimingParams::from_ticks(2, 5, 20).unwrap() // δ1 = 10, δ2 = 4
+}
+
+#[test]
+fn all_protocols_deliver_on_a_parameter_grid() {
+    let grid = [
+        (1u64, 1, 2),
+        (1, 1, 8),
+        (1, 2, 8),
+        (2, 3, 12),
+        (3, 3, 9),
+        (1, 4, 4),
+        (5, 7, 35),
+    ];
+    let input = random_input(33, 17);
+    for (c1, c2, d) in grid {
+        let p = TimingParams::from_ticks(c1, c2, d).unwrap();
+        for kind in [
+            ProtocolKind::Alpha,
+            ProtocolKind::Beta { k: 2 },
+            ProtocolKind::Beta { k: 5 },
+            ProtocolKind::Gamma { k: 2 },
+            ProtocolKind::Gamma { k: 5 },
+            ProtocolKind::AltBit {
+                timeout_steps: None,
+            },
+            ProtocolKind::Framed { k: 3 },
+        ] {
+            let out = run_configured(
+                &RunConfig {
+                    kind,
+                    params: p,
+                    step: StepPolicy::Alternate,
+                    delivery: DeliveryPolicy::Random { seed: 3 },
+                    ..RunConfig::default()
+                },
+                &input,
+            )
+            .unwrap_or_else(|e| panic!("{} at {p}: {e}", kind.name()));
+            assert_eq!(out.outcome, Outcome::Quiescent, "{} at {p}", kind.name());
+            assert!(out.report.all_good(), "{} at {p}: {}", kind.name(), out.report);
+            assert_eq!(out.trace.written(), input, "{} at {p}", kind.name());
+        }
+    }
+}
+
+#[test]
+fn empty_and_singleton_inputs() {
+    let p = params();
+    for kind in [
+        ProtocolKind::Alpha,
+        ProtocolKind::Beta { k: 4 },
+        ProtocolKind::Gamma { k: 4 },
+        ProtocolKind::Framed { k: 4 },
+    ] {
+        for input in [vec![], vec![true], vec![false]] {
+            let out = run_configured(
+                &RunConfig {
+                    kind,
+                    params: p,
+                    ..RunConfig::default()
+                },
+                &input,
+            )
+            .unwrap();
+            assert_eq!(out.trace.written(), input, "{} on {input:?}", kind.name());
+            assert!(out.report.all_good());
+        }
+    }
+}
+
+#[test]
+fn beta_dominates_alpha_and_is_dominated_by_its_bounds() {
+    let p = params();
+    let n = 200;
+    let input = random_input(n, 23);
+    let alpha = worst_case_effort(ProtocolKind::Alpha, p, &input, 1).unwrap();
+    let beta = worst_case_effort(ProtocolKind::Beta { k: 4 }, p, &input, 1).unwrap();
+    // δ1 = 10, k = 4: b = ⌊log2 μ_4(10)⌋ = ⌊log2 286⌋ = 8 > 2, so beta's
+    // 2δ1/b steps per bit beat alpha's δ1.
+    assert!(beta.effort < alpha.effort);
+    assert!(beta.effort >= bounds::passive_lower(p, 4) - 1e-9);
+    assert!(beta.effort <= bounds::passive_upper_finite(p, 4, n) + 1e-9);
+    assert!(alpha.effort <= bounds::alpha_effort(p) + 1e-9);
+}
+
+#[test]
+fn gamma_beats_beta_at_this_high_uncertainty() {
+    // c2/c1 = 2.5 with d = 20: passive pays 2·10·5 = 100 per 8 bits,
+    // active pays ≤ 65 per ⌊log2 μ_4(4)⌋ = 5 bits.
+    let p = params();
+    let n = 200;
+    let input = random_input(n, 29);
+    let beta = worst_case_effort(ProtocolKind::Beta { k: 4 }, p, &input, 2).unwrap();
+    let gamma = worst_case_effort(ProtocolKind::Gamma { k: 4 }, p, &input, 2).unwrap();
+    assert!(
+        gamma.effort < beta.effort,
+        "gamma {} !< beta {}",
+        gamma.effort,
+        beta.effort
+    );
+}
+
+#[test]
+fn framed_pays_only_the_header_overhead() {
+    let p = params();
+    let n = 400;
+    let input = random_input(n, 31);
+    let plain = run_configured(
+        &RunConfig {
+            kind: ProtocolKind::Beta { k: 4 },
+            params: p,
+            ..RunConfig::default()
+        },
+        &input,
+    )
+    .unwrap();
+    let framed = run_configured(
+        &RunConfig {
+            kind: ProtocolKind::Framed { k: 4 },
+            params: p,
+            ..RunConfig::default()
+        },
+        &input,
+    )
+    .unwrap();
+    // The framed run sends ceil(64/b) extra bursts of δ1 packets.
+    let extra = framed.metrics.data_sends - plain.metrics.data_sends;
+    let b = rstp::core::bounds::block_bits(4, p.delta1()) as u64;
+    assert!(extra <= (64_u64.div_ceil(b) + 1) * p.delta1());
+    assert_eq!(framed.trace.written(), input);
+}
+
+#[test]
+fn receiver_side_learn_effort_close_to_transmit_effort() {
+    // The paper defines effort at the transmitter ("time of last send");
+    // the receiver finishes within O(d + c2·writes-backlog) after it.
+    let p = params();
+    let n = 150;
+    let input = random_input(n, 37);
+    for kind in [ProtocolKind::Beta { k: 4 }, ProtocolKind::Gamma { k: 4 }] {
+        let s = worst_case_effort(kind, p, &input, 3).unwrap();
+        assert!(s.learn_effort >= s.effort, "{}", kind.name());
+        let slack = (s.learn_effort - s.effort) * n as f64;
+        // Tail latency after the last send: one delivery (≤ d) plus the
+        // receiver draining at most one block of writes (c2 each) plus its
+        // own step phase — comfortably under d + c2·(b + 2).
+        let b = f64::from(rstp::core::bounds::block_bits(4, p.delta1()));
+        let cap = p.d().ticks() as f64 + p.c2().ticks() as f64 * (b + 2.0);
+        assert!(slack <= cap, "{}: slack {slack} > {cap}", kind.name());
+    }
+}
+
+#[test]
+fn budget_exhaustion_on_livelock_is_reported_not_hung() {
+    // 100% loss + altbit = infinite retransmission; the runner must stop
+    // at the event budget.
+    let p = params();
+    let out = run_configured(
+        &RunConfig {
+            kind: ProtocolKind::AltBit {
+                timeout_steps: Some(4),
+            },
+            params: p,
+            delivery: DeliveryPolicy::Faulty {
+                loss: 1.0,
+                duplication: 0.0,
+                seed: 1,
+            },
+            max_events: 5_000,
+            ..RunConfig::default()
+        },
+        &random_input(5, 41),
+    )
+    .unwrap();
+    assert_eq!(out.outcome, Outcome::BudgetExhausted);
+    assert_eq!(out.metrics.writes, 0);
+    assert!(out.metrics.drops > 100);
+}
+
+#[test]
+fn effort_converges_as_n_grows() {
+    let p = params();
+    let series = rstp::sim::harness::effort_series(
+        ProtocolKind::Beta { k: 4 },
+        p,
+        &[40, 80, 160, 320],
+        7,
+    )
+    .unwrap();
+    let asymptote = bounds::passive_upper(p, 4);
+    let last = series.last().unwrap().1.effort;
+    assert!(
+        (last - asymptote).abs() / asymptote < 0.1,
+        "effort {last} far from asymptote {asymptote}"
+    );
+}

@@ -1,0 +1,180 @@
+//! Exhaustive small-instance verification — bounded model checking rather
+//! than sampling:
+//!
+//! * every assignment of delivery delays to every packet, for tiny
+//!   protocol instances ([`rstp::sim::verify_all_delay_schedules`]);
+//! * every reachable protocol state under arbitrary channel interleavings,
+//!   with per-protocol invariants ([`rstp::automata::explore`]).
+
+use rstp::automata::explore;
+use rstp::core::protocols::{
+    AlphaReceiver, AlphaTransmitter, BetaReceiver, BetaTransmitter, GammaReceiver,
+    GammaTransmitter,
+};
+use rstp::core::{Packet, RstpAction, TimingParams};
+use rstp::sim::verify_all_delay_schedules;
+
+#[test]
+fn alpha_exhaustive_over_all_delay_schedules_and_inputs() {
+    // δ1 = 2, 2 messages -> 2 packets; menu of 5 delays -> 2·25 runs per
+    // input, all 4 inputs: 200 full simulations, each checker-verified.
+    let p = TimingParams::from_ticks(2, 3, 4).unwrap();
+    for bits in 0..4u8 {
+        let input = vec![bits & 1 != 0, bits & 2 != 0];
+        let v = verify_all_delay_schedules(p, &input, &[0, 1, 2, 3, 4], || {
+            (
+                AlphaTransmitter::new(p, input.clone()),
+                AlphaReceiver::new(),
+            )
+        })
+        .unwrap_or_else(|ce| panic!("alpha broke on {input:?}: {ce:?}"));
+        assert_eq!(v.packets, 2);
+        assert_eq!(v.schedules, 2 * 25);
+    }
+}
+
+#[test]
+fn beta_exhaustive_over_all_delay_schedules_and_inputs() {
+    // δ1 = 2, k = 2: μ_2(2) = 3 -> 1 bit per burst of 2. Three bits ->
+    // 3 bursts = 6 packets; menu {0, 2, 4} -> 2·729 runs per input × 8
+    // inputs = 11,664 simulations.
+    let p = TimingParams::from_ticks(2, 3, 4).unwrap();
+    for bits in 0..8u8 {
+        let input = vec![bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+        let v = verify_all_delay_schedules(p, &input, &[0, 2, 4], || {
+            (
+                BetaTransmitter::new(p, 2, &input).unwrap(),
+                BetaReceiver::new(p, 2, input.len()).unwrap(),
+            )
+        })
+        .unwrap_or_else(|ce| panic!("beta broke on {input:?}: {ce:?}"));
+        assert_eq!(v.packets, 6);
+        assert_eq!(v.schedules, 2 * 729);
+    }
+}
+
+#[test]
+fn gamma_exhaustive_over_all_delay_schedules() {
+    // δ2 = 2, k = 4: μ_4(2) = 10 -> 3 bits per burst of 2. Six bits ->
+    // 2 bursts: 4 data + 4 acks = 8 packets; menu {0, 6} -> 2·256 runs.
+    let p = TimingParams::from_ticks(2, 3, 6).unwrap();
+    let input = vec![true, false, true, true, false, false];
+    let v = verify_all_delay_schedules(p, &input, &[0, 6], || {
+        (
+            GammaTransmitter::new(p, 4, &input).unwrap(),
+            GammaReceiver::new(p, 4, input.len()).unwrap(),
+        )
+    })
+    .unwrap_or_else(|ce| panic!("gamma broke: {ce:?}"));
+    assert_eq!(v.packets, 8);
+    assert_eq!(v.schedules, 2 * 256);
+}
+
+#[test]
+fn alpha_transmitter_invariants_over_full_reachable_space() {
+    // The alpha transmitter has no inputs, so its reachable space is its
+    // single execution path; explore verifies determinism and the Figure 1
+    // counter invariants at every state.
+    let p = TimingParams::from_ticks(1, 2, 4).unwrap(); // δ1 = 4
+    let n = 5usize;
+    let t = AlphaTransmitter::new(p, vec![true; n]);
+    let delta1 = p.delta1();
+    let r = explore(&t, &[], 10_000, |s| {
+        if s.next > n {
+            return Err(format!("i = {} exceeds |X| = {n}", s.next));
+        }
+        if s.idle_count >= delta1 {
+            return Err(format!("j = {} not < δ1 = {delta1}", s.idle_count));
+        }
+        Ok(())
+    })
+    .unwrap();
+    assert!(r.complete);
+    // One state per (message round × step-in-round) plus the terminal.
+    assert_eq!(r.states, n * delta1 as usize + 1);
+}
+
+#[test]
+fn alpha_receiver_invariants_under_arbitrary_channel_interleavings() {
+    // The receiver's inputs are arbitrary data packets: explore every
+    // interleaving of {recv(0), recv(1)} with its own local actions, up to
+    // a state budget, checking written <= received at every state.
+    let r = AlphaReceiver::new();
+    let inputs = [
+        RstpAction::Recv(Packet::Data(0)),
+        RstpAction::Recv(Packet::Data(1)),
+    ];
+    let result = explore(&r, &inputs, 3_000, |s| {
+        if s.written > s.received.len() {
+            return Err(format!(
+                "written {} outruns received {}",
+                s.written,
+                s.received.len()
+            ));
+        }
+        Ok(())
+    })
+    .unwrap();
+    // The space is infinite (unbounded y array); the budget truncates it.
+    assert!(!result.complete);
+    assert_eq!(result.states, 3_000);
+}
+
+#[test]
+fn beta_receiver_burst_invariant_under_arbitrary_packets() {
+    let p = TimingParams::from_ticks(1, 2, 3).unwrap(); // δ1 = 3
+    let k = 2u64;
+    let receiver = BetaReceiver::new(p, k, 4).unwrap();
+    let burst = receiver.burst_size();
+    let inputs = [
+        RstpAction::Recv(Packet::Data(0)),
+        RstpAction::Recv(Packet::Data(1)),
+        RstpAction::Recv(Packet::Data(9)), // out-of-alphabet garbage
+    ];
+    let result = explore(&receiver, &inputs, 5_000, |s| {
+        if s.burst.len() >= burst {
+            return Err(format!("burst |A| = {} not < δ1 = {burst}", s.burst.len()));
+        }
+        if s.written > s.decoded.len() {
+            return Err("written outruns decoded".into());
+        }
+        if s.decoded.len() > 4 {
+            return Err(format!(
+                "decoded {} bits, expected at most 4",
+                s.decoded.len()
+            ));
+        }
+        Ok(())
+    })
+    .unwrap();
+    assert!(result.states > 100, "explored only {} states", result.states);
+}
+
+#[test]
+fn gamma_transmitter_invariants_under_arbitrary_acks() {
+    let p = TimingParams::from_ticks(1, 2, 4).unwrap(); // δ2 = 2
+    let input = vec![true, false, true];
+    let t = GammaTransmitter::new(p, 2, &input).unwrap();
+    let delta2 = t.delta2();
+    let blocks = t.num_blocks();
+    // Arbitrary ack arrivals — including spurious ones the channel could
+    // never produce; the transmitter must stay within its counters. (With
+    // fabricated acks it can advance early, but never out of range.)
+    let inputs = [RstpAction::Recv(Packet::Ack(0))];
+    let result = explore(&t, &inputs, 10_000, |s| {
+        if s.acks >= delta2 {
+            return Err(format!("a = {} not < δ2 = {delta2}", s.acks));
+        }
+        if s.step_in_burst > delta2 {
+            return Err(format!("c = {} exceeds δ2 = {delta2}", s.step_in_burst));
+        }
+        if s.block > blocks {
+            return Err(format!("block {} exceeds {}", s.block, blocks));
+        }
+        Ok(())
+    })
+    .unwrap();
+    assert!(result.complete, "gamma transmitter space should be finite");
+    // (block, c, a) ranges bound the state count.
+    assert!(result.states <= (blocks + 1) * (delta2 as usize + 1) * delta2 as usize + 1);
+}

@@ -1,0 +1,199 @@
+//! The §7 extended model end-to-end: per-process step bounds and delivery
+//! windows, driven through `Simulation` directly (the harness covers the
+//! classical triple).
+
+use rstp::automata::TimeDelta;
+use rstp::core::protocols::{BetaReceiver, BetaTransmitter, GammaReceiver, GammaTransmitter};
+use rstp::core::{Owner, ProcessTiming, TimingParamsExt};
+use rstp::sim::adversary::{DeliveryPolicy, StepAdversary};
+use rstp::sim::checker::{check_trace, CheckConfig};
+use rstp::sim::runner::{Outcome, SimSettings, Simulation};
+use rstp::sim::harness::random_input;
+
+/// Each process runs at its own fixed pace (its slowest legal gap).
+struct PerProcessSlowest {
+    transmitter: TimeDelta,
+    receiver: TimeDelta,
+}
+
+impl StepAdversary for PerProcessSlowest {
+    fn next_gap(&mut self, owner: Owner, _step_index: u64) -> TimeDelta {
+        match owner {
+            Owner::Transmitter => self.transmitter,
+            _ => self.receiver,
+        }
+    }
+}
+
+fn dt(n: u64) -> TimeDelta {
+    TimeDelta::from_ticks(n)
+}
+
+fn ext_params() -> TimingParamsExt {
+    // Fast transmitter (1..=2), slow receiver (3..=5), delivery in [2, 10].
+    TimingParamsExt::new(
+        ProcessTiming::from_ticks(1, 2).unwrap(),
+        ProcessTiming::from_ticks(3, 5).unwrap(),
+        dt(2),
+        dt(10),
+    )
+    .unwrap()
+}
+
+#[test]
+fn beta_solves_rstp_with_asymmetric_processes() {
+    let ext = ext_params();
+    let classic = ext.conservative().unwrap();
+    let input = random_input(41, 5);
+    let k = 4;
+    // Protocol sized by the conservative collapse — guaranteed safe in the
+    // extended model (its δ1 covers the worst case).
+    let sim = Simulation::new(
+        BetaTransmitter::new(classic, k, &input).unwrap(),
+        BetaReceiver::new(classic, k, input.len()).unwrap(),
+        SimSettings::from_ext(ext),
+    );
+    let mut steps = PerProcessSlowest {
+        transmitter: ext.transmitter().c2(),
+        receiver: ext.receiver().c2(),
+    };
+    let mut delivery = DeliveryPolicy::Random { seed: 9 }.build(ext.d_lo(), ext.d_hi());
+    let run = sim.run(&input, &mut steps, delivery.as_mut()).unwrap();
+    assert_eq!(run.outcome, Outcome::Quiescent);
+    assert_eq!(run.trace.written(), input);
+
+    let report = check_trace(&run.trace, &CheckConfig::from_ext(ext));
+    assert!(report.all_good(), "{report}");
+}
+
+#[test]
+fn gamma_benefits_from_a_fast_transmitter() {
+    // With per-process bounds, gamma's burst pacing is set by the
+    // *transmitter's* own c2 — a fast transmitter paired with a slow
+    // receiver still finishes each burst quickly; the receiver only
+    // bottlenecks the ack stream.
+    let input = random_input(36, 6);
+    let k = 4;
+    let fast_t = TimingParamsExt::new(
+        ProcessTiming::from_ticks(1, 1).unwrap(),
+        ProcessTiming::from_ticks(4, 4).unwrap(),
+        TimeDelta::ZERO,
+        dt(8),
+    )
+    .unwrap();
+    let slow_t = TimingParamsExt::new(
+        ProcessTiming::from_ticks(4, 4).unwrap(),
+        ProcessTiming::from_ticks(1, 1).unwrap(),
+        TimeDelta::ZERO,
+        dt(8),
+    )
+    .unwrap();
+
+    let mut efforts = Vec::new();
+    for ext in [fast_t, slow_t] {
+        let classic = ext.conservative().unwrap();
+        let sim = Simulation::new(
+            GammaTransmitter::new(classic, k, &input).unwrap(),
+            GammaReceiver::new(classic, k, input.len()).unwrap(),
+            SimSettings::from_ext(ext),
+        );
+        let mut steps = PerProcessSlowest {
+            transmitter: ext.transmitter().c2(),
+            receiver: ext.receiver().c2(),
+        };
+        let mut delivery = DeliveryPolicy::MaxDelay.build(ext.d_lo(), ext.d_hi());
+        let run = sim.run(&input, &mut steps, delivery.as_mut()).unwrap();
+        assert_eq!(run.trace.written(), input);
+        let report = check_trace(&run.trace, &CheckConfig::from_ext(ext));
+        assert!(report.all_good(), "{report}");
+        efforts.push(run.metrics.effort(input.len()).unwrap());
+    }
+    // The fast-transmitter system is strictly quicker: the burst phase is
+    // 4x faster and only the ack drain is receiver-paced.
+    assert!(
+        efforts[0] < efforts[1],
+        "fast-t {} !< slow-t {}",
+        efforts[0],
+        efforts[1]
+    );
+}
+
+#[test]
+fn runner_enforces_per_process_bounds() {
+    // An adversary that paces the receiver faster than its own c1 must be
+    // rejected — with per-process bounds, the *transmitter's* wider range
+    // does not excuse it.
+    let ext = ext_params(); // receiver c1 = 3
+    let classic = ext.conservative().unwrap();
+    let input = vec![true];
+    let sim = Simulation::new(
+        BetaTransmitter::new(classic, 2, &input).unwrap(),
+        BetaReceiver::new(classic, 2, 1).unwrap(),
+        SimSettings::from_ext(ext),
+    );
+    let mut steps = PerProcessSlowest {
+        transmitter: ext.transmitter().c2(),
+        receiver: dt(1), // < receiver c1 = 3: illegal
+    };
+    let mut delivery = DeliveryPolicy::Eager.build(ext.d_lo(), ext.d_hi());
+    let err = sim.run(&input, &mut steps, delivery.as_mut()).unwrap_err();
+    assert!(err.to_string().contains("Receiver"), "{err}");
+}
+
+#[test]
+fn checker_flags_per_process_sigma_violations() {
+    // A trace whose *receiver* events are legal for the transmitter's
+    // bounds but not its own must be flagged.
+    use rstp::core::{Packet, RstpAction};
+    use rstp::sim::SimTrace;
+    use rstp::automata::Time;
+
+    let ext = ext_params(); // transmitter [1,2], receiver [3,5]
+    let mut tr = SimTrace::new(vec![]);
+    tr.push(Time::from_ticks(0), RstpAction::Write(false));
+    tr.push(Time::from_ticks(2), RstpAction::Write(false)); // gap 2 < 3
+    let mut cfg = CheckConfig::from_ext(ext);
+    cfg.expect_complete = false;
+    let report = check_trace(&tr, &cfg);
+    assert!(
+        report.has(|v| matches!(
+            v,
+            rstp::sim::Violation::StepSpacing {
+                owner: Owner::Receiver,
+                ..
+            }
+        )),
+        "{report}"
+    );
+    // The same gaps attributed to the transmitter are fine.
+    let mut tr = SimTrace::new(vec![]);
+    tr.push(Time::from_ticks(0), RstpAction::Send(Packet::Data(0)));
+    tr.push(Time::from_ticks(2), RstpAction::Send(Packet::Data(0)));
+    tr.push(Time::from_ticks(3), RstpAction::Recv(Packet::Data(0)));
+    tr.push(Time::from_ticks(4), RstpAction::Recv(Packet::Data(0)));
+    let report = check_trace(&tr, &cfg);
+    assert!(report.all_good(), "{report}");
+}
+
+#[test]
+fn delivery_window_lower_bound_respected_and_checked() {
+    // With d_lo = 2, an eager (delay = d_lo) delivery is legal; the checker
+    // verifies nothing arrived earlier.
+    let ext = ext_params();
+    let classic = ext.conservative().unwrap();
+    let input = random_input(10, 1);
+    let sim = Simulation::new(
+        BetaTransmitter::new(classic, 3, &input).unwrap(),
+        BetaReceiver::new(classic, 3, input.len()).unwrap(),
+        SimSettings::from_ext(ext),
+    );
+    let mut steps = PerProcessSlowest {
+        transmitter: ext.transmitter().c1(),
+        receiver: ext.receiver().c1(),
+    };
+    let mut delivery = DeliveryPolicy::Eager.build(ext.d_lo(), ext.d_hi());
+    let run = sim.run(&input, &mut steps, delivery.as_mut()).unwrap();
+    assert_eq!(run.trace.written(), input);
+    let report = check_trace(&run.trace, &CheckConfig::from_ext(ext));
+    assert!(report.all_good(), "{report}");
+}

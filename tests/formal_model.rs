@@ -1,0 +1,239 @@
+//! Formal-model fidelity: the simulator's traces must be *replayable*
+//! through the composed I/O automaton `A_t ∘ A_r ∘ C(P)` of paper §4 —
+//! i.e. every simulated run is a genuine execution of the formal object,
+//! not just of the simulator's private bookkeeping.
+
+use rstp::automata::{ActionClass, Automaton, Compose};
+use rstp::core::protocols::{
+    AlphaReceiver, AlphaTransmitter, BetaReceiver, BetaTransmitter, GammaReceiver,
+    GammaTransmitter,
+};
+use rstp::core::{Channel, InternalKind, Packet, RstpAction, TimingParams};
+use rstp::sim::harness::{random_input, run_configured, ProtocolKind, RunConfig};
+use rstp::sim::adversary::{DeliveryPolicy, StepPolicy};
+
+fn params() -> TimingParams {
+    TimingParams::from_ticks(1, 2, 6).unwrap()
+}
+
+/// The full concrete action alphabet touched by a k-ary protocol.
+fn alphabet(k: u64) -> Vec<RstpAction> {
+    let mut acts = vec![
+        RstpAction::Write(false),
+        RstpAction::Write(true),
+        RstpAction::TransmitterInternal(InternalKind::Wait),
+        RstpAction::TransmitterInternal(InternalKind::Idle),
+        RstpAction::ReceiverInternal(InternalKind::Idle),
+        RstpAction::Send(Packet::Ack(0)),
+        RstpAction::Recv(Packet::Ack(0)),
+    ];
+    for s in 0..k {
+        acts.push(RstpAction::Send(Packet::Data(s)));
+        acts.push(RstpAction::Recv(Packet::Data(s)));
+    }
+    acts
+}
+
+/// Replays each trace action through a composed automaton, verifying every
+/// step applies (the trace is an execution of the composite).
+fn replay<M: Automaton<Action = RstpAction>>(system: &M, trace: &rstp::sim::SimTrace) {
+    let mut state = system.initial_state();
+    for (i, ev) in trace.events().iter().enumerate() {
+        state = system
+            .step(&state, &ev.action)
+            .unwrap_or_else(|e| panic!("event {i} ({}) rejected: {e}", ev.action));
+    }
+}
+
+#[test]
+fn alpha_traces_replay_through_the_composed_automaton() {
+    let p = params();
+    let input = random_input(25, 3);
+    let out = run_configured(
+        &RunConfig {
+            kind: ProtocolKind::Alpha,
+            params: p,
+            step: StepPolicy::Alternate,
+            delivery: DeliveryPolicy::Random { seed: 9 },
+            ..RunConfig::default()
+        },
+        &input,
+    )
+    .unwrap();
+    let system = Compose::new(
+        Compose::new(AlphaTransmitter::new(p, input.clone()), AlphaReceiver::new()),
+        Channel::new(),
+    );
+    system.check_composable_on(alphabet(2)).unwrap();
+    replay(&system, &out.trace);
+}
+
+#[test]
+fn beta_traces_replay_through_the_composed_automaton() {
+    let p = params();
+    let k = 3;
+    let input = random_input(31, 5);
+    let out = run_configured(
+        &RunConfig {
+            kind: ProtocolKind::Beta { k },
+            params: p,
+            step: StepPolicy::Random { seed: 1 },
+            delivery: DeliveryPolicy::ReverseBurst {
+                burst: p.delta1(),
+            },
+            ..RunConfig::default()
+        },
+        &input,
+    )
+    .unwrap();
+    let system = Compose::new(
+        Compose::new(
+            BetaTransmitter::new(p, k, &input).unwrap(),
+            BetaReceiver::new(p, k, input.len()).unwrap(),
+        ),
+        Channel::new(),
+    );
+    system.check_composable_on(alphabet(k)).unwrap();
+    replay(&system, &out.trace);
+}
+
+#[test]
+fn gamma_traces_replay_through_the_composed_automaton() {
+    let p = params();
+    let k = 4;
+    let input = random_input(29, 7);
+    let out = run_configured(
+        &RunConfig {
+            kind: ProtocolKind::Gamma { k },
+            params: p,
+            step: StepPolicy::SkewedPair {
+                fast_transmitter: false,
+            },
+            delivery: DeliveryPolicy::IntervalBatch,
+            ..RunConfig::default()
+        },
+        &input,
+    )
+    .unwrap();
+    let system = Compose::new(
+        Compose::new(
+            GammaTransmitter::new(p, k, &input).unwrap(),
+            GammaReceiver::new(p, k, input.len()).unwrap(),
+        ),
+        Channel::new(),
+    );
+    system.check_composable_on(alphabet(k)).unwrap();
+    replay(&system, &out.trace);
+}
+
+#[test]
+fn composite_classification_matches_the_paper() {
+    // In A_t ∘ A_r ∘ C: send/recv become outputs of the composite (output
+    // of one component); write stays an output; internals stay internal.
+    let p = params();
+    let system = Compose::new(
+        Compose::new(
+            GammaTransmitter::new(p, 2, &[true]).unwrap(),
+            GammaReceiver::new(p, 2, 1).unwrap(),
+        ),
+        Channel::new(),
+    );
+    assert_eq!(
+        system.classify(&RstpAction::Send(Packet::Data(0))),
+        Some(ActionClass::Output)
+    );
+    assert_eq!(
+        system.classify(&RstpAction::Recv(Packet::Data(0))),
+        Some(ActionClass::Output) // channel output consumed by receiver input
+    );
+    assert_eq!(
+        system.classify(&RstpAction::Send(Packet::Ack(0))),
+        Some(ActionClass::Output)
+    );
+    assert_eq!(
+        system.classify(&RstpAction::Write(true)),
+        Some(ActionClass::Output)
+    );
+    assert_eq!(
+        system.classify(&RstpAction::TransmitterInternal(InternalKind::Idle)),
+        Some(ActionClass::Internal)
+    );
+}
+
+#[test]
+fn projections_recover_component_executions() {
+    // Build a composite execution by replay, then project it onto the
+    // transmitter (paper §2.1: α|A) and validate the projection against
+    // the standalone transmitter automaton.
+    use rstp::automata::Execution;
+
+    let p = params();
+    let input = random_input(9, 2);
+    let out = run_configured(
+        &RunConfig {
+            kind: ProtocolKind::Alpha,
+            params: p,
+            ..RunConfig::default()
+        },
+        &input,
+    )
+    .unwrap();
+    let transmitter = AlphaTransmitter::new(p, input.clone());
+    let system = Compose::new(
+        Compose::new(AlphaTransmitter::new(p, input.clone()), AlphaReceiver::new()),
+        Channel::new(),
+    );
+
+    // Composite execution with recorded post-states.
+    let mut exec = Execution::new(system.initial_state());
+    let mut state = system.initial_state();
+    for ev in out.trace.events() {
+        state = system.step(&state, &ev.action).unwrap();
+        exec.push(ev.action, state.clone());
+    }
+    exec.validate(&system).unwrap();
+
+    // Project onto the transmitter component and validate standalone.
+    let projected = exec.project(
+        |a| transmitter.classify(a).is_some(),
+        |s| s.0 .0.clone(),
+    );
+    projected.validate(&transmitter).unwrap();
+    assert_eq!(
+        projected.len(),
+        out.trace
+            .events()
+            .iter()
+            .filter(|e| transmitter.classify(&e.action).is_some())
+            .count()
+    );
+}
+
+#[test]
+fn fairness_of_completed_runs() {
+    // At the end of a completed alpha run the transmitter is quiescent —
+    // its finite execution is fair in the paper's sense.
+    use rstp::automata::{finite_fairness, Execution};
+
+    let p = params();
+    let input = random_input(6, 11);
+    let out = run_configured(
+        &RunConfig {
+            kind: ProtocolKind::Alpha,
+            params: p,
+            ..RunConfig::default()
+        },
+        &input,
+    )
+    .unwrap();
+    let transmitter = AlphaTransmitter::new(p, input.clone());
+    let mut exec = Execution::new(transmitter.initial_state());
+    let mut state = transmitter.initial_state();
+    for ev in out.trace.events() {
+        if transmitter.classify(&ev.action).is_some() {
+            state = transmitter.step(&state, &ev.action).unwrap();
+            exec.push(ev.action, state.clone());
+        }
+    }
+    assert!(finite_fairness(&transmitter, &exec).is_fair());
+}

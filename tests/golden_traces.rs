@@ -1,0 +1,161 @@
+//! Golden traces: the exact event-by-event behavior of the Figure 1 and
+//! Figure 3 protocols on a fixed tiny input under the deterministic
+//! slow-step / max-delay schedule. These pin the protocols' wire behavior
+//! — any change to round structure, packet contents, or timing shows up
+//! as a diff here.
+
+use rstp::core::TimingParams;
+use rstp::sim::adversary::{DeliveryPolicy, StepPolicy};
+use rstp::sim::harness::{run_configured, ProtocolKind, RunConfig};
+
+fn run(kind: ProtocolKind, input: &[bool]) -> String {
+    // c1 = 2, c2 = 3, d = 6: δ1 = 3, δ2 = 2.
+    let params = TimingParams::from_ticks(2, 3, 6).unwrap();
+    let out = run_configured(
+        &RunConfig {
+            kind,
+            params,
+            step: StepPolicy::AllSlow,
+            delivery: DeliveryPolicy::MaxDelay,
+            ..RunConfig::default()
+        },
+        input,
+    )
+    .unwrap();
+    assert!(out.report.all_good(), "{}", out.report);
+    out.trace.render()
+}
+
+#[test]
+fn alpha_golden_trace_two_messages() {
+    // Figure 1 with δ1 = 3: rounds of (send, wait, wait); the packet is
+    // delivered d = 6 later; the receiver (stepping every 3) writes at its
+    // next step after delivery.
+    let got = run(ProtocolKind::Alpha, &[true, false]);
+    let want = "\
+[       0] send(data(1))
+[       0] idle_r
+[       3] wait_t
+[       3] idle_r
+[       6] recv(data(1))
+[       6] wait_t
+[       6] write(1)
+[       9] send(data(0))
+[       9] idle_r
+[      12] wait_t
+[      12] idle_r
+[      15] recv(data(0))
+[      15] wait_t
+[      15] write(0)
+";
+    assert_eq!(got, want, "alpha trace drifted:\n{got}");
+}
+
+#[test]
+fn beta_golden_trace_one_block() {
+    // Figure 3 with k = 2, δ1 = 3: μ_2(3) = 4, so each burst of 3 packets
+    // carries 2 bits. Input [1, 0] fits one burst. Bits "10" = rank 2 =
+    // multiset {0, 1, 1}... lexicographic unrank of 2 over sorted
+    // sequences of length 3: {0,0,0}=0, {0,0,1}=1, {0,1,1}=2 — packets
+    // 0, 1, 1, sent sorted.
+    let got = run(ProtocolKind::Beta { k: 2 }, &[true, false]);
+    let want = "\
+[       0] send(data(0))
+[       0] idle_r
+[       3] send(data(1))
+[       3] idle_r
+[       6] recv(data(0))
+[       6] send(data(1))
+[       6] idle_r
+[       9] recv(data(1))
+[       9] wait_t
+[       9] idle_r
+[      12] recv(data(1))
+[      12] wait_t
+[      12] write(1)
+[      15] wait_t
+[      15] write(0)
+";
+    assert_eq!(got, want, "beta trace drifted:\n{got}");
+}
+
+#[test]
+fn gamma_golden_trace_one_block() {
+    // Figure 4 with k = 2, δ2 = 2: μ_2(2) = 3, 1 bit per burst of 2.
+    // Input [1]: one burst. The receiver acks each packet; the
+    // transmitter idles (c = δ2) until both acks arrive.
+    let got = run(ProtocolKind::Gamma { k: 2 }, &[true]);
+    let want = "\
+[       0] send(data(0))
+[       0] idle_r
+[       3] send(data(1))
+[       3] idle_r
+[       6] recv(data(0))
+[       6] idle_t
+[       6] send(ack(0))
+[       9] recv(data(1))
+[       9] idle_t
+[       9] send(ack(0))
+[      12] recv(ack(0))
+[      12] idle_t
+[      12] write(1)
+[      15] recv(ack(0))
+";
+    assert_eq!(got, want, "gamma trace drifted:\n{got}");
+}
+
+#[test]
+fn altbit_golden_trace_two_messages() {
+    // Stop-and-wait with alternating tags over the loss-free channel: each
+    // message is sent once (data symbol = 2·tag + bit), acked with its tag,
+    // and the ack's arrival immediately releases the next message (the
+    // timer reset makes send enabled at the transmitter's very next step,
+    // here the same tick as the ack delivery).
+    let params = TimingParams::from_ticks(2, 3, 6).unwrap();
+    let out = run_configured(
+        &RunConfig {
+            kind: ProtocolKind::AltBit {
+                timeout_steps: Some(10),
+            },
+            params,
+            step: StepPolicy::AllSlow,
+            delivery: DeliveryPolicy::MaxDelay,
+            ..RunConfig::default()
+        },
+        &[true, false],
+    )
+    .unwrap();
+    assert!(out.report.all_good(), "{}", out.report);
+    let want = "\
+[       0] send(data(1))
+[       0] idle_r
+[       3] wait_t
+[       3] idle_r
+[       6] recv(data(1))
+[       6] wait_t
+[       6] send(ack(0))
+[       9] wait_t
+[       9] write(1)
+[      12] recv(ack(0))
+[      12] send(data(2))
+[      12] idle_r
+[      15] wait_t
+[      15] idle_r
+[      18] recv(data(2))
+[      18] wait_t
+[      18] send(ack(1))
+[      21] wait_t
+[      21] write(0)
+[      24] recv(ack(1))
+";
+    assert_eq!(out.trace.render(), want, "altbit trace drifted");
+}
+
+#[test]
+fn golden_traces_are_deterministic() {
+    for _ in 0..3 {
+        let a = run(ProtocolKind::Beta { k: 2 }, &[true, false, true]);
+        let b = run(ProtocolKind::Beta { k: 2 }, &[true, false, true]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,312 @@
+//! Property-based integration tests: randomized parameters, inputs, and
+//! adversary seeds — every run must be a `good(A)` behavior that delivers
+//! `X` exactly.
+
+use proptest::prelude::*;
+use rstp::core::{bounds, TimingParams};
+use rstp::sim::adversary::{DeliveryPolicy, StepPolicy};
+use rstp::sim::harness::{run_configured, ProtocolKind, RunConfig};
+use rstp::sim::Outcome;
+
+/// Strategy for valid `(c1, c2, d)` triples with nontrivial deltas.
+fn timing_strategy() -> impl Strategy<Value = TimingParams> {
+    (1u64..=4, 0u64..=3, 1u64..=6).prop_map(|(c1, c2_extra, d_mult)| {
+        let c2 = c1 + c2_extra;
+        let d = c2 * d_mult.max(1) + c2_extra;
+        let d = d.max(c2);
+        TimingParams::from_ticks(c1, c2, d).expect("constructed valid")
+    })
+}
+
+fn step_strategy() -> impl Strategy<Value = StepPolicy> {
+    prop_oneof![
+        Just(StepPolicy::AllFast),
+        Just(StepPolicy::AllSlow),
+        Just(StepPolicy::Alternate),
+        any::<u64>().prop_map(|seed| StepPolicy::Random { seed }),
+        any::<bool>().prop_map(|fast_transmitter| StepPolicy::SkewedPair { fast_transmitter }),
+    ]
+}
+
+fn delivery_strategy() -> impl Strategy<Value = DeliveryPolicy> {
+    prop_oneof![
+        Just(DeliveryPolicy::Eager),
+        Just(DeliveryPolicy::MaxDelay),
+        Just(DeliveryPolicy::IntervalBatch),
+        (1u64..64).prop_map(|burst| DeliveryPolicy::ReverseBurst { burst }),
+        any::<u64>().prop_map(|seed| DeliveryPolicy::Random { seed }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn alpha_always_solves_rstp(
+        params in timing_strategy(),
+        input in proptest::collection::vec(any::<bool>(), 0..60),
+        step in step_strategy(),
+        delivery in delivery_strategy(),
+    ) {
+        let out = run_configured(&RunConfig {
+            kind: ProtocolKind::Alpha,
+            params,
+            step,
+            delivery,
+            ..RunConfig::default()
+        }, &input).unwrap();
+        prop_assert_eq!(out.outcome, Outcome::Quiescent);
+        prop_assert!(out.report.all_good(), "{}", out.report);
+        prop_assert_eq!(out.trace.written(), input);
+    }
+
+    #[test]
+    fn beta_always_solves_rstp(
+        params in timing_strategy(),
+        k in 2u64..9,
+        input in proptest::collection::vec(any::<bool>(), 0..60),
+        step in step_strategy(),
+        delivery in delivery_strategy(),
+    ) {
+        let out = run_configured(&RunConfig {
+            kind: ProtocolKind::Beta { k },
+            params,
+            step,
+            delivery,
+            ..RunConfig::default()
+        }, &input).unwrap();
+        prop_assert_eq!(out.outcome, Outcome::Quiescent);
+        prop_assert!(out.report.all_good(), "{}", out.report);
+        prop_assert_eq!(out.trace.written(), input);
+    }
+
+    #[test]
+    fn gamma_always_solves_rstp(
+        params in timing_strategy(),
+        k in 2u64..9,
+        input in proptest::collection::vec(any::<bool>(), 0..60),
+        step in step_strategy(),
+        delivery in delivery_strategy(),
+    ) {
+        let out = run_configured(&RunConfig {
+            kind: ProtocolKind::Gamma { k },
+            params,
+            step,
+            delivery,
+            ..RunConfig::default()
+        }, &input).unwrap();
+        prop_assert_eq!(out.outcome, Outcome::Quiescent);
+        prop_assert!(out.report.all_good(), "{}", out.report);
+        prop_assert_eq!(out.trace.written(), input);
+    }
+
+    #[test]
+    fn framed_always_solves_rstp_without_length_hint(
+        params in timing_strategy(),
+        k in 2u64..6,
+        input in proptest::collection::vec(any::<bool>(), 0..40),
+        step in step_strategy(),
+    ) {
+        let out = run_configured(&RunConfig {
+            kind: ProtocolKind::Framed { k },
+            params,
+            step,
+            ..RunConfig::default()
+        }, &input).unwrap();
+        prop_assert_eq!(out.outcome, Outcome::Quiescent);
+        prop_assert!(out.report.all_good(), "{}", out.report);
+        prop_assert_eq!(out.trace.written(), input);
+    }
+
+    #[test]
+    fn altbit_always_solves_rstp_on_the_perfect_channel(
+        params in timing_strategy(),
+        input in proptest::collection::vec(any::<bool>(), 0..30),
+        step in step_strategy(),
+    ) {
+        let out = run_configured(&RunConfig {
+            kind: ProtocolKind::AltBit { timeout_steps: None },
+            params,
+            step,
+            // FIFO-ish deliveries: altbit is only guaranteed under FIFO.
+            delivery: DeliveryPolicy::MaxDelay,
+            ..RunConfig::default()
+        }, &input).unwrap();
+        prop_assert_eq!(out.outcome, Outcome::Quiescent);
+        prop_assert!(out.report.all_good(), "{}", out.report);
+        prop_assert_eq!(out.trace.written(), input);
+    }
+
+    #[test]
+    fn altbit_survives_fifo_faults(
+        input in proptest::collection::vec(any::<bool>(), 1..25),
+        loss in 0.0f64..0.5,
+        dup in 0.0f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let params = TimingParams::from_ticks(1, 2, 6).unwrap();
+        let out = run_configured(&RunConfig {
+            kind: ProtocolKind::AltBit { timeout_steps: None },
+            params,
+            delivery: DeliveryPolicy::FaultyFifo { loss, duplication: dup, seed },
+            max_events: 5_000_000,
+            ..RunConfig::default()
+        }, &input).unwrap();
+        prop_assert_eq!(out.outcome, Outcome::Quiescent);
+        prop_assert_eq!(out.trace.written(), input);
+    }
+
+    #[test]
+    fn measured_effort_never_beats_the_lower_bound(
+        params in timing_strategy(),
+        k in 2u64..6,
+        seed in any::<u64>(),
+    ) {
+        // Theorem 5.3/5.6 are worst-case bounds; a single measured run can
+        // be *below* them only because the adversary wasn't worst-case —
+        // but never below zero nor above the upper guarantee.
+        let n = 120usize;
+        let input = rstp::sim::harness::random_input(n, seed);
+        let beta = run_configured(&RunConfig {
+            kind: ProtocolKind::Beta { k },
+            params,
+            step: StepPolicy::AllSlow,
+            delivery: DeliveryPolicy::MaxDelay,
+            ..RunConfig::default()
+        }, &input).unwrap();
+        let effort = beta.metrics.effort(n).unwrap();
+        prop_assert!(effort <= bounds::passive_upper_finite(params, k, n) + 1e-9);
+        // AllSlow *is* the binding schedule for beta: it should be within
+        // a whisker of the finite upper bound.
+        prop_assert!(effort >= bounds::passive_upper_finite(params, k, n) * 0.9 - 1e-9);
+    }
+
+    #[test]
+    fn stream_decoder_and_beta_receiver_agree(
+        k in 2u64..7,
+        d in 2u64..10,
+        input in proptest::collection::vec(any::<bool>(), 0..60),
+        packet_seed in any::<u64>(),
+    ) {
+        // Differential test: the standalone StreamDecoder and the
+        // BetaReceiver automaton implement the same decoding loop; feed
+        // both the same (shuffled-within-burst) packet stream and compare.
+        use rstp::automata::Automaton;
+        use rstp::codec::{BlockCodec, StreamDecoder};
+        use rstp::core::protocols::BetaReceiver;
+        use rstp::core::{Packet, RstpAction};
+
+        let params = TimingParams::from_ticks(1, 1, d).unwrap();
+        let codec = BlockCodec::new(k, params.delta1()).unwrap();
+        let mut decoder = StreamDecoder::new(codec.clone(), input.len());
+        let receiver = BetaReceiver::new(params, k, input.len()).unwrap();
+        let mut state = receiver.initial_state();
+
+        let mut rng_state = packet_seed | 1;
+        for block in codec.encode_stream(&input).unwrap() {
+            let mut burst = block.packets().to_vec();
+            for i in (1..burst.len()).rev() {
+                rng_state = rng_state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let j = (rng_state >> 33) as usize % (i + 1);
+                burst.swap(i, j);
+            }
+            for sym in burst {
+                decoder.push(sym).unwrap();
+                state = receiver
+                    .step(&state, &RstpAction::Recv(Packet::Data(sym)))
+                    .unwrap();
+            }
+        }
+        prop_assert_eq!(decoder.bits(), &state.decoded[..]);
+        prop_assert_eq!(decoder.bits(), &input[..]);
+        prop_assert_eq!(decoder.failures(), state.decode_failures);
+    }
+
+    #[test]
+    fn pipelined_always_solves_rstp(
+        params in timing_strategy(),
+        k in 2u64..7,
+        input in proptest::collection::vec(any::<bool>(), 0..50),
+        step in step_strategy(),
+        delivery in delivery_strategy(),
+    ) {
+        let out = run_configured(&RunConfig {
+            kind: ProtocolKind::Pipelined { k, window: 2 },
+            params,
+            step,
+            delivery,
+            ..RunConfig::default()
+        }, &input).unwrap();
+        prop_assert_eq!(out.outcome, Outcome::Quiescent);
+        prop_assert!(out.report.all_good(), "{}", out.report);
+        prop_assert_eq!(out.trace.written(), input);
+    }
+
+    #[test]
+    fn pipelined_window_one_is_trace_identical_to_gamma(
+        params in timing_strategy(),
+        k in 2u64..7,
+        input in proptest::collection::vec(any::<bool>(), 0..40),
+        step in step_strategy(),
+        delivery in delivery_strategy(),
+    ) {
+        // With w = 1 the tag is constant 0, the wire symbol equals the
+        // base symbol, and the window discipline is exactly stop-and-wait:
+        // the two automata must produce the same timed behavior event for
+        // event under any shared schedule.
+        let run = |kind| run_configured(&RunConfig {
+            kind,
+            params,
+            step,
+            delivery,
+            ..RunConfig::default()
+        }, &input).unwrap();
+        let gamma = run(ProtocolKind::Gamma { k });
+        let pipe = run(ProtocolKind::Pipelined { k, window: 1 });
+        prop_assert_eq!(gamma.trace.events(), pipe.trace.events());
+        prop_assert_eq!(gamma.metrics, pipe.metrics);
+    }
+
+    #[test]
+    fn stenning_survives_arbitrary_faults(
+        input in proptest::collection::vec(any::<bool>(), 1..20),
+        loss in 0.0f64..0.4,
+        dup in 0.0f64..0.4,
+        seed in any::<u64>(),
+    ) {
+        // Loss + duplication + reordering simultaneously: the unbounded
+        // alphabet sidesteps [WZ89].
+        let params = TimingParams::from_ticks(1, 2, 6).unwrap();
+        let out = run_configured(&RunConfig {
+            kind: ProtocolKind::Stenning { timeout_steps: None },
+            params,
+            delivery: DeliveryPolicy::Faulty { loss, duplication: dup, seed },
+            max_events: 5_000_000,
+            ..RunConfig::default()
+        }, &input).unwrap();
+        prop_assert_eq!(out.outcome, Outcome::Quiescent);
+        prop_assert_eq!(out.trace.written(), input);
+    }
+
+    #[test]
+    fn safety_holds_even_mid_run_with_tiny_budgets(
+        budget in 10u64..400,
+        seed in any::<u64>(),
+    ) {
+        // Truncated runs (budget exhausted) must still satisfy the safety
+        // half of the spec: Y is a prefix of X at every point.
+        let params = TimingParams::from_ticks(1, 2, 8).unwrap();
+        let input = rstp::sim::harness::random_input(64, seed);
+        let out = run_configured(&RunConfig {
+            kind: ProtocolKind::Gamma { k: 4 },
+            params,
+            max_events: budget,
+            ..RunConfig::default()
+        }, &input).unwrap();
+        let written = out.trace.written();
+        prop_assert!(written.len() <= input.len());
+        prop_assert_eq!(&written[..], &input[..written.len()]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Every protocol's simulated traces replay through the composed formal
+//! automaton `A_t ∘ A_r ∘ C(P)` — the library-level [`rstp::sim::replay`]
+//! applied across the whole protocol zoo and several adversaries.
+
+use rstp::core::protocols::{
+    AlphaReceiver, AlphaTransmitter, AltBitReceiver, AltBitTransmitter, BetaReceiver,
+    BetaTransmitter, FramedReceiver, FramedTransmitter, GammaReceiver, GammaTransmitter,
+    PipelinedReceiver, PipelinedTransmitter, StenningReceiver, StenningTransmitter,
+};
+use rstp::core::TimingParams;
+use rstp::sim::adversary::{DeliveryPolicy, StepPolicy};
+use rstp::sim::harness::{random_input, run_configured, ProtocolKind, RunConfig};
+use rstp::sim::replay::replay_trace;
+use rstp::sim::SimTrace;
+
+fn params() -> TimingParams {
+    TimingParams::from_ticks(1, 2, 6).unwrap()
+}
+
+fn simulate(kind: ProtocolKind, input: &[bool], step: StepPolicy, delivery: DeliveryPolicy) -> SimTrace {
+    let out = run_configured(
+        &RunConfig {
+            kind,
+            params: params(),
+            step,
+            delivery,
+            ..RunConfig::default()
+        },
+        input,
+    )
+    .unwrap();
+    assert!(out.report.all_good(), "{}: {}", kind.name(), out.report);
+    out.trace
+}
+
+fn adversary_menu(kind: ProtocolKind) -> Vec<(StepPolicy, DeliveryPolicy)> {
+    let burst = kind.burst_size(params());
+    vec![
+        (StepPolicy::AllSlow, DeliveryPolicy::MaxDelay),
+        (StepPolicy::AllFast, DeliveryPolicy::ReverseBurst { burst }),
+        (
+            StepPolicy::Random { seed: 5 },
+            DeliveryPolicy::Random { seed: 6 },
+        ),
+    ]
+}
+
+#[test]
+fn alpha_replays() {
+    let p = params();
+    let input = random_input(17, 1);
+    for (step, delivery) in adversary_menu(ProtocolKind::Alpha) {
+        let trace = simulate(ProtocolKind::Alpha, &input, step, delivery);
+        let r = replay_trace(
+            AlphaTransmitter::new(p, input.clone()),
+            AlphaReceiver::new(),
+            &trace,
+        )
+        .unwrap();
+        assert!(r.transmitter_quiescent);
+        assert_eq!(r.in_flight, 0);
+    }
+}
+
+#[test]
+fn beta_replays() {
+    let p = params();
+    let k = 4;
+    let input = random_input(23, 2);
+    for (step, delivery) in adversary_menu(ProtocolKind::Beta { k }) {
+        let trace = simulate(ProtocolKind::Beta { k }, &input, step, delivery);
+        replay_trace(
+            BetaTransmitter::new(p, k, &input).unwrap(),
+            BetaReceiver::new(p, k, input.len()).unwrap(),
+            &trace,
+        )
+        .unwrap();
+    }
+}
+
+#[test]
+fn gamma_replays() {
+    let p = params();
+    let k = 3;
+    let input = random_input(19, 3);
+    for (step, delivery) in adversary_menu(ProtocolKind::Gamma { k }) {
+        let trace = simulate(ProtocolKind::Gamma { k }, &input, step, delivery);
+        let r = replay_trace(
+            GammaTransmitter::new(p, k, &input).unwrap(),
+            GammaReceiver::new(p, k, input.len()).unwrap(),
+            &trace,
+        )
+        .unwrap();
+        assert_eq!(r.in_flight, 0);
+    }
+}
+
+#[test]
+fn altbit_replays() {
+    let p = params();
+    let input = random_input(11, 4);
+    let kind = ProtocolKind::AltBit {
+        timeout_steps: Some(20),
+    };
+    {
+        let (step, delivery) = (StepPolicy::AllSlow, DeliveryPolicy::MaxDelay);
+        let trace = simulate(kind, &input, step, delivery);
+        replay_trace(
+            AltBitTransmitter::new(p, input.clone(), Some(20)),
+            AltBitReceiver::new(),
+            &trace,
+        )
+        .unwrap();
+    }
+}
+
+#[test]
+fn stenning_replays() {
+    let p = params();
+    let input = random_input(9, 5);
+    let kind = ProtocolKind::Stenning {
+        timeout_steps: Some(20),
+    };
+    let trace = simulate(kind, &input, StepPolicy::AllSlow, DeliveryPolicy::MaxDelay);
+    replay_trace(
+        StenningTransmitter::new(p, input.clone(), Some(20)),
+        StenningReceiver::new(),
+        &trace,
+    )
+    .unwrap();
+}
+
+#[test]
+fn framed_replays() {
+    let p = params();
+    let k = 4;
+    let input = random_input(15, 6);
+    for (step, delivery) in adversary_menu(ProtocolKind::Framed { k }) {
+        let trace = simulate(ProtocolKind::Framed { k }, &input, step, delivery);
+        replay_trace(
+            FramedTransmitter::new(p, k, &input).unwrap(),
+            FramedReceiver::new(p, k).unwrap(),
+            &trace,
+        )
+        .unwrap();
+    }
+}
+
+#[test]
+fn pipelined_replays_across_windows() {
+    let p = params();
+    let k = 4;
+    let input = random_input(21, 7);
+    for window in [1u64, 2, 3] {
+        let kind = ProtocolKind::Pipelined { k, window };
+        for (step, delivery) in adversary_menu(kind) {
+            let trace = simulate(kind, &input, step, delivery);
+            replay_trace(
+                PipelinedTransmitter::with_window(p, k, window, &input).unwrap(),
+                PipelinedReceiver::with_window(p, k, window, input.len()).unwrap(),
+                &trace,
+            )
+            .unwrap_or_else(|e| panic!("w={window}: {e}"));
+        }
+    }
+}
