@@ -272,9 +272,7 @@ mod tests {
 
     #[test]
     fn step_error_display() {
-        let e = StepError::UnknownAction {
-            action: "X".into(),
-        };
+        let e = StepError::UnknownAction { action: "X".into() };
         assert_eq!(e.to_string(), "action X is not in acts(A)");
         let e = StepError::PreconditionFalse {
             action: "Y".into(),

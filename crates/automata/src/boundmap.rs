@@ -179,8 +179,14 @@ mod tests {
     #[test]
     fn spacing_within_bounds_passes() {
         let m = BoundMap::uniform(1, dt(2), dt(3)).unwrap();
-        check_class_spacing(&m, 0, &[t(0), t(2), t(5), t(8)], Some(Time::ZERO), Some(t(9)))
-            .unwrap();
+        check_class_spacing(
+            &m,
+            0,
+            &[t(0), t(2), t(5), t(8)],
+            Some(Time::ZERO),
+            Some(t(9)),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -195,8 +201,7 @@ mod tests {
     #[test]
     fn never_fired_class_detected() {
         let m = BoundMap::uniform(1, dt(1), dt(3)).unwrap();
-        let err =
-            check_class_spacing(&m, 0, &[], Some(Time::ZERO), Some(t(10))).unwrap_err();
+        let err = check_class_spacing(&m, 0, &[], Some(Time::ZERO), Some(t(10))).unwrap_err();
         assert!(matches!(err, TimingAxiomError::SpacingTooLarge { .. }));
         // …but fine if the run ends within `upper`.
         check_class_spacing(&m, 0, &[], Some(Time::ZERO), Some(t(3))).unwrap();

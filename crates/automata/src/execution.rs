@@ -154,11 +154,7 @@ where
     {
         self.steps
             .iter()
-            .filter(|(a, _)| {
-                automaton
-                    .classify(a)
-                    .is_some_and(ActionClass::is_external)
-            })
+            .filter(|(a, _)| automaton.classify(a).is_some_and(ActionClass::is_external))
             .map(|(a, _)| a.clone())
             .collect()
     }

@@ -151,14 +151,13 @@ where
                 Some(ActionClass::Input),
                 "explore inputs must be input actions"
             );
-            let next =
-                automaton
-                    .step(&state, input)
-                    .map_err(|e| ExploreError::InputRejected {
-                        state: rendered.clone(),
-                        input: format!("{input:?}"),
-                        detail: e.to_string(),
-                    })?;
+            let next = automaton
+                .step(&state, input)
+                .map_err(|e| ExploreError::InputRejected {
+                    state: rendered.clone(),
+                    input: format!("{input:?}"),
+                    detail: e.to_string(),
+                })?;
             successors.push(next);
         }
 

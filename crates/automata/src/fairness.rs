@@ -44,7 +44,10 @@ impl fmt::Display for FairnessVerdict {
 }
 
 /// Decides fairness of a finite execution per paper §2.1 clause 1.
-pub fn finite_fairness<M>(automaton: &M, execution: &Execution<M::State, M::Action>) -> FairnessVerdict
+pub fn finite_fairness<M>(
+    automaton: &M,
+    execution: &Execution<M::State, M::Action>,
+) -> FairnessVerdict
 where
     M: Automaton,
 {

@@ -79,11 +79,11 @@ pub mod time;
 pub mod timed;
 
 pub use action::ActionClass;
-pub use boundmap::{check_class_spacing, BoundMap, BoundMapError};
-pub use explore::{explore, Exploration, ExploreError};
 pub use automaton::{Automaton, DeterminismError, StepError};
+pub use boundmap::{check_class_spacing, BoundMap, BoundMapError};
 pub use composition::{CompatibilityError, Compose, Side};
 pub use execution::{Execution, ExecutionError};
+pub use explore::{explore, Exploration, ExploreError};
 pub use fairness::{finite_fairness, FairnessVerdict};
 pub use time::{Time, TimeDelta};
 pub use timed::{TimedExecution, Timing, TimingAxiomError};

@@ -308,7 +308,10 @@ mod tests {
             Time::ZERO.checked_add(TimeDelta::from_ticks(1)),
             Some(Time::from_ticks(1))
         );
-        assert_eq!(Time::MAX.saturating_add(TimeDelta::from_ticks(9)), Time::MAX);
+        assert_eq!(
+            Time::MAX.saturating_add(TimeDelta::from_ticks(9)),
+            Time::MAX
+        );
     }
 
     #[test]

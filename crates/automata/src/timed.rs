@@ -104,10 +104,7 @@ impl fmt::Display for TimingAxiomError {
                 index,
                 earlier,
                 later,
-            } => write!(
-                f,
-                "time decreases at event {index}: {earlier} then {later}"
-            ),
+            } => write!(f, "time decreases at event {index}: {earlier} then {later}"),
             TimingAxiomError::SpacingTooSmall { index, gap, min } => {
                 write!(f, "selected events {} apart at #{index}, min {min}", gap)
             }
@@ -379,7 +376,10 @@ mod tests {
         let timing = Timing::from_times(vec![t(0)]);
         assert!(matches!(
             timing.validate(2),
-            Err(TimingAxiomError::LengthMismatch { events: 2, times: 1 })
+            Err(TimingAxiomError::LengthMismatch {
+                events: 2,
+                times: 1
+            })
         ));
     }
 
@@ -468,7 +468,10 @@ mod tests {
     #[test]
     fn error_display_strings() {
         let errs: Vec<TimingAxiomError> = vec![
-            TimingAxiomError::LengthMismatch { events: 1, times: 2 },
+            TimingAxiomError::LengthMismatch {
+                events: 1,
+                times: 2,
+            },
             TimingAxiomError::FirstEventNotAtZero { actual: t(1) },
             TimingAxiomError::NotMonotone {
                 index: 1,

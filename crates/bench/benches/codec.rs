@@ -24,9 +24,7 @@ fn bench_stream(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("decode", format!("k{k}_d{delta}")),
             &blocks,
-            |b, blocks| {
-                b.iter(|| codec.decode_stream(black_box(blocks), input.len()).unwrap())
-            },
+            |b, blocks| b.iter(|| codec.decode_stream(black_box(blocks), input.len()).unwrap()),
         );
     }
     g.finish();

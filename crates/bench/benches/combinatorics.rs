@@ -7,9 +7,13 @@ use rstp_combinatorics::{mu, zeta, Multiset, MultisetCodec};
 fn bench_counting(c: &mut Criterion) {
     let mut g = c.benchmark_group("counting");
     for &(k, n) in &[(2u64, 8u64), (16, 16), (16, 64), (64, 64)] {
-        g.bench_with_input(BenchmarkId::new("mu", format!("k{k}_n{n}")), &(k, n), |b, &(k, n)| {
-            b.iter(|| mu(black_box(k), black_box(n)).unwrap());
-        });
+        g.bench_with_input(
+            BenchmarkId::new("mu", format!("k{k}_n{n}")),
+            &(k, n),
+            |b, &(k, n)| {
+                b.iter(|| mu(black_box(k), black_box(n)).unwrap());
+            },
+        );
         g.bench_with_input(
             BenchmarkId::new("zeta", format!("k{k}_n{n}")),
             &(k, n),

@@ -3,33 +3,72 @@
 //! ```text
 //! cargo run -p rstp-bench --release --bin reproduce            # all of E1..E9
 //! cargo run -p rstp-bench --release --bin reproduce e2 e7      # a subset
+//! cargo run -p rstp-bench --release --bin reproduce --json out/   # + BENCH_e*.json
 //! ```
+//!
+//! With `--json <dir>` each experiment additionally writes
+//! `<dir>/BENCH_<id>.json` (records of experiment id, grid point, measured
+//! effort, lower/upper bound, and measured/lower ratio).
 //!
 //! See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
 //! recorded paper-vs-measured discussion.
 
-use rstp_bench::{all_experiments, run_experiment, ExperimentId};
+use rstp_bench::{all_experiments, experiment_json, json_file_name, run_experiment, ExperimentId};
+use std::path::PathBuf;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let ids: Vec<ExperimentId> = if args.is_empty() || args.iter().any(|a| a == "all") {
+    let mut json_dir: Option<PathBuf> = None;
+    let mut selected: Vec<String> = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(arg) = raw.next() {
+        if arg == "--json" {
+            match raw.next() {
+                Some(dir) => json_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--json requires an output directory");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            selected.push(arg);
+        }
+    }
+
+    let ids: Vec<ExperimentId> = if selected.is_empty() || selected.iter().any(|a| a == "all") {
         all_experiments()
     } else {
-        args.iter()
+        selected
+            .iter()
             .map(|a| {
                 ExperimentId::parse(a).unwrap_or_else(|| {
-                    eprintln!("unknown experiment {a:?}; expected e1..e9 or all");
+                    eprintln!("unknown experiment {a:?}; expected e1..e12 or all");
                     std::process::exit(2);
                 })
             })
             .collect()
     };
 
+    if let Some(dir) = &json_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+
     println!("RSTP reproduction — Wang & Zuck, Real-Time Sequence Transmission Problem (1991)");
     println!("{} experiment(s)\n", ids.len());
     for id in ids {
         let out = run_experiment(id);
         println!("{out}");
+        if let Some(dir) = &json_dir {
+            let path = dir.join(json_file_name(&out));
+            let doc = experiment_json(&out).render() + "\n";
+            if let Err(e) = std::fs::write(&path, doc) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            println!("  wrote {}", path.display());
+        }
         println!();
     }
 }

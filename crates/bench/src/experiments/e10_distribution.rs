@@ -70,7 +70,13 @@ pub fn rows() -> Vec<Row> {
 pub fn output() -> ExperimentOutput {
     let rows = rows();
     let mut table = Table::new([
-        "protocol", "min", "mean", "max", "σ", "worst-case", "guarantee",
+        "protocol",
+        "min",
+        "mean",
+        "max",
+        "σ",
+        "worst-case",
+        "guarantee",
     ]);
     for r in &rows {
         table.push([

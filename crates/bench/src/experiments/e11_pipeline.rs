@@ -73,9 +73,9 @@ fn measure(c1: u64, c2: u64, k: u64, window: u64) -> Row {
 #[must_use]
 pub fn rows() -> Vec<Row> {
     let mut out = vec![
-        measure(1, 1, 2, 2),  // δ2 = 24, k = 2: long bursts, tiny alphabet
-        measure(1, 2, 4, 2),  // δ2 = 12
-        measure(1, 8, 16, 2), // δ2 = 3
+        measure(1, 1, 2, 2),   // δ2 = 24, k = 2: long bursts, tiny alphabet
+        measure(1, 2, 4, 2),   // δ2 = 12
+        measure(1, 8, 16, 2),  // δ2 = 3
         measure(1, 12, 32, 2), // δ2 = 2: short bursts, rich alphabet
     ];
     // Window sweep in the friendly regime (δ2 = 2, k = 32): w = 1 is

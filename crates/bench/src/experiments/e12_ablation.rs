@@ -331,10 +331,8 @@ pub fn rows() -> Vec<Row> {
         let r = BetaReceiver::new(p, k, input.len()).expect("beta receiver");
         let sim = Simulation::new(t, r, SimSettings::from_params(p));
         let mut steps = StepPolicy::AllFast.build(p);
-        let mut del = DeliveryPolicy::ReverseBurst {
-            burst: p.delta1(),
-        }
-        .build(rstp_automata::TimeDelta::ZERO, p.d());
+        let mut del = DeliveryPolicy::ReverseBurst { burst: p.delta1() }
+            .build(rstp_automata::TimeDelta::ZERO, p.d());
         let run = sim.run(&input, steps.as_mut(), del.as_mut()).expect("run");
         out.push(Row {
             ablation: "reference",
@@ -345,7 +343,11 @@ pub fn rows() -> Vec<Row> {
         });
     }
     // Ablation A: positional code under FIFO vs reversing delivery.
-    out.push(run_positional(DeliveryPolicy::MaxDelay, "fifo(max-delay)", 4));
+    out.push(run_positional(
+        DeliveryPolicy::MaxDelay,
+        "fifo(max-delay)",
+        4,
+    ));
     out.push(run_positional(
         DeliveryPolicy::ReverseBurst {
             burst: params().delta1(),
@@ -447,6 +449,9 @@ mod tests {
             .unwrap();
         assert!(full.correct);
         let none = rs.iter().find(|r| r.config == "beta wait=0").unwrap();
-        assert!(!none.correct, "zero wait must mis-frame under random delays");
+        assert!(
+            !none.correct,
+            "zero wait must mis-frame under random delays"
+        );
     }
 }

@@ -5,8 +5,8 @@
 //! grid of parameter triples and shows the measurement converge to the
 //! formula (the `(n-1)/n` factor is the finite-input edge).
 
-use crate::table::{f2, Table};
 use super::{ExperimentId, ExperimentOutput};
+use crate::table::{f2, Table};
 use rstp_core::{bounds, TimingParams};
 use rstp_sim::harness::{random_input, worst_case_effort, ProtocolKind};
 

@@ -74,7 +74,13 @@ pub fn rows() -> Vec<Row> {
 pub fn output() -> ExperimentOutput {
     let rows = rows();
     let mut table = Table::new([
-        "k", "bits/burst", "lower", "measured", "upper(n)", "upper(∞)", "meas/lower",
+        "k",
+        "bits/burst",
+        "lower",
+        "measured",
+        "upper(n)",
+        "upper(∞)",
+        "meas/lower",
     ]);
     for r in &rows {
         table.push([
@@ -96,8 +102,7 @@ pub fn output() -> ExperimentOutput {
         table,
         notes: vec![
             "lower = δ1·c2/log2 ζ_k(δ1); upper = 2·δ1·c2/⌊log2 μ_k(δ1)⌋".into(),
-            "measured sits inside the sandwich at every k; the gap stays a small constant"
-                .into(),
+            "measured sits inside the sandwich at every k; the gap stays a small constant".into(),
         ],
     }
 }

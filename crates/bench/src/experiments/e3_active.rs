@@ -86,7 +86,14 @@ pub fn rows() -> Vec<Row> {
 pub fn output() -> ExperimentOutput {
     let rows = rows();
     let mut table = Table::new([
-        "k", "bits/burst", "lower", "measured", "upper(n)", "upper(∞)", "meas/lower", "acks",
+        "k",
+        "bits/burst",
+        "lower",
+        "measured",
+        "upper(n)",
+        "upper(∞)",
+        "meas/lower",
+        "acks",
     ]);
     for r in &rows {
         table.push([

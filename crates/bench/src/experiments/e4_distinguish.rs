@@ -120,7 +120,12 @@ mod tests {
     #[test]
     fn capacity_inequality_always_respected() {
         for r in rows() {
-            assert!(r.result.capacity_respected(), "{}: {}", r.protocol, r.result);
+            assert!(
+                r.result.capacity_respected(),
+                "{}: {}",
+                r.protocol,
+                r.result
+            );
         }
     }
 

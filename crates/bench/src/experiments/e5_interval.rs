@@ -109,10 +109,7 @@ mod tests {
         // than eager (it maximizes round trips).
         for chunk in rows().chunks(3) {
             let eager = chunk.iter().find(|r| r.policy == "eager").unwrap();
-            let batch = chunk
-                .iter()
-                .find(|r| r.policy == "interval-batch")
-                .unwrap();
+            let batch = chunk.iter().find(|r| r.policy == "interval-batch").unwrap();
             assert!(
                 eager.effort <= batch.effort + 1e-9,
                 "eager {} > batch {}",
@@ -120,7 +117,12 @@ mod tests {
                 batch.effort
             );
             for r in chunk {
-                assert!(r.effort <= r.upper_finite + 1e-9, "{}: {}", r.policy, r.effort);
+                assert!(
+                    r.effort <= r.upper_finite + 1e-9,
+                    "{}: {}",
+                    r.policy,
+                    r.effort
+                );
             }
         }
     }

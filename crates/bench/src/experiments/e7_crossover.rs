@@ -11,8 +11,8 @@ use super::{ExperimentId, ExperimentOutput};
 use crate::table::{f2, Table};
 use rstp_core::bounds::{self, Family};
 use rstp_core::TimingParams;
-use rstp_sim::harness::{random_input, run_configured, ProtocolKind, RunConfig};
 use rstp_sim::adversary::{DeliveryPolicy, StepPolicy};
+use rstp_sim::harness::{random_input, run_configured, ProtocolKind, RunConfig};
 
 /// One uncertainty-ratio row.
 #[derive(Clone, Copy, Debug)]
@@ -150,8 +150,7 @@ pub fn output() -> ExperimentOutput {
                 "bound crossover at c2/c1 = {} (scan of Thm 5.3/5.6 guarantees)",
                 crossover.map_or("none".into(), |r| r.to_string())
             ),
-            "gamma pays ~2x packets (one ack per data packet) for uncertainty-free rounds"
-                .into(),
+            "gamma pays ~2x packets (one ack per data packet) for uncertainty-free rounds".into(),
         ],
     }
 }

@@ -6,10 +6,10 @@
 
 use super::{ExperimentId, ExperimentOutput};
 use crate::table::{f2, Table};
+use rstp_automata::TimeDelta;
 use rstp_core::{ProcessTiming, TimingParams, TimingParamsExt};
 use rstp_sim::adversary::{DeliveryPolicy, StepPolicy};
 use rstp_sim::harness::{random_input, run_configured, ProtocolKind, RunConfig};
-use rstp_automata::TimeDelta;
 
 /// One window row.
 #[derive(Clone, Copy, Debug)]
@@ -44,13 +44,8 @@ pub fn rows() -> Vec<Row> {
         .into_iter()
         .map(|d_lo| {
             let pt = ProcessTiming::new(p.c1(), p.c2()).expect("valid process timing");
-            let ext = TimingParamsExt::new(
-                pt,
-                pt,
-                TimeDelta::from_ticks(d_lo),
-                p.d(),
-            )
-            .expect("valid window");
+            let ext = TimingParamsExt::new(pt, pt, TimeDelta::from_ticks(d_lo), p.d())
+                .expect("valid window");
             let input = random_input(n, 0xE8 + d_lo);
             let run = run_configured(
                 &RunConfig {
@@ -79,7 +74,14 @@ pub fn rows() -> Vec<Row> {
 #[must_use]
 pub fn output() -> ExperimentOutput {
     let rows = rows();
-    let mut table = Table::new(["d_lo", "window", "wait steps", "measured", "bound", "correct"]);
+    let mut table = Table::new([
+        "d_lo",
+        "window",
+        "wait steps",
+        "measured",
+        "bound",
+        "correct",
+    ]);
     let d = params().d().ticks();
     for r in &rows {
         table.push([
@@ -101,8 +103,7 @@ pub fn output() -> ExperimentOutput {
         table,
         notes: vec![
             "wait steps cover only the delay uncertainty d_hi - d_lo".into(),
-            "at d_lo = d_hi the wait phase vanishes: effort halves vs the classic model"
-                .into(),
+            "at d_lo = d_hi the wait phase vanishes: effort halves vs the classic model".into(),
         ],
     }
 }

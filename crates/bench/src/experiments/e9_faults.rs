@@ -161,16 +161,14 @@ pub fn output() -> ExperimentOutput {
     }
     ExperimentOutput {
         id: ExperimentId::E9,
-        title: "fault injection: perfect-channel dependence vs alternating-bit (§1 context)"
-            .into(),
+        title: "fault injection: perfect-channel dependence vs alternating-bit (§1 context)".into(),
         table,
         notes: vec![
             "beta/gamma stall on first loss (a burst never completes) — C(P) is load-bearing"
                 .into(),
             "altbit recovers from any loss/dup on a FIFO channel ([BSW69])".into(),
             "under dup + reordering even altbit drops messages — the [WZ89] regime —".into(),
-            "while stenning ([Ste76], unbounded seq numbers) survives every channel here:"
-                .into(),
+            "while stenning ([Ste76], unbounded seq numbers) survives every channel here:".into(),
             "the finite-alphabet hypothesis of [WZ89] is exactly what it escapes".into(),
         ],
     }
@@ -269,8 +267,8 @@ mod tests {
         // (burst protocols under faults, altbit under dup+reorder [WZ89])
         // may corrupt — that contrast is the experiment's point.
         for r in grid() {
-            let guaranteed = r.channel == "perfect"
-                || (r.protocol == "altbit" && r.channel.ends_with("fifo"));
+            let guaranteed =
+                r.channel == "perfect" || (r.protocol == "altbit" && r.channel.ends_with("fifo"));
             if guaranteed {
                 assert!(r.prefix_safe, "{} under {}", r.protocol, r.channel);
             }

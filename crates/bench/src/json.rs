@@ -1,0 +1,287 @@
+//! Machine-readable experiment output: a tiny hand-rolled JSON writer
+//! (the workspace builds offline, so no serde) plus the mapping from a
+//! rendered [`ExperimentOutput`] to the `BENCH_e*.json` record schema.
+//!
+//! Every record carries the experiment id, the grid point (the sweep
+//! columns of the table row), the measured effort, the lower/upper bound
+//! where the experiment has one, and the measured/lower ratio.
+
+use crate::experiments::ExperimentOutput;
+use core::fmt::Write as _;
+
+/// A JSON value. Only what the bench tables need.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// A finite number (non-finite values render as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Escapes a string per RFC 8259.
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Json {
+    /// Renders the value with two-space indentation.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Num(x) if x.is_finite() => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    let _ = write!(out, "{}", *x as i64);
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            }
+            Json::Num(_) => out.push_str("null"),
+            Json::Str(s) => {
+                let _ = write!(out, "\"{}\"", escape(s));
+            }
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    out.push_str("  ");
+                    item.write(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(fields) if fields.is_empty() => out.push_str("{}"),
+            Json::Obj(fields) => {
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    out.push_str(&pad);
+                    let _ = write!(out, "  \"{}\": ", escape(key));
+                    value.write(out, indent + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// A table cell as JSON: a number when it parses as one, else a string.
+fn cell_value(cell: &str) -> Json {
+    match cell.parse::<f64>() {
+        Ok(x) if x.is_finite() => Json::Num(x),
+        _ => Json::Str(cell.to_string()),
+    }
+}
+
+/// Classifies a column by its header name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Column {
+    Measured,
+    Lower,
+    Upper,
+    Ratio,
+    Grid,
+}
+
+fn classify(header: &str) -> Column {
+    let h = header.to_ascii_lowercase();
+    // Ratio columns first: "meas/lower" contains both marker words.
+    let quotient_of_bound =
+        h.contains('/') && (h.contains("lower") || h.contains("upper") || h.contains("bound"));
+    if quotient_of_bound || h.contains("ratio") || h.contains("gap") {
+        Column::Ratio
+    } else if h.contains("lower") || h.contains("floor") {
+        Column::Lower
+    } else if h.contains("upper") || h.contains("guarantee") || h.contains("closed form") {
+        Column::Upper
+    } else if h.contains("measured") || h == "effort" || h.contains("worst effort") {
+        Column::Measured
+    } else {
+        Column::Grid
+    }
+}
+
+/// Converts one experiment's output into its `BENCH_e*.json` document.
+///
+/// Schema: `{experiment, title, notes, records: [{experiment, grid,
+/// measured, lower, upper, ratio}]}`. Experiments without a bound column
+/// (for example the Lemma 5.1 distinguishability count) carry `null` in
+/// the missing fields; their table cells stay available under `grid`.
+#[must_use]
+pub fn experiment_json(out: &ExperimentOutput) -> Json {
+    let id = out.id.to_string();
+    let header = out.table.header();
+    let kinds: Vec<Column> = header.iter().map(|h| classify(h)).collect();
+    // The first column of every bench table is the sweep variable; if the
+    // classifier claimed it as a metric (e.g. a table *about* lower
+    // bounds), keep it as the grid point instead so no record is empty.
+    let mut kinds = kinds;
+    if let Some(first) = kinds.first_mut() {
+        *first = Column::Grid;
+    }
+
+    let mut records = Vec::with_capacity(out.table.len());
+    for row in out.table.rows() {
+        let mut grid = Vec::new();
+        let mut measured = Json::Null;
+        let mut lower = Json::Null;
+        let mut upper = Json::Null;
+        let mut ratio = Json::Null;
+        for ((head, cell), kind) in header.iter().zip(row).zip(&kinds) {
+            match kind {
+                Column::Grid => grid.push((head.clone(), cell_value(cell))),
+                Column::Measured => measured = cell_value(cell),
+                Column::Lower => lower = cell_value(cell),
+                // First upper-like column wins (finite-n before asymptotic).
+                Column::Upper if upper == Json::Null => upper = cell_value(cell),
+                Column::Upper => grid.push((head.clone(), cell_value(cell))),
+                Column::Ratio if ratio == Json::Null => ratio = cell_value(cell),
+                Column::Ratio => grid.push((head.clone(), cell_value(cell))),
+            }
+        }
+        // Derive the ratio when the table has measured and lower but no
+        // explicit gap column.
+        if ratio == Json::Null {
+            if let (Json::Num(m), Json::Num(l)) = (&measured, &lower) {
+                if *l > 0.0 {
+                    ratio = Json::Num(m / l);
+                }
+            }
+        }
+        records.push(Json::Obj(vec![
+            ("experiment".into(), Json::Str(id.clone())),
+            ("grid".into(), Json::Obj(grid)),
+            ("measured".into(), measured),
+            ("lower".into(), lower),
+            ("upper".into(), upper),
+            ("ratio".into(), ratio),
+        ]));
+    }
+
+    Json::Obj(vec![
+        ("experiment".into(), Json::Str(id)),
+        ("title".into(), Json::Str(out.title.clone())),
+        (
+            "notes".into(),
+            Json::Arr(out.notes.iter().map(|n| Json::Str(n.clone())).collect()),
+        ),
+        ("records".into(), Json::Arr(records)),
+    ])
+}
+
+/// The file name for one experiment's JSON document: `BENCH_e2.json`.
+#[must_use]
+pub fn json_file_name(out: &ExperimentOutput) -> String {
+    format!("BENCH_{}.json", out.id.to_string().to_ascii_lowercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_experiment, ExperimentId};
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn rendering_shapes() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Num(4.0).render(), "4");
+        assert_eq!(Json::Num(0.5).render(), "0.5");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Str("x\"y".into()).render(), "\"x\\\"y\"");
+        assert_eq!(Json::Arr(vec![]).render(), "[]");
+        let obj = Json::Obj(vec![("a".into(), Json::Num(1.0))]);
+        assert_eq!(obj.render(), "{\n  \"a\": 1\n}");
+    }
+
+    #[test]
+    fn cell_values() {
+        assert_eq!(cell_value("3.25"), Json::Num(3.25));
+        assert_eq!(cell_value("beta"), Json::Str("beta".into()));
+    }
+
+    #[test]
+    fn column_classification() {
+        assert_eq!(classify("k"), Column::Grid);
+        assert_eq!(classify("lower"), Column::Lower);
+        assert_eq!(classify("upper(n)"), Column::Upper);
+        assert_eq!(classify("measured"), Column::Measured);
+        assert_eq!(classify("meas/lower"), Column::Ratio);
+        assert_eq!(classify("gap"), Column::Ratio);
+    }
+
+    #[test]
+    fn e2_records_have_the_full_schema() {
+        let out = run_experiment(ExperimentId::E2);
+        let doc = experiment_json(&out);
+        let rendered = doc.render();
+        assert!(rendered.contains("\"experiment\": \"E2\""), "{rendered}");
+        assert!(rendered.contains("\"records\""), "{rendered}");
+        assert!(rendered.contains("\"measured\""), "{rendered}");
+        assert!(rendered.contains("\"lower\""), "{rendered}");
+        assert!(rendered.contains("\"ratio\""), "{rendered}");
+        // E2 sweeps k, so every record's grid carries k.
+        assert!(rendered.contains("\"k\": 2"), "{rendered}");
+        assert_eq!(json_file_name(&out), "BENCH_e2.json");
+    }
+
+    #[test]
+    fn every_experiment_serializes_with_populated_records() {
+        for id in crate::all_experiments() {
+            let out = run_experiment(id);
+            let doc = experiment_json(&out);
+            match &doc {
+                Json::Obj(fields) => {
+                    let records = fields
+                        .iter()
+                        .find(|(k, _)| k == "records")
+                        .map(|(_, v)| v)
+                        .expect("records field");
+                    match records {
+                        Json::Arr(rs) => {
+                            assert_eq!(rs.len(), out.table.len(), "{id}");
+                        }
+                        other => panic!("{id}: records not an array: {other:?}"),
+                    }
+                }
+                other => panic!("{id}: not an object: {other:?}"),
+            }
+        }
+    }
+}

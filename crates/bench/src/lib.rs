@@ -24,6 +24,8 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod json;
 pub mod table;
 
 pub use experiments::{all_experiments, run_experiment, ExperimentId};
+pub use json::{experiment_json, json_file_name};

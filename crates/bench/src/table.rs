@@ -35,6 +35,18 @@ impl Table {
         self.rows.len()
     }
 
+    /// The column headers.
+    #[must_use]
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The data rows, in insertion order.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Whether the table has no data rows.
     #[must_use]
     pub fn is_empty(&self) -> bool {

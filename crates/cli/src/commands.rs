@@ -6,9 +6,7 @@ use core::fmt::Write as _;
 use rstp_core::{bounds, TimingParams};
 use rstp_sim::adversary::{DeliveryPolicy, StepPolicy};
 use rstp_sim::distinguish;
-use rstp_sim::harness::{
-    random_input, run_configured, worst_case_effort, ProtocolKind, RunConfig,
-};
+use rstp_sim::harness::{random_input, run_configured, worst_case_effort, ProtocolKind, RunConfig};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -28,6 +26,7 @@ COMMANDS:
   curve         effort vs alphabet size    --c1 --c2 --d --kmax
   plan          smallest k for a latency   --c1 --c2 --d --target --kmax
   dist          effort distribution        --protocol --k --c1 --c2 --d --n --runs
+  net           real-time wire transfers   net <send|recv|bench> (run `rstp net help`)
 
 PROTOCOLS: alpha | beta | gamma | altbit | stenning | framed | pipelined
 STEP:      fast | slow | alternate | random
@@ -75,7 +74,11 @@ fn step_policy(args: &Args) -> Result<StepPolicy, ArgError> {
     }
 }
 
-fn delivery_policy(args: &Args, params: TimingParams, kind: ProtocolKind) -> Result<DeliveryPolicy, ArgError> {
+fn delivery_policy(
+    args: &Args,
+    params: TimingParams,
+    kind: ProtocolKind,
+) -> Result<DeliveryPolicy, ArgError> {
     let seed = args.get_u64("seed", 0)?;
     match args.get("delivery").unwrap_or("max") {
         "eager" => Ok(DeliveryPolicy::Eager),
@@ -109,7 +112,11 @@ pub fn cmd_bounds(args: &Args) -> Result<String, ArgError> {
     let mut out = String::new();
     let _ = writeln!(out, "parameters: {p}, k = {k}");
     let _ = writeln!(out, "effort bounds (ticks per message):");
-    let _ = writeln!(out, "  alpha (Fig 1)            = {:.3}", bounds::alpha_effort(p));
+    let _ = writeln!(
+        out,
+        "  alpha (Fig 1)            = {:.3}",
+        bounds::alpha_effort(p)
+    );
     let _ = writeln!(
         out,
         "  passive lower (Thm 5.3)  = {:.3}",
@@ -373,6 +380,7 @@ pub fn dispatch(args: &Args) -> Result<String, ArgError> {
         Some("curve") => cmd_curve(args),
         Some("plan") => cmd_plan(args),
         Some("dist") => cmd_dist(args),
+        Some("net") => crate::net::cmd_net(args),
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(ArgError(format!(
             "unknown command {other:?}; run `rstp help`"
@@ -405,8 +413,19 @@ mod tests {
     #[test]
     fn run_command_with_explicit_input() {
         let out = run(&[
-            "run", "--protocol", "beta", "--k", "3", "--c1", "1", "--c2", "2", "--d", "6",
-            "--input", "10110",
+            "run",
+            "--protocol",
+            "beta",
+            "--k",
+            "3",
+            "--c1",
+            "1",
+            "--c2",
+            "2",
+            "--d",
+            "6",
+            "--input",
+            "10110",
         ])
         .unwrap();
         assert!(out.contains("Y = X (exact)"), "{out}");
@@ -416,7 +435,16 @@ mod tests {
     #[test]
     fn trace_command_renders_events() {
         let out = run(&[
-            "trace", "--protocol", "alpha", "--c1", "2", "--c2", "3", "--d", "6", "--input",
+            "trace",
+            "--protocol",
+            "alpha",
+            "--c1",
+            "2",
+            "--c2",
+            "3",
+            "--d",
+            "6",
+            "--input",
             "10",
         ])
         .unwrap();
@@ -427,8 +455,18 @@ mod tests {
     #[test]
     fn trace_command_formats() {
         let base = [
-            "trace", "--protocol", "alpha", "--c1", "2", "--c2", "3", "--d", "6", "--input",
-            "10", "--format",
+            "trace",
+            "--protocol",
+            "alpha",
+            "--c1",
+            "2",
+            "--c2",
+            "3",
+            "--d",
+            "6",
+            "--input",
+            "10",
+            "--format",
         ];
         let timeline = run(&[&base[..], &["timeline"]].concat()).unwrap();
         assert!(timeline.contains("chan |"), "{timeline}");
@@ -440,7 +478,15 @@ mod tests {
     #[test]
     fn effort_command_reports_bounds() {
         let out = run(&[
-            "effort", "--protocol", "gamma", "--k", "4", "--n", "60", "--seed", "3",
+            "effort",
+            "--protocol",
+            "gamma",
+            "--k",
+            "4",
+            "--n",
+            "60",
+            "--seed",
+            "3",
         ])
         .unwrap();
         assert!(out.contains("worst effort"));
@@ -450,8 +496,19 @@ mod tests {
     #[test]
     fn distinguish_command() {
         let out = run(&[
-            "distinguish", "--protocol", "beta", "--k", "2", "--n", "6", "--c1", "1", "--c2",
-            "1", "--d", "3",
+            "distinguish",
+            "--protocol",
+            "beta",
+            "--k",
+            "2",
+            "--n",
+            "6",
+            "--c1",
+            "1",
+            "--c2",
+            "1",
+            "--d",
+            "3",
         ])
         .unwrap();
         assert!(out.contains("injective"), "{out}");
@@ -486,7 +543,15 @@ mod tests {
     #[test]
     fn dist_command() {
         let out = run(&[
-            "dist", "--protocol", "beta", "--k", "4", "--n", "40", "--runs", "4",
+            "dist",
+            "--protocol",
+            "beta",
+            "--k",
+            "4",
+            "--n",
+            "40",
+            "--runs",
+            "4",
         ])
         .unwrap();
         assert!(out.contains("4 random schedules"), "{out}");

@@ -7,10 +7,12 @@
 //! rstp effort --protocol beta --k 8 --n 512
 //! rstp distinguish --protocol beta --k 2 --n 8 --c1 1 --c2 1 --d 3
 //! rstp curve  --c1 1 --c2 2 --d 12 --kmax 32
+//! rstp net bench --protocol beta --k 4 --n 4096
 //! ```
 
 mod args;
 mod commands;
+mod net;
 
 use std::process::ExitCode;
 

@@ -13,7 +13,8 @@
 #[must_use]
 pub fn bits_to_u128(bits: &[bool]) -> u128 {
     assert!(bits.len() <= 128, "more than 128 bits");
-    bits.iter().fold(0u128, |acc, &b| (acc << 1) | u128::from(b))
+    bits.iter()
+        .fold(0u128, |acc, &b| (acc << 1) | u128::from(b))
 }
 
 /// Writes `value` as exactly `width` bits, most-significant first.
@@ -30,10 +31,7 @@ pub fn u128_to_bits(value: u128, width: usize) -> Vec<bool> {
             "value {value} does not fit in {width} bits"
         );
     }
-    (0..width)
-        .rev()
-        .map(|i| (value >> i) & 1 == 1)
-        .collect()
+    (0..width).rev().map(|i| (value >> i) & 1 == 1).collect()
 }
 
 /// Expands bytes into bits, most-significant bit of each byte first.

@@ -302,7 +302,10 @@ mod tests {
         let c = BlockCodec::new(2, 7).unwrap();
         assert!(matches!(
             c.encode_block(&[true]),
-            Err(CodecError::WrongBlockLength { expected: 3, actual: 1 })
+            Err(CodecError::WrongBlockLength {
+                expected: 3,
+                actual: 1
+            })
         ));
     }
 
@@ -315,7 +318,10 @@ mod tests {
         let bad = Multiset::from_symbols(2, &[1, 1, 1, 1, 1, 1]);
         assert!(matches!(
             c.decode_block(&bad),
-            Err(CodecError::NotACodeword { rank: 6, codewords: 4 })
+            Err(CodecError::NotACodeword {
+                rank: 6,
+                codewords: 4
+            })
         ));
     }
 

@@ -132,11 +132,7 @@ impl Multiset {
     #[must_use]
     pub fn is_submultiset_of(&self, other: &Multiset) -> bool {
         self.universe() == other.universe()
-            && self
-                .counts
-                .iter()
-                .zip(&other.counts)
-                .all(|(a, b)| a <= b)
+            && self.counts.iter().zip(&other.counts).all(|(a, b)| a <= b)
     }
 
     /// Multiset union-with-sum: multiplicities add.

@@ -53,7 +53,10 @@ impl fmt::Display for RankError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RankError::WrongSize { expected, actual } => {
-                write!(f, "multiset has {actual} elements, codec expects {expected}")
+                write!(
+                    f,
+                    "multiset has {actual} elements, codec expects {expected}"
+                )
             }
             RankError::WrongUniverse { expected, actual } => {
                 write!(f, "multiset universe {actual}, codec expects {expected}")
@@ -295,12 +298,18 @@ mod tests {
         let wrong_size = Multiset::from_symbols(3, &[0]);
         assert!(matches!(
             codec.rank(&wrong_size),
-            Err(RankError::WrongSize { expected: 2, actual: 1 })
+            Err(RankError::WrongSize {
+                expected: 2,
+                actual: 1
+            })
         ));
         let wrong_universe = Multiset::from_symbols(4, &[0, 1]);
         assert!(matches!(
             codec.rank(&wrong_universe),
-            Err(RankError::WrongUniverse { expected: 3, actual: 4 })
+            Err(RankError::WrongUniverse {
+                expected: 3,
+                actual: 4
+            })
         ));
     }
 
@@ -334,7 +343,10 @@ mod tests {
         // Rank 0 is all-zeros; the last rank is all-(k-1).
         assert_eq!(codec.unrank(0).unwrap().to_sorted_vec(), vec![0, 0, 0, 0]);
         let last = codec.total() - 1;
-        assert_eq!(codec.unrank(last).unwrap().to_sorted_vec(), vec![4, 4, 4, 4]);
+        assert_eq!(
+            codec.unrank(last).unwrap().to_sorted_vec(),
+            vec![4, 4, 4, 4]
+        );
     }
 
     #[test]

@@ -238,7 +238,10 @@ mod tests {
 
     #[test]
     fn display_strings() {
-        assert_eq!(RstpAction::Send(Packet::Data(7)).to_string(), "send(data(7))");
+        assert_eq!(
+            RstpAction::Send(Packet::Data(7)).to_string(),
+            "send(data(7))"
+        );
         assert_eq!(RstpAction::Recv(Packet::Ack(0)).to_string(), "recv(ack(0))");
         assert_eq!(RstpAction::Write(true).to_string(), "write(1)");
         assert_eq!(

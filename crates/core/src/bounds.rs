@@ -316,10 +316,7 @@ mod tests {
                 let exact_mu = log2_f64(mu(k, n).unwrap());
                 assert!((log2_mu(k, n) - exact_mu).abs() < 1e-9);
                 let exact_zeta = log2_f64(zeta(k, n).unwrap());
-                assert!(
-                    (log2_zeta(k, n) - exact_zeta).abs() < 1e-9,
-                    "zeta({k},{n})"
-                );
+                assert!((log2_zeta(k, n) - exact_zeta).abs() < 1e-9, "zeta({k},{n})");
             }
         }
     }
@@ -352,10 +349,7 @@ mod tests {
                     passive_lower(p, k) <= passive_upper(p, k),
                     "passive k={k} {p}"
                 );
-                assert!(
-                    active_lower(p, k) <= active_upper(p, k),
-                    "active k={k} {p}"
-                );
+                assert!(active_lower(p, k) <= active_upper(p, k), "active k={k} {p}");
             }
         }
     }
@@ -391,13 +385,11 @@ mod tests {
         }
         let big = 10_000_000usize;
         assert!(
-            (passive_upper_finite(p, k, big) - passive_upper(p, k)).abs()
-                / passive_upper(p, k)
+            (passive_upper_finite(p, k, big) - passive_upper(p, k)).abs() / passive_upper(p, k)
                 < 0.01
         );
         assert!(
-            (active_upper_finite(p, k, big) - active_upper(p, k)).abs() / active_upper(p, k)
-                < 0.01
+            (active_upper_finite(p, k, big) - active_upper(p, k)).abs() / active_upper(p, k) < 0.01
         );
         assert_eq!(passive_upper_finite(p, k, 0), 0.0);
         assert_eq!(active_upper_finite(p, k, 0), 0.0);
@@ -470,9 +462,9 @@ mod tests {
     #[test]
     fn min_alphabet_scan() {
         let p = params(); // δ1 = 6, δ2 = 4
-        // The k=2 passive guarantee is 2·6·3/2 = 18; asking for 18 should
-        // return 2, asking for something only a larger alphabet meets
-        // should return that k, and an impossible target returns None.
+                          // The k=2 passive guarantee is 2·6·3/2 = 18; asking for 18 should
+                          // return 2, asking for something only a larger alphabet meets
+                          // should return that k, and an impossible target returns None.
         let at2 = passive_upper(p, 2);
         assert_eq!(min_alphabet_for(p, Family::Passive, at2, 64), Some(2));
         let at16 = passive_upper(p, 16);

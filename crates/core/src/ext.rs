@@ -198,7 +198,9 @@ impl TimingParamsExt {
         if self.window().is_zero() {
             return 0;
         }
-        self.window().div_ceil(self.transmitter.c1).saturating_sub(1)
+        self.window()
+            .div_ceil(self.transmitter.c1)
+            .saturating_sub(1)
     }
 
     /// Builds the window-optimized r-passive transmitter: bursts of `δ1`

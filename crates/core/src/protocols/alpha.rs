@@ -345,10 +345,7 @@ mod tests {
         let err = t.step(&s0, &RstpAction::Send(Packet::Data(0)));
         assert!(matches!(err, Err(StepError::PreconditionFalse { .. })));
         // wait_t before any send: j = 0.
-        let err = t.step(
-            &s0,
-            &RstpAction::TransmitterInternal(InternalKind::Wait),
-        );
+        let err = t.step(&s0, &RstpAction::TransmitterInternal(InternalKind::Wait));
         assert!(matches!(err, Err(StepError::PreconditionFalse { .. })));
         // send twice in a row.
         let s1 = t.step(&s0, &RstpAction::Send(Packet::Data(1))).unwrap();

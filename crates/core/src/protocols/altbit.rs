@@ -57,11 +57,7 @@ impl AltBitTransmitter {
     /// `⌈(2d + 2·c2) / c1⌉ + 1` steps (data out ≤ `d`, ack turnaround
     /// ≤ `c2` + one receiver queue slot ≤ `c2`, ack back ≤ `d`).
     #[must_use]
-    pub fn new(
-        params: TimingParams,
-        input: Vec<Message>,
-        timeout_steps: Option<u64>,
-    ) -> Self {
+    pub fn new(params: TimingParams, input: Vec<Message>, timeout_steps: Option<u64>) -> Self {
         let default = (2 * params.d() + 2 * params.c2()).div_ceil(params.c1()) + 1;
         AltBitTransmitter {
             input,
@@ -257,9 +253,7 @@ impl Automaton for AltBitReceiver {
                 }),
             },
             RstpAction::Write(m) => {
-                if state.written >= state.received.len()
-                    || *m != state.received[state.written]
-                {
+                if state.written >= state.received.len() || *m != state.received[state.written] {
                     return Err(StepError::PreconditionFalse {
                         action: format!("{action:?}"),
                         reason: "write requires the next accepted message".into(),

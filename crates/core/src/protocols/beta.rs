@@ -227,9 +227,7 @@ impl Automaton for BetaTransmitter {
                 }
                 let expected = self.blocks[state.block][state.step_in_round as usize];
                 if *symbol != expected {
-                    return Err(precondition_false(format!(
-                        "p must equal x̂_i = {expected}"
-                    )));
+                    return Err(precondition_false(format!("p must equal x̂_i = {expected}")));
                 }
                 Ok(self.advance(state))
             }
@@ -288,11 +286,7 @@ impl BetaReceiver {
     /// # Errors
     ///
     /// Same conditions as [`BetaReceiver::new`].
-    pub fn with_burst(
-        k: u64,
-        burst_len: u64,
-        expected_bits: usize,
-    ) -> Result<Self, ProtocolError> {
+    pub fn with_burst(k: u64, burst_len: u64, expected_bits: usize) -> Result<Self, ProtocolError> {
         if k < 2 {
             return Err(ProtocolError::AlphabetTooSmall { k });
         }

@@ -331,8 +331,7 @@ mod tests {
     fn header_overhead_is_a_constant_number_of_bursts() {
         let p = params();
         let small = FramedTransmitter::new(p, 4, &[true; 10]).unwrap();
-        let plain =
-            crate::protocols::beta::BetaTransmitter::new(p, 4, &[true; 10]).unwrap();
+        let plain = crate::protocols::beta::BetaTransmitter::new(p, 4, &[true; 10]).unwrap();
         let overhead = small.num_blocks() - plain.num_blocks();
         // ceil(64 / b) bursts of header, within one burst of exactly that
         // (alignment of header and payload in one stream).

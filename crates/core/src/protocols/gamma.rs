@@ -186,9 +186,7 @@ impl Automaton for GammaTransmitter {
                 }
                 let expected = self.blocks[state.block][state.step_in_burst as usize];
                 if *symbol != expected {
-                    return Err(precondition_false(format!(
-                        "p must equal x̂_i = {expected}"
-                    )));
+                    return Err(precondition_false(format!("p must equal x̂_i = {expected}")));
                 }
                 Ok(GammaTransmitterState {
                     step_in_burst: state.step_in_burst + 1,
@@ -319,8 +317,7 @@ impl Automaton for GammaReceiver {
                 if next.burst.len() == self.codec.packets_per_block() {
                     match self.codec.decode_block(&next.burst) {
                         Ok(bits) => {
-                            let remaining =
-                                self.expected_bits.saturating_sub(next.decoded.len());
+                            let remaining = self.expected_bits.saturating_sub(next.decoded.len());
                             let take = bits.len().min(remaining);
                             next.decoded.extend_from_slice(&bits[..take]);
                         }

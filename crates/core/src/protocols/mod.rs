@@ -64,9 +64,7 @@ impl From<CodecError> for ProtocolError {
 }
 
 pub use alpha::{AlphaReceiver, AlphaReceiverState, AlphaTransmitter, AlphaTransmitterState};
-pub use altbit::{
-    AltBitReceiver, AltBitReceiverState, AltBitTransmitter, AltBitTransmitterState,
-};
+pub use altbit::{AltBitReceiver, AltBitReceiverState, AltBitTransmitter, AltBitTransmitterState};
 pub use beta::{BetaReceiver, BetaReceiverState, BetaTransmitter, BetaTransmitterState};
 pub use framed::{FramedReceiver, FramedReceiverState, FramedTransmitter};
 pub use gamma::{GammaReceiver, GammaReceiverState, GammaTransmitter, GammaTransmitterState};

@@ -133,8 +133,7 @@ impl PipelinedTransmitter {
     }
 
     fn may_send(&self, s: &PipelinedTransmitterState) -> bool {
-        s.sending_block < self.blocks.len()
-            && s.sending_block < s.low_block + self.window as usize
+        s.sending_block < self.blocks.len() && s.sending_block < s.low_block + self.window as usize
     }
 
     fn done(&self, s: &PipelinedTransmitterState) -> bool {
@@ -195,8 +194,7 @@ impl Automaton for PipelinedTransmitter {
                 // The unique outstanding block with this tag sits at window
                 // offset (tag - low_block) mod w.
                 let w = self.window;
-                let offset =
-                    ((tag % w) + w - (next.low_block as u64 % w)) % w;
+                let offset = ((tag % w) + w - (next.low_block as u64 % w)) % w;
                 next.acks[offset as usize] += 1;
                 // Retire fully acknowledged bursts from the front.
                 while next.acks.front().is_some_and(|&a| a >= self.delta2)
@@ -409,9 +407,7 @@ impl Automaton for PipelinedReceiver {
                 }),
             },
             RstpAction::Write(m) => {
-                if state.written >= state.decoded.len()
-                    || *m != state.decoded[state.written]
-                {
+                if state.written >= state.decoded.len() || *m != state.decoded[state.written] {
                     return Err(StepError::PreconditionFalse {
                         action: format!("{action:?}"),
                         reason: "write requires the next committed message".into(),

@@ -57,11 +57,7 @@ impl StenningTransmitter {
     /// Creates the transmitter; `timeout_steps = None` picks the same safe
     /// default as the alternating-bit baseline.
     #[must_use]
-    pub fn new(
-        params: TimingParams,
-        input: Vec<Message>,
-        timeout_steps: Option<u64>,
-    ) -> Self {
+    pub fn new(params: TimingParams, input: Vec<Message>, timeout_steps: Option<u64>) -> Self {
         let default = (2 * params.d() + 2 * params.c2()).div_ceil(params.c1()) + 1;
         StenningTransmitter {
             input,
@@ -76,10 +72,7 @@ impl StenningTransmitter {
     }
 
     fn current_packet(&self, state: &StenningTransmitterState) -> Packet {
-        Packet::Data(encode_symbol(
-            state.next as u64,
-            self.input[state.next],
-        ))
+        Packet::Data(encode_symbol(state.next as u64, self.input[state.next]))
     }
 }
 
@@ -254,9 +247,7 @@ impl Automaton for StenningReceiver {
                 }),
             },
             RstpAction::Write(m) => {
-                if state.written >= state.received.len()
-                    || *m != state.received[state.written]
-                {
+                if state.written >= state.received.len() || *m != state.received[state.written] {
                     return Err(StepError::PreconditionFalse {
                         action: format!("{action:?}"),
                         reason: "write requires the next accepted message".into(),

@@ -1,0 +1,248 @@
+//! Wall-clock channel model `C(P)` for the in-process transport.
+//!
+//! The paper's channel axioms (§2) say every packet sent at time `t` is
+//! delivered at some time in `[t, t + d]`, possibly reordered relative to
+//! other in-flight packets. [`ChannelConfig`] expresses that contract in
+//! wall-clock terms — delays are drawn in ticks, capped at `d`, and scaled
+//! by the tick duration — plus the optional loss/duplication faults that
+//! `rstp_sim::adversary::DeliveryPolicy::Faulty` injects in the simulator.
+
+use rand::{Rng, SeedableRng};
+use rstp_core::TimingParams;
+use std::time::Duration;
+
+/// How the channel draws a delivery delay (in ticks) for each packet.
+///
+/// A fixed delay (`lo == hi`) preserves FIFO order; a genuine interval
+/// gives consecutive packets overlapping delivery windows, so later
+/// packets can overtake earlier ones — the reorder freedom of `C(P)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DelayModel {
+    /// Minimum delay in ticks.
+    pub lo: u64,
+    /// Maximum delay in ticks.
+    pub hi: u64,
+}
+
+impl DelayModel {
+    /// Deliver immediately — the simulator's `Eager` policy.
+    pub fn eager() -> Self {
+        DelayModel { lo: 0, hi: 0 }
+    }
+
+    /// Always delay the full `d` ticks — the simulator's `MaxDelay`
+    /// policy. FIFO order is preserved because the delay is constant.
+    pub fn max(params: TimingParams) -> Self {
+        let d = params.d().ticks();
+        DelayModel { lo: d, hi: d }
+    }
+
+    /// Draw uniformly from `[lo, hi]` ticks.
+    pub fn uniform(lo: u64, hi: u64) -> Self {
+        DelayModel {
+            lo: lo.min(hi),
+            hi: hi.max(lo),
+        }
+    }
+
+    /// Clamps both endpoints to the delay bound `d`.
+    pub fn clamped(self, params: TimingParams) -> Self {
+        let d = params.d().ticks();
+        DelayModel {
+            lo: self.lo.min(d),
+            hi: self.hi.min(d),
+        }
+    }
+}
+
+/// Full channel configuration: delay model, fault rates, and the mapping
+/// from abstract ticks to wall-clock time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChannelConfig {
+    /// Delay distribution, in ticks.
+    pub delay: DelayModel,
+    /// Probability in `[0, 1]` that a packet is silently dropped.
+    pub loss: f64,
+    /// Probability in `[0, 1]` that a packet is delivered twice (the
+    /// second copy gets an independently drawn delay).
+    pub duplication: f64,
+    /// Seed for the channel's deterministic PRNG.
+    pub seed: u64,
+    /// Wall-clock length of one abstract tick.
+    pub tick: Duration,
+}
+
+impl ChannelConfig {
+    /// A reliable channel honouring the full delay bound `d`: uniform
+    /// delays in `[0, d]` ticks, no loss, no duplication.
+    pub fn reliable(params: TimingParams, tick: Duration, seed: u64) -> Self {
+        ChannelConfig {
+            delay: DelayModel::uniform(0, params.d().ticks()),
+            loss: 0.0,
+            duplication: 0.0,
+            seed,
+            tick,
+        }
+    }
+
+    /// An eager channel that delivers instantly — the fastest adversary.
+    pub fn eager(tick: Duration, seed: u64) -> Self {
+        ChannelConfig {
+            delay: DelayModel::eager(),
+            loss: 0.0,
+            duplication: 0.0,
+            seed,
+            tick,
+        }
+    }
+
+    /// A channel that always takes the full `d` ticks — the slowest
+    /// reliable adversary, matching the simulator's worst-case runs.
+    pub fn max_delay(params: TimingParams, tick: Duration, seed: u64) -> Self {
+        ChannelConfig {
+            delay: DelayModel::max(params),
+            loss: 0.0,
+            duplication: 0.0,
+            seed,
+            tick,
+        }
+    }
+}
+
+/// What the channel decided to do with one packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Deliver once after the given wall-clock delay.
+    Deliver(Duration),
+    /// Drop silently.
+    Drop,
+    /// Deliver twice, each copy after its own delay.
+    Duplicate(Duration, Duration),
+}
+
+/// Per-direction sampler turning a [`ChannelConfig`] into concrete
+/// wall-clock delays and fault decisions. Deterministic in the seed.
+#[derive(Debug)]
+pub struct ChannelSampler {
+    config: ChannelConfig,
+    rng: rand::rngs::StdRng,
+}
+
+impl ChannelSampler {
+    /// Creates a sampler for one channel direction. `stream` separates the
+    /// two directions of a duplex channel so they draw independent
+    /// sequences from the same configured seed.
+    pub fn new(config: ChannelConfig, stream: u64) -> Self {
+        ChannelSampler {
+            config,
+            rng: rand::rngs::StdRng::seed_from_u64(
+                config.seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            ),
+        }
+    }
+
+    /// Decides the fate of the next packet.
+    pub fn next_verdict(&mut self) -> Verdict {
+        if self.config.loss > 0.0 && self.rng.gen_bool(self.config.loss) {
+            return Verdict::Drop;
+        }
+        let first = self.next_delay();
+        if self.config.duplication > 0.0 && self.rng.gen_bool(self.config.duplication) {
+            let second = self.next_delay();
+            return Verdict::Duplicate(first, second);
+        }
+        Verdict::Deliver(first)
+    }
+
+    fn next_delay(&mut self) -> Duration {
+        let DelayModel { lo, hi } = self.config.delay;
+        let ticks = if lo >= hi {
+            lo
+        } else {
+            self.rng.gen_range(lo..=hi)
+        };
+        self.config.tick * u32::try_from(ticks).unwrap_or(u32::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> TimingParams {
+        TimingParams::from_ticks(1, 2, 8).expect("valid")
+    }
+
+    #[test]
+    fn reliable_spans_zero_to_d() {
+        let cfg = ChannelConfig::reliable(params(), Duration::from_micros(100), 7);
+        assert_eq!(cfg.delay, DelayModel { lo: 0, hi: 8 });
+        let wide = DelayModel::uniform(3, 99).clamped(params());
+        assert_eq!(wide, DelayModel { lo: 3, hi: 8 });
+    }
+
+    #[test]
+    fn max_delay_is_constant_at_d() {
+        let tick = Duration::from_micros(100);
+        let cfg = ChannelConfig::max_delay(params(), tick, 1);
+        let mut s = ChannelSampler::new(cfg, 0);
+        for _ in 0..16 {
+            assert_eq!(s.next_verdict(), Verdict::Deliver(tick * 8));
+        }
+    }
+
+    #[test]
+    fn sampler_is_deterministic_per_seed_and_stream() {
+        let cfg = ChannelConfig::reliable(params(), Duration::from_micros(50), 42);
+        let mut a = ChannelSampler::new(cfg, 0);
+        let mut b = ChannelSampler::new(cfg, 0);
+        let seq_a: Vec<Verdict> = (0..32).map(|_| a.next_verdict()).collect();
+        let seq_b: Vec<Verdict> = (0..32).map(|_| b.next_verdict()).collect();
+        assert_eq!(seq_a, seq_b);
+
+        let mut c = ChannelSampler::new(cfg, 1);
+        let seq_c: Vec<Verdict> = (0..32).map(|_| c.next_verdict()).collect();
+        assert_ne!(seq_a, seq_c, "streams must diverge");
+    }
+
+    #[test]
+    fn delays_respect_the_bound() {
+        let tick = Duration::from_micros(100);
+        let cfg = ChannelConfig::reliable(params(), tick, 5);
+        let cap = tick * 8;
+        let mut s = ChannelSampler::new(cfg, 0);
+        for _ in 0..256 {
+            match s.next_verdict() {
+                Verdict::Deliver(dl) => assert!(dl <= cap),
+                Verdict::Duplicate(a, b) => {
+                    assert!(a <= cap && b <= cap)
+                }
+                Verdict::Drop => panic!("reliable channel must not drop"),
+            }
+        }
+    }
+
+    #[test]
+    fn faults_fire_at_configured_rates() {
+        let tick = Duration::from_micros(10);
+        let cfg = ChannelConfig {
+            delay: DelayModel::eager(),
+            loss: 0.5,
+            duplication: 0.5,
+            seed: 99,
+            tick,
+        };
+        let mut s = ChannelSampler::new(cfg, 0);
+        let mut drops = 0;
+        let mut dups = 0;
+        for _ in 0..1000 {
+            match s.next_verdict() {
+                Verdict::Drop => drops += 1,
+                Verdict::Duplicate(..) => dups += 1,
+                Verdict::Deliver(_) => {}
+            }
+        }
+        assert!((300..700).contains(&drops), "drops={drops}");
+        assert!((100..500).contains(&dups), "dups={dups}");
+    }
+}

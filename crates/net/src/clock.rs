@@ -1,0 +1,121 @@
+//! Tick-to-wall-clock mapping for the real-time driver.
+//!
+//! The paper measures time in abstract units; the simulator counts ticks.
+//! [`TickClock`] anchors an epoch `Instant` and converts tick counts into
+//! absolute deadlines, so scheduling drift does not accumulate: sleeping
+//! to `epoch + n·tick` self-corrects even when individual sleeps overshoot.
+
+use std::time::{Duration, Instant};
+
+/// A wall clock anchored at an epoch, graduated in fixed-length ticks.
+#[derive(Clone, Copy, Debug)]
+pub struct TickClock {
+    epoch: Instant,
+    tick: Duration,
+}
+
+impl TickClock {
+    /// Starts a clock now with the given tick length.
+    pub fn start(tick: Duration) -> Self {
+        TickClock {
+            epoch: Instant::now(),
+            tick,
+        }
+    }
+
+    /// A clock sharing an existing epoch — both endpoints of an
+    /// in-process transfer use this so their microsecond readings are
+    /// directly comparable for latency measurement.
+    pub fn with_epoch(epoch: Instant, tick: Duration) -> Self {
+        TickClock { epoch, tick }
+    }
+
+    /// The clock's epoch.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Wall-clock length of one tick.
+    pub fn tick(&self) -> Duration {
+        self.tick
+    }
+
+    /// Microseconds elapsed since the epoch.
+    pub fn now_micros(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// The absolute instant of tick `n`.
+    pub fn instant_of_tick(&self, n: u64) -> Instant {
+        self.epoch + self.tick * u32::try_from(n).unwrap_or(u32::MAX)
+    }
+
+    /// Converts a wall-clock duration into (possibly fractional, rounded
+    /// up) ticks — used to express measured effort in the paper's units.
+    pub fn duration_to_ticks(&self, d: Duration) -> f64 {
+        if self.tick.is_zero() {
+            return 0.0;
+        }
+        d.as_secs_f64() / self.tick.as_secs_f64()
+    }
+
+    /// Sleeps until `deadline` and reports the overshoot: how far past the
+    /// deadline the caller actually woke. A deadline already in the past
+    /// sleeps nothing and reports the full lateness.
+    pub fn sleep_until(&self, deadline: Instant) -> Duration {
+        let now = Instant::now();
+        if deadline > now {
+            std::thread::sleep(deadline - now);
+        }
+        Instant::now().saturating_duration_since(deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_instants_are_multiples_of_the_tick() {
+        let tick = Duration::from_micros(100);
+        let clock = TickClock::start(tick);
+        assert_eq!(
+            clock.instant_of_tick(10) - clock.epoch(),
+            Duration::from_millis(1)
+        );
+        assert_eq!(clock.instant_of_tick(0), clock.epoch());
+    }
+
+    #[test]
+    fn duration_to_ticks_scales() {
+        let clock = TickClock::start(Duration::from_micros(200));
+        let ticks = clock.duration_to_ticks(Duration::from_millis(1));
+        assert!((ticks - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sleep_until_past_deadline_reports_lateness() {
+        let clock = TickClock::start(Duration::from_micros(100));
+        let overshoot = clock.sleep_until(Instant::now() - Duration::from_millis(5));
+        assert!(overshoot >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn sleep_until_future_deadline_waits() {
+        let clock = TickClock::start(Duration::from_micros(100));
+        let deadline = Instant::now() + Duration::from_millis(10);
+        let overshoot = clock.sleep_until(deadline);
+        assert!(Instant::now() >= deadline);
+        // Overshoot is OS scheduling noise; it must at least be measured.
+        assert!(overshoot < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn shared_epoch_clocks_agree() {
+        let epoch = Instant::now();
+        let a = TickClock::with_epoch(epoch, Duration::from_micros(100));
+        let b = TickClock::with_epoch(epoch, Duration::from_micros(100));
+        let (ta, tb) = (a.now_micros(), b.now_micros());
+        assert!(tb.abs_diff(ta) < 50_000, "clocks diverged: {ta} vs {tb}");
+    }
+}

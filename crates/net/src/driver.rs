@@ -1,0 +1,472 @@
+//! The real-time driver: steps one protocol automaton against the wall
+//! clock instead of simulated ticks.
+//!
+//! # Scheduling
+//!
+//! The simulator's engine grants each process one local step every
+//! `[c1, c2]` ticks. Here the tick is a real [`Duration`] and the driver
+//! targets a fixed pace inside the window — `c1` ticks per step
+//! ([`Pace::Fast`]) or `c2` ticks ([`Pace::Slow`]). Deadlines are computed
+//! as absolute instants from the clock's epoch (`next += gap`), so a late
+//! wake-up does not shift every later step: the schedule self-corrects
+//! instead of drifting.
+//!
+//! An operating system cannot honour the paper's idealized timing axioms
+//! exactly, so the driver *measures* its misses rather than pretending:
+//! every wake-up later than the deadline by more than the configured
+//! slack counts a `deadline_miss`, and every observed step gap outside
+//! `[c1·tick − slack, c2·tick + slack]` counts a `timing_violation`.
+//! Runs at [`Pace::Slow`] sit exactly on the upper boundary, which is why
+//! the tolerance exists; `docs/NET.md` discusses the deviation.
+//!
+//! # Step semantics
+//!
+//! Before each local step the driver drains the transport and applies
+//! every received packet as a `recv` input (inputs are channel outputs,
+//! not clocked by `[c1, c2]` — same as the simulator). Then the unique
+//! enabled local action fires: `send` goes to the transport stamped with
+//! the local clock, `write` appends to the output, `wait`/`idle` just
+//! tick. Zero enabled actions means the automaton quiesced; more than one
+//! is a determinism violation, reported exactly as the simulator does.
+//!
+//! # Termination
+//!
+//! A single endpoint cannot see the global "settled" condition the
+//! simulator uses (peer quiescent and channel empty), so it infers
+//! completion locally: once its own work looks done — `expected_writes`
+//! reached on a receiver, only idle actions enabled on a transmitter —
+//! it keeps stepping through a grace period of `grace_ticks` (default
+//! `d + 2·c2`, long enough for any in-flight packet to land and be
+//! answered) and stops only if nothing arrived meanwhile. A hard
+//! wall-clock cap (`max_wall`) guards against a peer that never shows up.
+
+use crate::clock::TickClock;
+use crate::error::NetError;
+use crate::histogram::LatencyHistogram;
+use crate::transport::{Transport, TransportStats};
+use rstp_automata::Automaton;
+use rstp_core::{Message, Packet, RstpAction, TimingParams};
+use std::time::Duration;
+
+/// Which point of the `[c1, c2]` window the driver paces at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pace {
+    /// Step every `c1` ticks — the fastest legal process.
+    Fast,
+    /// Step every `c2` ticks — the slowest legal process (the adversary
+    /// the worst-case effort bounds are stated against).
+    Slow,
+}
+
+impl Pace {
+    /// The pace's step gap in ticks under `params`.
+    pub fn gap_ticks(self, params: TimingParams) -> u64 {
+        match self {
+            Pace::Fast => params.c1().ticks(),
+            Pace::Slow => params.c2().ticks(),
+        }
+    }
+}
+
+/// Configuration of one driven endpoint.
+#[derive(Clone, Copy, Debug)]
+pub struct DriverConfig {
+    /// Timing parameters `(c1, c2, d)` in ticks.
+    pub params: TimingParams,
+    /// Wall-clock length of one tick.
+    pub tick: Duration,
+    /// Step pace within `[c1, c2]`.
+    pub pace: Pace,
+    /// Timing tolerance for miss/violation accounting.
+    pub slack: Duration,
+    /// For receivers: stop (after the grace period) once this many
+    /// `write` actions have fired. `None` relies on quiescence alone.
+    pub expected_writes: Option<usize>,
+    /// How long (in ticks) the endpoint keeps stepping after it looks
+    /// locally done, to let in-flight traffic land.
+    pub grace_ticks: u64,
+    /// Hard wall-clock cap on the whole run.
+    pub max_wall: Duration,
+}
+
+impl DriverConfig {
+    /// A sensible default configuration: slow pace (the bounds' regime),
+    /// slack of a quarter tick, grace of `2·(d + c2)` ticks (a full
+    /// request/ack round trip with a step on each side — an ack-clocked
+    /// transmitter idles that long legitimately), and a generous wall cap.
+    pub fn new(params: TimingParams, tick: Duration) -> Self {
+        DriverConfig {
+            params,
+            tick,
+            pace: Pace::Slow,
+            slack: tick / 4,
+            expected_writes: None,
+            grace_ticks: 2 * (params.d().ticks() + params.c2().ticks()),
+            max_wall: Duration::from_secs(60),
+        }
+    }
+
+    /// Sets the expected write count (receiver endpoints).
+    pub fn with_expected_writes(mut self, n: usize) -> Self {
+        self.expected_writes = Some(n);
+        self
+    }
+
+    /// Sets the pace.
+    pub fn with_pace(mut self, pace: Pace) -> Self {
+        self.pace = pace;
+        self
+    }
+
+    /// Sets the hard wall-clock cap.
+    pub fn with_max_wall(mut self, cap: Duration) -> Self {
+        self.max_wall = cap;
+        self
+    }
+}
+
+/// How a driven run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriverOutcome {
+    /// The endpoint finished its work and the grace period drained quietly.
+    Completed,
+    /// The wall-clock cap expired first.
+    TimedOut,
+}
+
+/// Everything one endpoint observed during a driven run.
+#[derive(Clone, Debug)]
+pub struct DriverReport {
+    /// How the run ended.
+    pub outcome: DriverOutcome,
+    /// Local steps taken (each consumed one `[c1, c2]` window).
+    pub steps: u64,
+    /// Messages written by `write` actions, in order — the receiver's
+    /// output sequence `Y`.
+    pub written: Vec<Message>,
+    /// `send(p)` actions carrying data packets.
+    pub data_sends: u64,
+    /// `send(p)` actions carrying ack packets.
+    pub ack_sends: u64,
+    /// Packets applied as `recv` inputs.
+    pub recvs: u64,
+    /// `wait` internal steps.
+    pub wait_steps: u64,
+    /// `idle` internal steps.
+    pub idle_steps: u64,
+    /// Local clock (µs since epoch) of the last data send, if any.
+    pub last_data_send_micros: Option<u64>,
+    /// Local clock (µs since epoch) of the last write, if any.
+    pub last_write_micros: Option<u64>,
+    /// Wake-ups later than their deadline by more than the slack.
+    pub deadline_misses: u64,
+    /// Observed step gaps outside `[c1·tick − slack, c2·tick + slack]`.
+    pub timing_violations: u64,
+    /// Per-packet delivery latency (receiver-side clock minus the
+    /// `sent_at_micros` stamped into each frame). Only meaningful when
+    /// both endpoints share a clock epoch.
+    pub latency: LatencyHistogram,
+    /// Total wall-clock time from the clock's epoch to the last step.
+    pub wall_elapsed: Duration,
+    /// Transport counters at the end of the run.
+    pub transport: TransportStats,
+}
+
+impl DriverReport {
+    /// Wall-clock effort in ticks per message: time of the last data send
+    /// divided by `n` and the tick length — the real-time analogue of the
+    /// simulator's `t(last-send)/n`.
+    pub fn effort_ticks(&self, n: usize, tick: Duration) -> Option<f64> {
+        let last = self.last_data_send_micros?;
+        if n == 0 || tick.is_zero() {
+            return None;
+        }
+        Some(last as f64 / tick.as_micros() as f64 / n as f64)
+    }
+
+    /// Receiver-side learning effort in ticks per message:
+    /// `t(last-write)/n`.
+    pub fn learn_effort_ticks(&self, n: usize, tick: Duration) -> Option<f64> {
+        let last = self.last_write_micros?;
+        if n == 0 || tick.is_zero() {
+            return None;
+        }
+        Some(last as f64 / tick.as_micros() as f64 / n as f64)
+    }
+}
+
+/// Drives `automaton` over `transport` against `clock` until completion,
+/// per the module-level semantics.
+///
+/// # Errors
+///
+/// [`NetError`] on transport failure, a determinism violation, or an
+/// automaton rejecting a step the driver believed applicable.
+pub fn run_endpoint<A, T>(
+    automaton: &A,
+    transport: &mut T,
+    clock: TickClock,
+    config: &DriverConfig,
+) -> Result<DriverReport, NetError>
+where
+    A: Automaton<Action = RstpAction>,
+    T: Transport,
+{
+    let gap_ticks = config.pace.gap_ticks(config.params).max(1);
+    let gap = config.tick * u32::try_from(gap_ticks).unwrap_or(u32::MAX);
+    let lo = (config.tick * u32::try_from(config.params.c1().ticks()).unwrap_or(u32::MAX))
+        .saturating_sub(config.slack);
+    let hi =
+        config.tick * u32::try_from(config.params.c2().ticks()).unwrap_or(u32::MAX) + config.slack;
+    let idle_steps_needed = config.grace_ticks.div_ceil(gap_ticks).max(1);
+
+    let mut state = automaton.initial_state();
+    let mut report = DriverReport {
+        outcome: DriverOutcome::TimedOut,
+        steps: 0,
+        written: Vec::new(),
+        data_sends: 0,
+        ack_sends: 0,
+        recvs: 0,
+        wait_steps: 0,
+        idle_steps: 0,
+        last_data_send_micros: None,
+        last_write_micros: None,
+        deadline_misses: 0,
+        timing_violations: 0,
+        latency: LatencyHistogram::new(),
+        wall_elapsed: Duration::ZERO,
+        transport: TransportStats::default(),
+    };
+
+    // First local step at tick 0 — both the paper's constructions and the
+    // simulator start every process at time 0.
+    let mut deadline = clock.epoch();
+    let mut prev_wake: Option<std::time::Instant> = None;
+    let mut idle_streak: u64 = 0;
+
+    loop {
+        if clock.epoch().elapsed() > config.max_wall {
+            report.outcome = DriverOutcome::TimedOut;
+            break;
+        }
+        let overshoot = clock.sleep_until(deadline);
+        let wake = std::time::Instant::now();
+        if overshoot > config.slack {
+            report.deadline_misses += 1;
+        }
+        if let Some(prev) = prev_wake {
+            let observed = wake.saturating_duration_since(prev);
+            if observed < lo || observed > hi {
+                report.timing_violations += 1;
+            }
+        }
+        prev_wake = Some(wake);
+
+        // Apply every delivered packet as a recv input before the local
+        // step, mirroring the engine's input-before-step ordering at a
+        // shared instant.
+        let mut received_any = false;
+        while let Some(frame) = transport.poll_recv()? {
+            state = automaton
+                .step(&state, &RstpAction::Recv(frame.packet))
+                .map_err(|e| NetError::Automaton {
+                    what: e.to_string(),
+                })?;
+            let now_micros = clock.now_micros();
+            report
+                .latency
+                .record(now_micros.saturating_sub(frame.sent_at_micros));
+            report.recvs += 1;
+            received_any = true;
+        }
+
+        let enabled = automaton.enabled(&state);
+        let action = match enabled.as_slice() {
+            [] => None,
+            [a] => Some(*a),
+            many => {
+                return Err(NetError::Determinism {
+                    enabled: many.iter().map(|a| format!("{a:?}")).collect(),
+                })
+            }
+        };
+
+        let mut acted_productively = received_any;
+        if let Some(action) = action {
+            state = automaton
+                .step(&state, &action)
+                .map_err(|e| NetError::Automaton {
+                    what: e.to_string(),
+                })?;
+            report.steps += 1;
+            match action {
+                RstpAction::Send(p) => {
+                    let stamp = clock.now_micros();
+                    transport.send(p, stamp)?;
+                    match p {
+                        Packet::Data(_) => {
+                            report.data_sends += 1;
+                            report.last_data_send_micros = Some(stamp);
+                        }
+                        Packet::Ack(_) => report.ack_sends += 1,
+                    }
+                    acted_productively = true;
+                }
+                RstpAction::Write(m) => {
+                    report.written.push(m);
+                    report.last_write_micros = Some(clock.now_micros());
+                    acted_productively = true;
+                }
+                RstpAction::TransmitterInternal(k) | RstpAction::ReceiverInternal(k) => {
+                    // `wait` is productive work (a counted phase of the
+                    // beta/framed receivers); only `idle` marks the
+                    // endpoint as possibly done.
+                    if k == rstp_core::InternalKind::Wait {
+                        report.wait_steps += 1;
+                        acted_productively = true;
+                    } else {
+                        report.idle_steps += 1;
+                    }
+                }
+                RstpAction::Recv(_) => {
+                    return Err(NetError::Automaton {
+                        what: "recv reported as a locally controlled action".into(),
+                    })
+                }
+            }
+        }
+
+        let writes_done = config
+            .expected_writes
+            .is_none_or(|n| report.written.len() >= n);
+        if acted_productively || !writes_done {
+            idle_streak = 0;
+        } else {
+            idle_streak += 1;
+            if idle_streak >= idle_steps_needed {
+                report.outcome = DriverOutcome::Completed;
+                break;
+            }
+        }
+
+        deadline += gap;
+        // After a stall longer than a whole step gap, re-anchor from now:
+        // replaying the missed deadlines back-to-back would burst steps
+        // faster than c1 and turn one stall into many violations.
+        let now = std::time::Instant::now();
+        if now > deadline + gap {
+            deadline = now;
+        }
+    }
+
+    report.wall_elapsed = clock.epoch().elapsed();
+    report.transport = transport.local_stats();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chan::ChannelConfig;
+    use crate::mem::MemTransport;
+    use crate::wire::{ProtocolId, WireCodec};
+    use rstp_core::protocols::{AlphaReceiver, AlphaTransmitter};
+    use std::thread;
+
+    fn params() -> TimingParams {
+        TimingParams::from_ticks(1, 2, 4).expect("valid")
+    }
+
+    #[test]
+    fn alpha_pair_transfers_over_mem_transport() {
+        let p = params();
+        let tick = Duration::from_micros(300);
+        let input = vec![true, false, true, true, false, false, true];
+        let codec = WireCodec::new(ProtocolId::Alpha, 0).expect("codec");
+        let (mut t_end, mut r_end) = MemTransport::pair(codec, ChannelConfig::reliable(p, tick, 7));
+        let epoch = std::time::Instant::now();
+        let t_clock = TickClock::with_epoch(epoch, tick);
+        let r_clock = TickClock::with_epoch(epoch, tick);
+
+        let t_cfg = DriverConfig::new(p, tick);
+        let r_cfg = DriverConfig::new(p, tick).with_expected_writes(input.len());
+        let t_input = input.clone();
+        let t_handle = thread::spawn(move || {
+            let automaton = AlphaTransmitter::new(p, t_input);
+            run_endpoint(&automaton, &mut t_end, t_clock, &t_cfg)
+        });
+        let r_handle = thread::spawn(move || {
+            let automaton = AlphaReceiver::new();
+            run_endpoint(&automaton, &mut r_end, r_clock, &r_cfg)
+        });
+        let t_report = t_handle.join().expect("join").expect("transmitter");
+        let r_report = r_handle.join().expect("join").expect("receiver");
+
+        assert_eq!(t_report.outcome, DriverOutcome::Completed);
+        assert_eq!(r_report.outcome, DriverOutcome::Completed);
+        assert_eq!(r_report.written, input);
+        assert_eq!(t_report.data_sends, input.len() as u64);
+        assert_eq!(r_report.latency.count(), input.len() as u64);
+    }
+
+    #[test]
+    fn transmitter_alone_times_out_without_a_peer_only_if_acks_needed() {
+        // Alpha needs no acks, so a lone transmitter completes; the cap
+        // just has to be generous enough for the sends plus grace.
+        let p = params();
+        let tick = Duration::from_micros(200);
+        let codec = WireCodec::new(ProtocolId::Alpha, 0).expect("codec");
+        let (mut t_end, _r_end) = MemTransport::pair(codec, ChannelConfig::eager(tick, 1));
+        let automaton = AlphaTransmitter::new(p, vec![true, false]);
+        let cfg = DriverConfig::new(p, tick).with_max_wall(Duration::from_secs(10));
+        let report =
+            run_endpoint(&automaton, &mut t_end, TickClock::start(tick), &cfg).expect("run");
+        assert_eq!(report.outcome, DriverOutcome::Completed);
+        assert_eq!(report.data_sends, 2);
+    }
+
+    #[test]
+    fn receiver_times_out_when_no_traffic_arrives() {
+        let p = params();
+        let tick = Duration::from_micros(100);
+        let codec = WireCodec::new(ProtocolId::Alpha, 0).expect("codec");
+        let (mut r_end, _t_end) = MemTransport::pair(codec, ChannelConfig::eager(tick, 1));
+        let automaton = AlphaReceiver::new();
+        let cfg = DriverConfig::new(p, tick)
+            .with_expected_writes(3)
+            .with_max_wall(Duration::from_millis(100));
+        let report =
+            run_endpoint(&automaton, &mut r_end, TickClock::start(tick), &cfg).expect("run");
+        assert_eq!(report.outcome, DriverOutcome::TimedOut);
+        assert!(report.written.is_empty());
+    }
+
+    #[test]
+    fn effort_accessors_convert_micros_to_ticks() {
+        let tick = Duration::from_micros(100);
+        let mut report = DriverReport {
+            outcome: DriverOutcome::Completed,
+            steps: 0,
+            written: vec![true; 4],
+            data_sends: 4,
+            ack_sends: 0,
+            recvs: 0,
+            wait_steps: 0,
+            idle_steps: 0,
+            last_data_send_micros: Some(4_000),
+            last_write_micros: Some(4_400),
+            deadline_misses: 0,
+            timing_violations: 0,
+            latency: LatencyHistogram::new(),
+            wall_elapsed: Duration::from_millis(5),
+            transport: TransportStats::default(),
+        };
+        // 4000 µs / 100 µs-per-tick / 4 messages = 10 ticks per message.
+        assert_eq!(report.effort_ticks(4, tick), Some(10.0));
+        assert_eq!(report.learn_effort_ticks(4, tick), Some(11.0));
+        report.last_data_send_micros = None;
+        assert_eq!(report.effort_ticks(4, tick), None);
+        assert_eq!(report.effort_ticks(0, tick), None);
+    }
+}

@@ -1,0 +1,97 @@
+//! Error types of the wire transport subsystem.
+
+use crate::wire::WireError;
+use core::fmt;
+
+/// A failure in the transport layer or the real-time driver.
+#[derive(Debug)]
+pub enum NetError {
+    /// Frame encoding or decoding failed.
+    Wire(WireError),
+    /// A socket or channel operation failed.
+    Io(std::io::Error),
+    /// The in-process channel's peer endpoint is gone.
+    Disconnected,
+    /// Protocol construction failed.
+    Protocol(rstp_core::ProtocolError),
+    /// The requested protocol cannot run over this subsystem.
+    Unsupported {
+        /// Human-readable reason.
+        what: String,
+    },
+    /// The driven automaton rejected an action the driver believed
+    /// applicable — a model bug, mirroring `rstp_sim::SimError::Automaton`.
+    Automaton {
+        /// Rendered step error.
+        what: String,
+    },
+    /// More than one local action was enabled at a step (the protocols of
+    /// the paper are deterministic; this is a model bug).
+    Determinism {
+        /// Debug renderings of the enabled actions.
+        enabled: Vec<String>,
+    },
+    /// A transfer thread panicked or could not be joined.
+    Thread {
+        /// Which side failed.
+        what: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Wire(e) => write!(f, "wire codec: {e}"),
+            NetError::Io(e) => write!(f, "io: {e}"),
+            NetError::Disconnected => f.write_str("transport peer disconnected"),
+            NetError::Protocol(e) => write!(f, "protocol construction: {e}"),
+            NetError::Unsupported { what } => write!(f, "unsupported: {what}"),
+            NetError::Automaton { what } => write!(f, "automaton rejected a step: {what}"),
+            NetError::Determinism { enabled } => write!(
+                f,
+                "{} local actions enabled simultaneously: {enabled:?}",
+                enabled.len()
+            ),
+            NetError::Thread { what } => write!(f, "transfer thread: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<rstp_core::ProtocolError> for NetError {
+    fn from(e: rstp_core::ProtocolError) -> Self {
+        NetError::Protocol(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_layer() {
+        let e = NetError::Disconnected;
+        assert!(e.to_string().contains("disconnected"));
+        let e = NetError::Unsupported {
+            what: "beta-window".into(),
+        };
+        assert!(e.to_string().contains("beta-window"));
+        let e = NetError::Determinism {
+            enabled: vec!["a".into(), "b".into()],
+        };
+        assert!(e.to_string().contains("2 local actions"));
+    }
+}

@@ -1,0 +1,190 @@
+//! Logarithmically bucketed latency histogram for per-packet delivery
+//! times, cheap enough to update on the real-time driver's hot path.
+
+use core::fmt;
+
+/// Bucket boundaries in microseconds: powers of two from 1 µs up.
+const BUCKETS: usize = 32;
+
+/// A fixed-size log₂-bucketed histogram of microsecond latencies.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    sum_micros: u128,
+    min_micros: u64,
+    max_micros: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: [0; BUCKETS],
+            total: 0,
+            sum_micros: 0,
+            min_micros: u64::MAX,
+            max_micros: 0,
+        }
+    }
+
+    /// Records one latency observation.
+    pub fn record(&mut self, micros: u64) {
+        let bucket = (64 - micros.leading_zeros() as usize).min(BUCKETS - 1);
+        self.counts[bucket] += 1;
+        self.total += 1;
+        self.sum_micros += u128::from(micros);
+        self.min_micros = self.min_micros.min(micros);
+        self.max_micros = self.max_micros.max(micros);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest observation, or `None` when empty.
+    pub fn min_micros(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min_micros)
+    }
+
+    /// Largest observation, or `None` when empty.
+    pub fn max_micros(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max_micros)
+    }
+
+    /// Mean observation in microseconds, or `None` when empty.
+    pub fn mean_micros(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.sum_micros as f64 / self.total as f64)
+    }
+
+    /// Approximate quantile: upper edge of the bucket holding the `q`-th
+    /// observation (`0.0 ≤ q ≤ 1.0`), or `None` when empty. Accuracy is
+    /// one power of two — sufficient for the driver's order-of-magnitude
+    /// latency reporting.
+    pub fn quantile_micros(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (bucket, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(bucket_upper_edge(bucket));
+            }
+        }
+        Some(self.max_micros)
+    }
+
+    /// Non-empty buckets as `(upper_edge_micros, count)` pairs.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(b, &n)| (bucket_upper_edge(b), n))
+            .collect()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_micros += other.sum_micros;
+        if other.total > 0 {
+            self.min_micros = self.min_micros.min(other.min_micros);
+            self.max_micros = self.max_micros.max(other.max_micros);
+        }
+    }
+}
+
+/// Upper edge (inclusive) of bucket `b` in microseconds.
+fn bucket_upper_edge(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.min_micros(), self.mean_micros(), self.max_micros()) {
+            (Some(min), Some(mean), Some(max)) => write!(
+                f,
+                "n={} min={}us mean={:.1}us p99<={}us max={}us",
+                self.total,
+                min,
+                mean,
+                self.quantile_micros(0.99).unwrap_or(max),
+                max
+            ),
+            _ => f.write_str("n=0"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarises() {
+        let mut h = LatencyHistogram::new();
+        for v in [1u64, 2, 4, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min_micros(), Some(1));
+        assert_eq!(h.max_micros(), Some(1000));
+        let mean = h.mean_micros().expect("non-empty");
+        assert!((mean - 221.4).abs() < 0.1);
+    }
+
+    #[test]
+    fn quantiles_bracket_observations() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile_micros(0.5).expect("non-empty");
+        assert!((256..=1023).contains(&p50), "p50={p50}");
+        let p100 = h.quantile_micros(1.0).expect("non-empty");
+        assert!(p100 >= 999);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_summary() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min_micros(), None);
+        assert_eq!(h.mean_micros(), None);
+        assert_eq!(h.quantile_micros(0.5), None);
+        assert_eq!(h.to_string(), "n=0");
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extrema() {
+        let mut a = LatencyHistogram::new();
+        a.record(5);
+        let mut b = LatencyHistogram::new();
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min_micros(), Some(5));
+        assert_eq!(a.max_micros(), Some(500));
+    }
+
+    #[test]
+    fn zero_latency_lands_in_the_bottom_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        assert_eq!(h.buckets(), vec![(0, 1)]);
+    }
+}

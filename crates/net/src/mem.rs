@@ -1,0 +1,352 @@
+//! In-process transport pair whose delivery threads enforce the channel
+//! model `C(P)` in wall-clock time.
+//!
+//! [`MemTransport::pair`] returns two connected endpoints. Each direction
+//! owns a background delivery thread: frames arrive with their send
+//! instant, the thread draws a [`Verdict`](crate::chan::Verdict) from the
+//! seeded [`ChannelSampler`](crate::chan::ChannelSampler), and due frames
+//! are released into the peer's inbox at `send_instant + delay`. Because
+//! consecutive packets draw independent delays from overlapping windows,
+//! later packets can overtake earlier ones — the bounded-delay-with-
+//! reorder behaviour the paper's channel axioms permit, now realised in
+//! real time rather than simulated ticks.
+
+use crate::chan::{ChannelConfig, ChannelSampler, Verdict};
+use crate::error::NetError;
+use crate::transport::{Transport, TransportStats};
+use crate::wire::{Frame, WireCodec};
+use rstp_core::Packet;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Instant;
+
+/// Fault counters a delivery thread shares with its sending endpoint.
+#[derive(Debug, Default)]
+struct FaultCounters {
+    losses: AtomicU64,
+    duplicates: AtomicU64,
+}
+
+/// One endpoint of an in-process channel pair.
+#[derive(Debug)]
+pub struct MemTransport {
+    codec: WireCodec,
+    egress: mpsc::Sender<(Instant, Vec<u8>)>,
+    inbox: Arc<Mutex<VecDeque<Vec<u8>>>>,
+    faults: Arc<FaultCounters>,
+    seq: u64,
+    frames_sent: u64,
+    frames_received: u64,
+    decode_errors: u64,
+}
+
+impl MemTransport {
+    /// Builds a connected endpoint pair over `config`. Both directions use
+    /// the same configuration but draw from independent PRNG streams, so a
+    /// single seed reproduces the whole channel behaviour.
+    pub fn pair(codec: WireCodec, config: ChannelConfig) -> (MemTransport, MemTransport) {
+        let (a_to_b, b_inbox, a_faults) = direction(config, 0);
+        let (b_to_a, a_inbox, b_faults) = direction(config, 1);
+        let a = MemTransport {
+            codec,
+            egress: a_to_b,
+            inbox: a_inbox,
+            faults: a_faults,
+            seq: 0,
+            frames_sent: 0,
+            frames_received: 0,
+            decode_errors: 0,
+        };
+        let b = MemTransport {
+            codec,
+            egress: b_to_a,
+            inbox: b_inbox,
+            faults: b_faults,
+            seq: 0,
+            frames_sent: 0,
+            frames_received: 0,
+            decode_errors: 0,
+        };
+        (a, b)
+    }
+}
+
+/// An endpoint's read side: delivered frames awaiting `poll_recv`.
+type Inbox = Arc<Mutex<VecDeque<Vec<u8>>>>;
+
+/// The write side of a direction: `(send_instant, frame bytes)` pairs
+/// handed to the delivery thread.
+type Ingress = mpsc::Sender<(Instant, Vec<u8>)>;
+
+/// Spawns one delivery direction: returns the ingress sender, the inbox
+/// the peer endpoint reads from, and the fault counters of this direction.
+fn direction(config: ChannelConfig, stream: u64) -> (Ingress, Inbox, Arc<FaultCounters>) {
+    let (tx, rx) = mpsc::channel::<(Instant, Vec<u8>)>();
+    let inbox: Inbox = Arc::new(Mutex::new(VecDeque::new()));
+    let faults = Arc::new(FaultCounters::default());
+    let thread_inbox = Arc::clone(&inbox);
+    let thread_faults = Arc::clone(&faults);
+    thread::Builder::new()
+        .name(format!("rstp-net-chan-{stream}"))
+        .spawn(move || delivery_loop(rx, thread_inbox, config, stream, thread_faults))
+        .expect("spawn delivery thread");
+    (tx, inbox, faults)
+}
+
+/// The delivery thread: schedules each frame at `send_instant + delay`
+/// and releases due frames into the inbox, draining in deadline order.
+fn delivery_loop(
+    ingress: mpsc::Receiver<(Instant, Vec<u8>)>,
+    inbox: Arc<Mutex<VecDeque<Vec<u8>>>>,
+    config: ChannelConfig,
+    stream: u64,
+    faults: Arc<FaultCounters>,
+) {
+    let mut sampler = ChannelSampler::new(config, stream);
+    // Min-heap on (deliver_at, arrival_index); the index breaks ties so
+    // equal deadlines release in send order.
+    let mut heap: BinaryHeap<Reverse<(Instant, u64, Vec<u8>)>> = BinaryHeap::new();
+    let mut arrival = 0u64;
+    let mut open = true;
+    loop {
+        // Only this thread and the receiving endpoint hold the inbox; a
+        // strong count of one means the peer endpoint is gone and nothing
+        // will ever read what we deliver. Exit so the sender's ingress
+        // channel closes and its next send reports the disconnect.
+        if Arc::strong_count(&inbox) == 1 {
+            return;
+        }
+        let now = Instant::now();
+        while let Some(Reverse((at, _, _))) = heap.peek() {
+            if *at > now {
+                break;
+            }
+            let Reverse((_, _, bytes)) = heap.pop().expect("peeked entry exists");
+            inbox.lock().expect("inbox lock").push_back(bytes);
+        }
+        if !open && heap.is_empty() {
+            return;
+        }
+        let incoming = match heap.peek() {
+            Some(Reverse((at, _, _))) if open => {
+                match ingress.recv_timeout(at.saturating_duration_since(Instant::now())) {
+                    Ok(item) => Some(item),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        open = false;
+                        None
+                    }
+                }
+            }
+            Some(Reverse((at, _, _))) => {
+                thread::sleep(at.saturating_duration_since(Instant::now()));
+                None
+            }
+            None => match ingress.recv() {
+                Ok(item) => Some(item),
+                Err(_) => {
+                    open = false;
+                    None
+                }
+            },
+        };
+        if let Some((sent_at, bytes)) = incoming {
+            match sampler.next_verdict() {
+                Verdict::Drop => {
+                    faults.losses.fetch_add(1, Ordering::Relaxed);
+                }
+                Verdict::Deliver(delay) => {
+                    heap.push(Reverse((sent_at + delay, arrival, bytes)));
+                    arrival += 1;
+                }
+                Verdict::Duplicate(first, second) => {
+                    faults.duplicates.fetch_add(1, Ordering::Relaxed);
+                    heap.push(Reverse((sent_at + first, arrival, bytes.clone())));
+                    arrival += 1;
+                    heap.push(Reverse((sent_at + second, arrival, bytes)));
+                    arrival += 1;
+                }
+            }
+        }
+    }
+}
+
+impl Transport for MemTransport {
+    fn send(&mut self, packet: Packet, sent_at_micros: u64) -> Result<(), NetError> {
+        let buf = self.codec.encode(packet, self.seq, sent_at_micros);
+        self.seq += 1;
+        self.egress
+            .send((Instant::now(), buf.to_vec()))
+            .map_err(|_| NetError::Disconnected)?;
+        self.frames_sent += 1;
+        Ok(())
+    }
+
+    fn poll_recv(&mut self) -> Result<Option<Frame>, NetError> {
+        let bytes = match self.inbox.lock().expect("inbox lock").pop_front() {
+            Some(b) => b,
+            None => return Ok(None),
+        };
+        // In-process frames cannot suffer bit-level corruption, so any
+        // decode failure (including a protocol mismatch between the two
+        // endpoints) is a setup bug and surfaces as a hard error.
+        match self.codec.decode(&bytes) {
+            Ok(frame) => {
+                self.frames_received += 1;
+                Ok(Some(frame))
+            }
+            Err(e) => {
+                self.decode_errors += 1;
+                Err(e.into())
+            }
+        }
+    }
+
+    fn local_stats(&self) -> TransportStats {
+        TransportStats {
+            frames_sent: self.frames_sent,
+            frames_received: self.frames_received,
+            decode_errors: self.decode_errors,
+            injected_losses: self.faults.losses.load(Ordering::Relaxed),
+            injected_duplicates: self.faults.duplicates.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::ProtocolId;
+    use rstp_core::TimingParams;
+    use std::time::Duration;
+
+    fn codec() -> WireCodec {
+        WireCodec::new(ProtocolId::Beta, 4).expect("k fits")
+    }
+
+    fn params() -> TimingParams {
+        TimingParams::from_ticks(1, 2, 8).expect("valid")
+    }
+
+    fn drain(t: &mut MemTransport, want: usize, budget: Duration) -> Vec<Frame> {
+        let deadline = Instant::now() + budget;
+        let mut out = Vec::new();
+        while out.len() < want && Instant::now() < deadline {
+            match t.poll_recv().expect("poll") {
+                Some(f) => out.push(f),
+                None => thread::sleep(Duration::from_micros(200)),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn delivers_all_frames_within_bound() {
+        let tick = Duration::from_micros(100);
+        let cfg = ChannelConfig::reliable(params(), tick, 11);
+        let (mut a, mut b) = MemTransport::pair(codec(), cfg);
+        for i in 0..64u64 {
+            a.send(Packet::Data(i), i).expect("send");
+        }
+        let frames = drain(&mut b, 64, Duration::from_secs(2));
+        assert_eq!(frames.len(), 64);
+        let mut symbols: Vec<u64> = frames.iter().map(|f| f.packet.symbol()).collect();
+        symbols.sort_unstable();
+        assert_eq!(symbols, (0..64).collect::<Vec<_>>());
+        assert_eq!(a.local_stats().frames_sent, 64);
+        assert_eq!(b.local_stats().frames_received, 64);
+    }
+
+    #[test]
+    fn uniform_delays_reorder_packets() {
+        // A wide delay window over many sends overtakes with overwhelming
+        // probability; the seed makes the run reproducible.
+        let tick = Duration::from_micros(400);
+        let cfg = ChannelConfig::reliable(params(), tick, 3);
+        let (mut a, mut b) = MemTransport::pair(codec(), cfg);
+        for i in 0..48u64 {
+            a.send(Packet::Data(i), i).expect("send");
+        }
+        let frames = drain(&mut b, 48, Duration::from_secs(4));
+        assert_eq!(frames.len(), 48);
+        let arrived: Vec<u64> = frames.iter().map(|f| f.seq).collect();
+        let mut sorted = arrived.clone();
+        sorted.sort_unstable();
+        assert_ne!(arrived, sorted, "expected at least one overtake");
+    }
+
+    #[test]
+    fn max_delay_preserves_fifo() {
+        let tick = Duration::from_micros(50);
+        let cfg = ChannelConfig::max_delay(params(), tick, 1);
+        let (mut a, mut b) = MemTransport::pair(codec(), cfg);
+        for i in 0..32u64 {
+            a.send(Packet::Data(i), i).expect("send");
+        }
+        let frames = drain(&mut b, 32, Duration::from_secs(2));
+        let arrived: Vec<u64> = frames.iter().map(|f| f.seq).collect();
+        assert_eq!(arrived, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplex_directions_are_independent() {
+        let cfg = ChannelConfig::eager(Duration::from_micros(10), 5);
+        let (mut a, mut b) = MemTransport::pair(codec(), cfg);
+        a.send(Packet::Data(1), 0).expect("send");
+        b.send(Packet::Ack(1), 0).expect("send");
+        let to_b = drain(&mut b, 1, Duration::from_millis(500));
+        let to_a = drain(&mut a, 1, Duration::from_millis(500));
+        assert_eq!(to_b[0].packet, Packet::Data(1));
+        assert_eq!(to_a[0].packet, Packet::Ack(1));
+    }
+
+    #[test]
+    fn loss_and_duplication_are_counted_by_the_sender() {
+        let cfg = ChannelConfig {
+            loss: 0.3,
+            duplication: 0.3,
+            ..ChannelConfig::eager(Duration::from_micros(10), 77)
+        };
+        let (mut a, mut b) = MemTransport::pair(codec(), cfg);
+        for i in 0..200u64 {
+            a.send(Packet::Data(i), i).expect("send");
+        }
+        // Give the delivery thread time to classify everything.
+        thread::sleep(Duration::from_millis(100));
+        let stats = a.local_stats();
+        assert!(stats.injected_losses > 0, "expected some losses");
+        assert!(stats.injected_duplicates > 0, "expected some duplicates");
+        let received = drain(
+            &mut b,
+            (200 - stats.injected_losses + stats.injected_duplicates) as usize,
+            Duration::from_secs(1),
+        );
+        assert_eq!(
+            received.len() as u64,
+            200 - stats.injected_losses + stats.injected_duplicates
+        );
+    }
+
+    #[test]
+    fn send_after_peer_drop_reports_disconnect() {
+        let cfg = ChannelConfig::eager(Duration::from_micros(10), 5);
+        let (mut a, b) = MemTransport::pair(codec(), cfg);
+        drop(b);
+        // The delivery thread drains and exits once the peer's inbox side
+        // is gone; the ingress sender then observes a closed channel.
+        thread::sleep(Duration::from_millis(50));
+        let mut saw_disconnect = false;
+        for i in 0..8 {
+            if a.send(Packet::Data(i), 0).is_err() {
+                saw_disconnect = true;
+                break;
+            }
+            thread::sleep(Duration::from_millis(20));
+        }
+        assert!(saw_disconnect);
+    }
+}

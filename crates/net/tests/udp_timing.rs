@@ -1,0 +1,146 @@
+//! Wall-clock-sensitive UDP tests.
+//!
+//! These assert real latency and scheduling behaviour, so they are flaky
+//! on loaded CI machines. They are `#[ignore]`d by default and only
+//! assert when explicitly opted in:
+//!
+//! ```text
+//! RSTP_NET_TIMING=1 cargo test -p rstp-net --test udp_timing -- --ignored
+//! ```
+//!
+//! Logic-level UDP tests (framing, addressing, non-blocking polling) do
+//! not depend on timing and run unconditionally in `crates/net/src/udp.rs`
+//! and `udp_logic` below.
+
+use rstp_core::{Packet, TimingParams};
+use rstp_net::{
+    run_endpoint, DriverConfig, DriverOutcome, Pace, ProtocolId, TickClock, Transport,
+    UdpTransport, WireCodec,
+};
+use std::time::{Duration, Instant};
+
+/// True when the operator opted into wall-clock assertions.
+fn timing_enabled() -> bool {
+    std::env::var("RSTP_NET_TIMING").is_ok_and(|v| v == "1")
+}
+
+fn params() -> TimingParams {
+    TimingParams::from_ticks(1, 2, 4).expect("valid")
+}
+
+/// Unconditional logic test: a full alpha transfer over real UDP loopback
+/// sockets, with generous budgets so scheduling noise cannot fail it.
+#[test]
+fn udp_logic_alpha_transfer_round_trips() {
+    let p = params();
+    let tick = Duration::from_micros(500);
+    let input = vec![true, false, false, true, true];
+    let codec = WireCodec::new(ProtocolId::Alpha, 0).expect("codec");
+    let (mut t_end, mut r_end) = UdpTransport::loopback_pair(codec).expect("pair");
+    let epoch = Instant::now() + Duration::from_millis(2);
+    let t_clock = TickClock::with_epoch(epoch, tick);
+    let r_clock = TickClock::with_epoch(epoch, tick);
+    let t_cfg = DriverConfig::new(p, tick).with_max_wall(Duration::from_secs(20));
+    let r_cfg = DriverConfig::new(p, tick)
+        .with_expected_writes(input.len())
+        .with_max_wall(Duration::from_secs(20));
+    let t_input = input.clone();
+    let t_handle = std::thread::spawn(move || {
+        let automaton = rstp_core::protocols::AlphaTransmitter::new(p, t_input);
+        run_endpoint(&automaton, &mut t_end, t_clock, &t_cfg)
+    });
+    let r_handle = std::thread::spawn(move || {
+        let automaton = rstp_core::protocols::AlphaReceiver::new();
+        run_endpoint(&automaton, &mut r_end, r_clock, &r_cfg)
+    });
+    let t_report = t_handle.join().expect("join").expect("transmitter");
+    let r_report = r_handle.join().expect("join").expect("receiver");
+    assert_eq!(t_report.outcome, DriverOutcome::Completed);
+    assert_eq!(r_report.outcome, DriverOutcome::Completed);
+    assert_eq!(r_report.written, input);
+}
+
+/// Loopback latency must be far below a millisecond-scale tick, so the
+/// measured per-packet latency histogram should sit well under one tick.
+#[test]
+#[ignore = "wall-clock sensitive; run with RSTP_NET_TIMING=1 and --ignored"]
+fn udp_loopback_latency_is_below_one_tick() {
+    if !timing_enabled() {
+        eprintln!("skipping: set RSTP_NET_TIMING=1 to enable timing assertions");
+        return;
+    }
+    let codec = WireCodec::new(ProtocolId::Alpha, 0).expect("codec");
+    let (mut a, mut b) = UdpTransport::loopback_pair(codec).expect("pair");
+    let clock = TickClock::start(Duration::from_millis(1));
+    let mut worst = Duration::ZERO;
+    for i in 0..64u64 {
+        let t0 = Instant::now();
+        a.send(Packet::Data(i), clock.now_micros()).expect("send");
+        loop {
+            if let Some(frame) = b.poll_recv().expect("poll") {
+                assert_eq!(frame.packet, Packet::Data(i));
+                worst = worst.max(t0.elapsed());
+                break;
+            }
+            assert!(
+                t0.elapsed() < Duration::from_secs(1),
+                "loopback datagram lost?"
+            );
+            std::thread::yield_now();
+        }
+    }
+    assert!(
+        worst < Duration::from_millis(1),
+        "worst loopback latency {worst:?} exceeds one 1 ms tick"
+    );
+}
+
+/// At slow pace with a comfortable tick, the driver must hold its step
+/// schedule: essentially no deadline misses or timing violations.
+#[test]
+#[ignore = "wall-clock sensitive; run with RSTP_NET_TIMING=1 and --ignored"]
+fn udp_driver_holds_its_schedule_under_comfortable_ticks() {
+    if !timing_enabled() {
+        eprintln!("skipping: set RSTP_NET_TIMING=1 to enable timing assertions");
+        return;
+    }
+    let p = params();
+    let tick = Duration::from_millis(2);
+    let input = vec![true; 16];
+    let codec = WireCodec::new(ProtocolId::Alpha, 0).expect("codec");
+    let (mut t_end, mut r_end) = UdpTransport::loopback_pair(codec).expect("pair");
+    let epoch = Instant::now() + Duration::from_millis(5);
+    let t_clock = TickClock::with_epoch(epoch, tick);
+    let r_clock = TickClock::with_epoch(epoch, tick);
+    let t_cfg = DriverConfig::new(p, tick)
+        .with_pace(Pace::Slow)
+        .with_max_wall(Duration::from_secs(30));
+    let r_cfg = DriverConfig::new(p, tick)
+        .with_expected_writes(input.len())
+        .with_max_wall(Duration::from_secs(30));
+    let t_input = input.clone();
+    let t_handle = std::thread::spawn(move || {
+        let automaton = rstp_core::protocols::AlphaTransmitter::new(p, t_input);
+        run_endpoint(&automaton, &mut t_end, t_clock, &t_cfg)
+    });
+    let r_handle = std::thread::spawn(move || {
+        let automaton = rstp_core::protocols::AlphaReceiver::new();
+        run_endpoint(&automaton, &mut r_end, r_clock, &r_cfg)
+    });
+    let t_report = t_handle.join().expect("join").expect("transmitter");
+    let r_report = r_handle.join().expect("join").expect("receiver");
+    assert_eq!(r_report.written, input);
+    let budget = t_report.steps / 10; // tolerate < 10% noise
+    assert!(
+        t_report.deadline_misses <= budget,
+        "transmitter missed {} of {} deadlines",
+        t_report.deadline_misses,
+        t_report.steps
+    );
+    assert!(
+        t_report.timing_violations <= budget,
+        "transmitter violated timing {} times over {} steps",
+        t_report.timing_violations,
+        t_report.steps
+    );
+}

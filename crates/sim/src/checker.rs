@@ -220,7 +220,9 @@ fn check_monotone(trace: &SimTrace, report: &mut CheckReport) {
     let events = trace.events();
     for (i, w) in events.windows(2).enumerate() {
         if w[1].time < w[0].time {
-            report.violations.push(Violation::NonMonotone { index: i + 1 });
+            report
+                .violations
+                .push(Violation::NonMonotone { index: i + 1 });
             return; // one report suffices; later checks assume order anyway
         }
     }
@@ -344,9 +346,18 @@ mod tests {
     fn good_trace() -> SimTrace {
         let mut tr = SimTrace::new(vec![true]);
         tr.push(t(0), RstpAction::Send(Packet::Data(1)));
-        tr.push(t(0), RstpAction::ReceiverInternal(rstp_core::InternalKind::Idle));
-        tr.push(t(3), RstpAction::ReceiverInternal(rstp_core::InternalKind::Idle));
-        tr.push(t(6), RstpAction::ReceiverInternal(rstp_core::InternalKind::Idle));
+        tr.push(
+            t(0),
+            RstpAction::ReceiverInternal(rstp_core::InternalKind::Idle),
+        );
+        tr.push(
+            t(3),
+            RstpAction::ReceiverInternal(rstp_core::InternalKind::Idle),
+        );
+        tr.push(
+            t(6),
+            RstpAction::ReceiverInternal(rstp_core::InternalKind::Idle),
+        );
         tr.push(t(8), RstpAction::Recv(Packet::Data(1)));
         tr.push(t(9), RstpAction::Write(true));
         tr
@@ -373,9 +384,7 @@ mod tests {
         tr.push(t(0), RstpAction::Write(true));
         tr.push(t(3), RstpAction::Write(true)); // Y longer than X
         let report = check_trace(&tr, &cfg());
-        assert!(report.has(
-            |v| matches!(v, Violation::SafetyPrefix { expected: None, .. })
-        ));
+        assert!(report.has(|v| matches!(v, Violation::SafetyPrefix { expected: None, .. })));
     }
 
     #[test]

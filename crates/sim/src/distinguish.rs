@@ -145,7 +145,10 @@ where
     T: Automaton<Action = RstpAction>,
     F: Fn(&[Message]) -> T,
 {
-    assert!(n <= 24, "exhaustive_check enumerates 2^n inputs; n too large");
+    assert!(
+        n <= 24,
+        "exhaustive_check enumerates 2^n inputs; n too large"
+    );
     let total = 1u64 << n;
     let mut seen: HashMap<Vec<Multiset>, Vec<Message>> = HashMap::with_capacity(total as usize);
     let mut collision = None;
@@ -177,7 +180,11 @@ where
 /// # Errors
 ///
 /// [`ProtocolError`] if the `(k, δ1)` pair is unusable.
-pub fn check_beta(params: TimingParams, k: u64, n: usize) -> Result<DistinguishResult, ProtocolError> {
+pub fn check_beta(
+    params: TimingParams,
+    k: u64,
+    n: usize,
+) -> Result<DistinguishResult, ProtocolError> {
     // Construct once to surface parameter errors eagerly.
     BetaTransmitter::new(params, k, &vec![false; n.max(1)])?;
     Ok(exhaustive_check(
@@ -256,7 +263,10 @@ pub fn active_signature(params: TimingParams, k: u64, input: &[Message]) -> Vec<
 /// Panics if `n > 16` (2^n full simulations) or a simulation fails.
 #[must_use]
 pub fn check_gamma(params: TimingParams, k: u64, n: usize) -> DistinguishResult {
-    assert!(n <= 16, "check_gamma runs 2^n full simulations; n too large");
+    assert!(
+        n <= 16,
+        "check_gamma runs 2^n full simulations; n too large"
+    );
     let total = 1u64 << n;
     let mut seen: HashMap<Vec<Multiset>, Vec<Message>> = HashMap::with_capacity(total as usize);
     let mut collision = None;

@@ -11,8 +11,7 @@ use rstp_automata::{Automaton, TimeDelta};
 use rstp_core::protocols::{
     AlphaReceiver, AlphaTransmitter, AltBitReceiver, AltBitTransmitter, BetaReceiver,
     BetaTransmitter, FramedReceiver, FramedTransmitter, GammaReceiver, GammaTransmitter,
-    PipelinedReceiver, PipelinedTransmitter, ProtocolError, StenningReceiver,
-    StenningTransmitter,
+    PipelinedReceiver, PipelinedTransmitter, ProtocolError, StenningReceiver, StenningTransmitter,
 };
 use rstp_core::{Message, RstpAction, TimingParams, TimingParamsExt};
 
@@ -69,9 +68,7 @@ impl ProtocolKind {
     #[must_use]
     pub fn burst_size(self, params: TimingParams) -> u64 {
         match self {
-            ProtocolKind::Alpha
-            | ProtocolKind::AltBit { .. }
-            | ProtocolKind::Stenning { .. } => 1,
+            ProtocolKind::Alpha | ProtocolKind::AltBit { .. } | ProtocolKind::Stenning { .. } => 1,
             ProtocolKind::Beta { .. }
             | ProtocolKind::Framed { .. }
             | ProtocolKind::BetaWindow { .. } => params.delta1(),

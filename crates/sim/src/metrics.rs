@@ -47,8 +47,7 @@ impl RunMetrics {
         if n == 0 {
             return None;
         }
-        self.last_data_send
-            .map(|t| t.ticks() as f64 / n as f64)
+        self.last_data_send.map(|t| t.ticks() as f64 / n as f64)
     }
 
     /// Receiver-side latency analogue: `t(last-write) / n` — "the average

@@ -284,15 +284,13 @@ where
                         if may_park {
                             continue; // settled: deschedule
                         }
-                        ts = self
-                            .transmitter
-                            .step(&ts, &action)
-                            .map_err(|e| SimError::Automaton {
+                        ts = self.transmitter.step(&ts, &action).map_err(|e| {
+                            SimError::Automaton {
                                 what: e.to_string(),
-                            })?;
+                            }
+                        })?;
                         engine.perform(now, action, delivery_adv)?;
-                        let gap =
-                            Self::checked_gap(step_adv, Owner::Transmitter, &mut engine, s)?;
+                        let gap = Self::checked_gap(step_adv, Owner::Transmitter, &mut engine, s)?;
                         engine.schedule(now + gap, EventKind::Step(Owner::Transmitter));
                         scheduled[0] = true;
                     }
@@ -334,12 +332,11 @@ where
                     let recv = RstpAction::Recv(packet);
                     match packet {
                         Packet::Data(_) => {
-                            rs = self
-                                .receiver
-                                .step(&rs, &recv)
-                                .map_err(|e| SimError::Automaton {
+                            rs = self.receiver.step(&rs, &recv).map_err(|e| {
+                                SimError::Automaton {
                                     what: e.to_string(),
-                                })?;
+                                }
+                            })?;
                             // A quiescent (descheduled) process revived by an
                             // input gets a fresh schedule; the Σ checker will
                             // flag the gap if it breaks the step bounds. The
@@ -350,12 +347,11 @@ where
                             }
                         }
                         Packet::Ack(_) => {
-                            ts = self
-                                .transmitter
-                                .step(&ts, &recv)
-                                .map_err(|e| SimError::Automaton {
+                            ts = self.transmitter.step(&ts, &recv).map_err(|e| {
+                                SimError::Automaton {
                                     what: e.to_string(),
-                                })?;
+                                }
+                            })?;
                             if !scheduled[0] && !self.transmitter.enabled(&ts).is_empty() {
                                 engine.schedule(now, EventKind::Step(Owner::Transmitter));
                                 scheduled[0] = true;
@@ -375,10 +371,7 @@ where
         })
     }
 
-    fn sole_action(
-        owner: Owner,
-        enabled: &[RstpAction],
-    ) -> Result<Option<RstpAction>, SimError> {
+    fn sole_action(owner: Owner, enabled: &[RstpAction]) -> Result<Option<RstpAction>, SimError> {
         match enabled {
             [] => Ok(None),
             [a] => Ok(Some(*a)),
@@ -576,8 +569,7 @@ mod tests {
     #[test]
     fn alpha_transmits_everything() {
         let input = vec![true, false, true, true, false];
-        let run = run_alpha(input.clone(), StepPolicy::AllSlow, DeliveryPolicy::MaxDelay)
-            .unwrap();
+        let run = run_alpha(input.clone(), StepPolicy::AllSlow, DeliveryPolicy::MaxDelay).unwrap();
         assert_eq!(run.outcome, Outcome::Quiescent);
         assert_eq!(run.metrics.writes, 5);
         assert_eq!(run.metrics.data_sends, 5);
@@ -592,10 +584,7 @@ mod tests {
         let input = vec![true; n];
         let run = run_alpha(input, StepPolicy::AllSlow, DeliveryPolicy::MaxDelay).unwrap();
         let expected = ((n as u64 - 1) * 4 * 3) as f64;
-        assert_eq!(
-            run.metrics.last_data_send.unwrap().ticks() as f64,
-            expected
-        );
+        assert_eq!(run.metrics.last_data_send.unwrap().ticks() as f64, expected);
     }
 
     #[test]

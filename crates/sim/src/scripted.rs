@@ -29,11 +29,7 @@ impl ScriptedSteps {
     /// Creates the scripted adversary. `fallback` is used when a script
     /// runs out (and must itself lie in `[c1, c2]`).
     #[must_use]
-    pub fn new(
-        transmitter: Vec<TimeDelta>,
-        receiver: Vec<TimeDelta>,
-        fallback: TimeDelta,
-    ) -> Self {
+    pub fn new(transmitter: Vec<TimeDelta>, receiver: Vec<TimeDelta>, fallback: TimeDelta) -> Self {
         ScriptedSteps {
             transmitter,
             receiver,
@@ -252,10 +248,7 @@ mod tests {
 
     #[test]
     fn scripted_delays_replay_in_send_order() {
-        let mut d = ScriptedDelays::new(
-            vec![TimeDelta::from_ticks(3)],
-            TimeDelta::from_ticks(0),
-        );
+        let mut d = ScriptedDelays::new(vec![TimeDelta::from_ticks(3)], TimeDelta::from_ticks(0));
         assert_eq!(
             d.dispose(Packet::Data(0), Time::ZERO, 0),
             Disposition::Deliver(TimeDelta::from_ticks(3))

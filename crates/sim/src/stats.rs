@@ -85,7 +85,9 @@ pub fn effort_distribution(
                 kind,
                 params,
                 step: StepPolicy::Random { seed },
-                delivery: DeliveryPolicy::Random { seed: seed ^ 0xD15C },
+                delivery: DeliveryPolicy::Random {
+                    seed: seed ^ 0xD15C,
+                },
                 ..RunConfig::default()
             },
             &input,

@@ -180,9 +180,6 @@ mod tests {
             glyph(RstpAction::TransmitterInternal(InternalKind::Wait)),
             'w'
         );
-        assert_eq!(
-            glyph(RstpAction::ReceiverInternal(InternalKind::Idle)),
-            'i'
-        );
+        assert_eq!(glyph(RstpAction::ReceiverInternal(InternalKind::Idle)), 'i');
     }
 }

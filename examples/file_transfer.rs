@@ -48,7 +48,11 @@ fn main() {
 
     let end = out.metrics.last_write.expect("something was written");
     let ticks = end.ticks().max(1);
-    println!("received {} bytes intact after {} ticks", received.len(), ticks);
+    println!(
+        "received {} bytes intact after {} ticks",
+        received.len(),
+        ticks
+    );
     println!(
         "  data packets: {}, per byte: {:.1}, bits/tick: {:.4}",
         out.metrics.data_sends,

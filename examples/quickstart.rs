@@ -42,8 +42,7 @@ fn main() {
         ),
     ];
     for (kind, lower, upper, upper_n) in rows {
-        let sample =
-            worst_case_effort(kind, params, &input, 1).expect("simulation must succeed");
+        let sample = worst_case_effort(kind, params, &input, 1).expect("simulation must succeed");
         println!(
             "{:<14} {:>12.2} {:>12.2} {:>14.2} {:>14.2} {:>14.2}",
             kind.name(),

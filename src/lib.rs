@@ -16,6 +16,7 @@
 //! | [`combinatorics`] | `rstp-combinatorics` | multisets, `μ_k`/`ζ_k`, rank/unrank |
 //! | [`codec`] | `rstp-codec` | bit-block ↔ multiset ↔ packet-burst codec |
 //! | [`core`] | `rstp-core` | problem, channel, protocols `A^α`/`A^β(k)`/`A^γ(k)`, bounds |
+//! | [`net`] | `rstp-net` | wire codec, real transports (memory/UDP), real-time driver |
 //! | [`sim`] | `rstp-sim` | adversaries, event engine, checkers, effort harness |
 //!
 //! ## Quickstart
@@ -59,4 +60,5 @@ pub use rstp_automata as automata;
 pub use rstp_codec as codec;
 pub use rstp_combinatorics as combinatorics;
 pub use rstp_core as core;
+pub use rstp_net as net;
 pub use rstp_sim as sim;

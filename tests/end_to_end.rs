@@ -49,7 +49,12 @@ fn all_protocols_deliver_on_a_parameter_grid() {
             )
             .unwrap_or_else(|e| panic!("{} at {p}: {e}", kind.name()));
             assert_eq!(out.outcome, Outcome::Quiescent, "{} at {p}", kind.name());
-            assert!(out.report.all_good(), "{} at {p}: {}", kind.name(), out.report);
+            assert!(
+                out.report.all_good(),
+                "{} at {p}: {}",
+                kind.name(),
+                out.report
+            );
             assert_eq!(out.trace.written(), input, "{} at {p}", kind.name());
         }
     }
@@ -192,13 +197,9 @@ fn budget_exhaustion_on_livelock_is_reported_not_hung() {
 #[test]
 fn effort_converges_as_n_grows() {
     let p = params();
-    let series = rstp::sim::harness::effort_series(
-        ProtocolKind::Beta { k: 4 },
-        p,
-        &[40, 80, 160, 320],
-        7,
-    )
-    .unwrap();
+    let series =
+        rstp::sim::harness::effort_series(ProtocolKind::Beta { k: 4 }, p, &[40, 80, 160, 320], 7)
+            .unwrap();
     let asymptote = bounds::passive_upper(p, 4);
     let last = series.last().unwrap().1.effort;
     assert!(

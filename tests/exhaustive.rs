@@ -8,8 +8,7 @@
 
 use rstp::automata::explore;
 use rstp::core::protocols::{
-    AlphaReceiver, AlphaTransmitter, BetaReceiver, BetaTransmitter, GammaReceiver,
-    GammaTransmitter,
+    AlphaReceiver, AlphaTransmitter, BetaReceiver, BetaTransmitter, GammaReceiver, GammaTransmitter,
 };
 use rstp::core::{Packet, RstpAction, TimingParams};
 use rstp::sim::verify_all_delay_schedules;
@@ -147,7 +146,11 @@ fn beta_receiver_burst_invariant_under_arbitrary_packets() {
         Ok(())
     })
     .unwrap();
-    assert!(result.states > 100, "explored only {} states", result.states);
+    assert!(
+        result.states > 100,
+        "explored only {} states",
+        result.states
+    );
 }
 
 #[test]

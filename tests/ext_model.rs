@@ -7,8 +7,8 @@ use rstp::core::protocols::{BetaReceiver, BetaTransmitter, GammaReceiver, GammaT
 use rstp::core::{Owner, ProcessTiming, TimingParamsExt};
 use rstp::sim::adversary::{DeliveryPolicy, StepAdversary};
 use rstp::sim::checker::{check_trace, CheckConfig};
-use rstp::sim::runner::{Outcome, SimSettings, Simulation};
 use rstp::sim::harness::random_input;
+use rstp::sim::runner::{Outcome, SimSettings, Simulation};
 
 /// Each process runs at its own fixed pace (its slowest legal gap).
 struct PerProcessSlowest {
@@ -144,9 +144,9 @@ fn runner_enforces_per_process_bounds() {
 fn checker_flags_per_process_sigma_violations() {
     // A trace whose *receiver* events are legal for the transmitter's
     // bounds but not its own must be flagged.
+    use rstp::automata::Time;
     use rstp::core::{Packet, RstpAction};
     use rstp::sim::SimTrace;
-    use rstp::automata::Time;
 
     let ext = ext_params(); // transmitter [1,2], receiver [3,5]
     let mut tr = SimTrace::new(vec![]);

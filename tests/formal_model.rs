@@ -5,12 +5,11 @@
 
 use rstp::automata::{ActionClass, Automaton, Compose};
 use rstp::core::protocols::{
-    AlphaReceiver, AlphaTransmitter, BetaReceiver, BetaTransmitter, GammaReceiver,
-    GammaTransmitter,
+    AlphaReceiver, AlphaTransmitter, BetaReceiver, BetaTransmitter, GammaReceiver, GammaTransmitter,
 };
 use rstp::core::{Channel, InternalKind, Packet, RstpAction, TimingParams};
-use rstp::sim::harness::{random_input, run_configured, ProtocolKind, RunConfig};
 use rstp::sim::adversary::{DeliveryPolicy, StepPolicy};
+use rstp::sim::harness::{random_input, run_configured, ProtocolKind, RunConfig};
 
 fn params() -> TimingParams {
     TimingParams::from_ticks(1, 2, 6).unwrap()
@@ -61,7 +60,10 @@ fn alpha_traces_replay_through_the_composed_automaton() {
     )
     .unwrap();
     let system = Compose::new(
-        Compose::new(AlphaTransmitter::new(p, input.clone()), AlphaReceiver::new()),
+        Compose::new(
+            AlphaTransmitter::new(p, input.clone()),
+            AlphaReceiver::new(),
+        ),
         Channel::new(),
     );
     system.check_composable_on(alphabet(2)).unwrap();
@@ -78,9 +80,7 @@ fn beta_traces_replay_through_the_composed_automaton() {
             kind: ProtocolKind::Beta { k },
             params: p,
             step: StepPolicy::Random { seed: 1 },
-            delivery: DeliveryPolicy::ReverseBurst {
-                burst: p.delta1(),
-            },
+            delivery: DeliveryPolicy::ReverseBurst { burst: p.delta1() },
             ..RunConfig::default()
         },
         &input,
@@ -180,7 +180,10 @@ fn projections_recover_component_executions() {
     .unwrap();
     let transmitter = AlphaTransmitter::new(p, input.clone());
     let system = Compose::new(
-        Compose::new(AlphaTransmitter::new(p, input.clone()), AlphaReceiver::new()),
+        Compose::new(
+            AlphaTransmitter::new(p, input.clone()),
+            AlphaReceiver::new(),
+        ),
         Channel::new(),
     );
 
@@ -194,10 +197,7 @@ fn projections_recover_component_executions() {
     exec.validate(&system).unwrap();
 
     // Project onto the transmitter component and validate standalone.
-    let projected = exec.project(
-        |a| transmitter.classify(a).is_some(),
-        |s| s.0 .0.clone(),
-    );
+    let projected = exec.project(|a| transmitter.classify(a).is_some(), |s| s.0 .0.clone());
     projected.validate(&transmitter).unwrap();
     assert_eq!(
         projected.len(),

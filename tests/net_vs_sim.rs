@@ -1,0 +1,126 @@
+//! Differential test: the simulator is the oracle for the wire subsystem.
+//!
+//! The same input is transferred (a) through `rstp-sim`'s discrete-event
+//! engine under the worst-case deterministic adversary pair and (b) over a
+//! real `MemTransport` channel driven by the wall-clock real-time driver.
+//! Both must produce exactly the input at the receiver, and the wall-clock
+//! effort (in ticks) must respect the paper's lower bounds scaled by the
+//! tick duration.
+//!
+//! Deterministic by construction: no real sockets, generous ticks, and the
+//! channel delay model fixed to the maximum (FIFO at delay `d`), matching
+//! the simulator's `MaxDelay` policy.
+
+use rstp::core::{bounds, TimingParams};
+use rstp::net::{run_transfer_mem, ChannelConfig, Pace, TransferConfig};
+use rstp::sim::adversary::{DeliveryPolicy, StepPolicy};
+use rstp::sim::harness::{random_input, run_configured, ProtocolKind, RunConfig};
+use std::time::Duration;
+
+fn params() -> TimingParams {
+    TimingParams::from_ticks(1, 2, 8).unwrap() // δ1 = 8, δ2 = 4
+}
+
+/// Runs `input` through the simulator under slow steps + max delay and
+/// over a `MemTransport` pair with the matching wall-clock channel, then
+/// checks both outputs and the effort relation.
+fn differential(kind: ProtocolKind, n: usize, lower: Option<f64>) {
+    let p = params();
+    let input = random_input(n, 7);
+    let tick = Duration::from_micros(400);
+
+    let sim = run_configured(
+        &RunConfig {
+            kind,
+            params: p,
+            step: StepPolicy::AllSlow,
+            delivery: DeliveryPolicy::MaxDelay,
+            record_trace: true,
+            ..RunConfig::default()
+        },
+        &input,
+    )
+    .unwrap_or_else(|e| panic!("sim {}: {e}", kind.name()));
+    assert_eq!(sim.trace.written(), input, "sim {}", kind.name());
+
+    let config = TransferConfig::new(p, tick, 7)
+        .with_channel(ChannelConfig::max_delay(p, tick, 7))
+        .with_pace(Pace::Slow);
+    let net = run_transfer_mem(kind, &input, &config)
+        .unwrap_or_else(|e| panic!("net {}: {e}", kind.name()));
+
+    // Identical receiver output: net == sim == X.
+    assert_eq!(net.output(), input, "net {}", kind.name());
+    assert_eq!(
+        net.output(),
+        sim.trace.written(),
+        "net vs sim {}",
+        kind.name()
+    );
+
+    // Wall-clock effort obeys the paper's lower bound scaled by the tick.
+    let wall_effort = net
+        .transmitter
+        .effort_ticks(n, tick)
+        .expect("transmitter sent data");
+    if let Some(lower) = lower {
+        assert!(
+            wall_effort >= lower,
+            "{}: wall effort {wall_effort:.3} below lower bound {lower:.3}",
+            kind.name()
+        );
+    }
+
+    // Under the same worst-case channel the wall-clock run cannot beat the
+    // simulator by more than scheduling noise (the driver can only be late,
+    // never early); allow generous slack for sleep jitter.
+    if let Some(sim_effort) = sim.metrics.effort(n) {
+        assert!(
+            wall_effort >= sim_effort * 0.9,
+            "{}: wall effort {wall_effort:.3} implausibly beats sim {sim_effort:.3}",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn beta_k4_matches_simulator_and_respects_thm_5_3() {
+    let p = params();
+    differential(
+        ProtocolKind::Beta { k: 4 },
+        48,
+        Some(bounds::passive_lower(p, 4)),
+    );
+}
+
+#[test]
+fn gamma_k4_matches_simulator_and_respects_thm_5_6() {
+    let p = params();
+    differential(
+        ProtocolKind::Gamma { k: 4 },
+        32,
+        Some(bounds::active_lower(p, 4)),
+    );
+}
+
+#[test]
+fn alpha_matches_simulator() {
+    differential(ProtocolKind::Alpha, 24, None);
+}
+
+#[test]
+fn net_and_sim_agree_across_protocol_zoo() {
+    for kind in [
+        ProtocolKind::Beta { k: 2 },
+        ProtocolKind::Framed { k: 3 },
+        ProtocolKind::Pipelined { k: 4, window: 2 },
+        ProtocolKind::AltBit {
+            timeout_steps: None,
+        },
+        ProtocolKind::Stenning {
+            timeout_steps: None,
+        },
+    ] {
+        differential(kind, 16, None);
+    }
+}

@@ -17,7 +17,12 @@ fn params() -> TimingParams {
     TimingParams::from_ticks(1, 2, 6).unwrap()
 }
 
-fn simulate(kind: ProtocolKind, input: &[bool], step: StepPolicy, delivery: DeliveryPolicy) -> SimTrace {
+fn simulate(
+    kind: ProtocolKind,
+    input: &[bool],
+    step: StepPolicy,
+    delivery: DeliveryPolicy,
+) -> SimTrace {
     let out = run_configured(
         &RunConfig {
             kind,

@@ -1,0 +1,56 @@
+//! The deterministic RNG behind the vendored proptest (mirrors the role of
+//! `proptest::test_runner::TestRng`).
+
+/// A deterministic xoshiro256++ generator seeded from a test identifier and
+/// case index.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// A generator whose stream depends only on `(name, case)`.
+    #[must_use]
+    pub fn deterministic(name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^= u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut sm = h;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform value in `[0, span)`; `span` must be positive.
+    pub fn below(&mut self, span: u64) -> u64 {
+        assert!(span > 0, "below(0)");
+        ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
+    }
+}
