@@ -1,0 +1,211 @@
+//! Structural coverage signals extracted from simulated traces.
+//!
+//! Random legal schedules overwhelmingly produce the same few behaviors
+//! (everything FIFO, channel nearly empty). The fuzzer instead scores each
+//! run by the *structure* it exercised and keeps scenarios that reached
+//! anything new:
+//!
+//! - **occupancy** — for every event, how many packets were in flight per
+//!   direction, paired with the action kind (a proxy for the joint
+//!   protocol-state × channel-occupancy pair);
+//! - **reorder** — how far each delivery strayed from FIFO order within its
+//!   direction (the `d`-window's permutation depth);
+//! - **slack** — histogram of `d − (recv − send)`: how close deliveries ran
+//!   to their deadline;
+//! - **outcome** — run shape: quiescence flag and log-scale trace length.
+//!
+//! Keys are plain `u64`s with the family tag in the top byte, stored in a
+//! `BTreeSet` so counters are deterministic and order-independent.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use rstp_core::{InternalKind, Packet, RstpAction, TimingParams};
+use rstp_sim::{Outcome, SimTrace};
+
+const FAM_OCCUPANCY: u64 = 1 << 56;
+const FAM_REORDER: u64 = 2 << 56;
+const FAM_SLACK: u64 = 3 << 56;
+const FAM_OUTCOME: u64 = 4 << 56;
+
+/// Accumulated coverage across a whole fuzzing campaign.
+#[derive(Clone, Debug, Default)]
+pub struct Coverage {
+    seen: BTreeSet<u64>,
+}
+
+impl Coverage {
+    /// Merges one run's keys; returns how many were new.
+    pub fn absorb(&mut self, keys: &BTreeSet<u64>) -> usize {
+        let before = self.seen.len();
+        self.seen.extend(keys.iter().copied());
+        self.seen.len() - before
+    }
+
+    /// Per-family counters over everything absorbed so far.
+    #[must_use]
+    pub fn stats(&self) -> CoverageStats {
+        let count = |family: u64| self.seen.range(family..family + (1 << 56)).count() as u64;
+        CoverageStats {
+            total: self.seen.len() as u64,
+            occupancy: count(FAM_OCCUPANCY),
+            reorder: count(FAM_REORDER),
+            slack: count(FAM_SLACK),
+            outcome: count(FAM_OUTCOME),
+        }
+    }
+}
+
+/// Deterministic per-family coverage counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoverageStats {
+    /// Total distinct keys.
+    pub total: u64,
+    /// Distinct (action, in-flight count) pairs.
+    pub occupancy: u64,
+    /// Distinct delivery-reorder depths.
+    pub reorder: u64,
+    /// Distinct deadline-slack buckets.
+    pub slack: u64,
+    /// Distinct run shapes.
+    pub outcome: u64,
+}
+
+impl std::fmt::Display for CoverageStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} keys (occupancy {}, reorder {}, slack {}, outcome {})",
+            self.total, self.occupancy, self.reorder, self.slack, self.outcome
+        )
+    }
+}
+
+/// Tracks the unmatched sends of one channel direction so each delivery can
+/// be paired with its send by symbol.
+#[derive(Default)]
+struct Direction {
+    outstanding: VecDeque<(u64, u64)>,
+}
+
+impl Direction {
+    fn send(&mut self, symbol: u64, time: u64) {
+        self.outstanding.push_back((symbol, time));
+    }
+
+    /// Matches a delivery to the oldest outstanding send of the same
+    /// symbol. Returns `(reorder depth, send time)`; `None` for an
+    /// unmatched delivery (an injected duplicate).
+    fn recv(&mut self, symbol: u64) -> Option<(u64, u64)> {
+        let pos = self.outstanding.iter().position(|&(s, _)| s == symbol)?;
+        let (_, sent_at) = self.outstanding.remove(pos).expect("position is in range");
+        Some((pos as u64, sent_at))
+    }
+}
+
+fn action_tag(action: &RstpAction) -> u64 {
+    match action {
+        RstpAction::Send(Packet::Data(_)) => 0,
+        RstpAction::Send(Packet::Ack(_)) => 1,
+        RstpAction::Recv(Packet::Data(_)) => 2,
+        RstpAction::Recv(Packet::Ack(_)) => 3,
+        RstpAction::Write(_) => 4,
+        RstpAction::TransmitterInternal(InternalKind::Wait) => 5,
+        RstpAction::TransmitterInternal(InternalKind::Idle) => 6,
+        RstpAction::ReceiverInternal(InternalKind::Wait) => 7,
+        RstpAction::ReceiverInternal(InternalKind::Idle) => 8,
+    }
+}
+
+fn log2_bucket(n: u64) -> u64 {
+    64 - n.leading_zeros() as u64
+}
+
+/// Extracts the coverage key set of one run.
+#[must_use]
+pub fn coverage_keys(trace: &SimTrace, params: TimingParams, outcome: Outcome) -> BTreeSet<u64> {
+    let d = params.d().ticks();
+    let mut keys = BTreeSet::new();
+    let mut dirs = [Direction::default(), Direction::default()];
+    let mut data_sends = 0u64;
+
+    for event in trace.events() {
+        let time = event.time.ticks();
+        let tag = action_tag(&event.action);
+        match &event.action {
+            RstpAction::Send(packet) => {
+                let dir = usize::from(packet.is_ack());
+                dirs[dir].send(packet.symbol(), time);
+                data_sends += u64::from(packet.is_data());
+            }
+            RstpAction::Recv(packet) => {
+                let dir = usize::from(packet.is_ack());
+                if let Some((depth, sent_at)) = dirs[dir].recv(packet.symbol()) {
+                    let dir = (dir as u64) << 16;
+                    keys.insert(FAM_REORDER | dir | depth.min(31));
+                    let slack = d.saturating_sub(time.saturating_sub(sent_at));
+                    keys.insert(FAM_SLACK | dir | slack.min(31));
+                }
+            }
+            _ => {}
+        }
+        let in_flight = (dirs[0].outstanding.len() + dirs[1].outstanding.len()) as u64;
+        keys.insert(FAM_OCCUPANCY | (tag << 16) | in_flight.min(63));
+    }
+
+    keys.insert(FAM_OUTCOME | u64::from(outcome == Outcome::Quiescent));
+    keys.insert(FAM_OUTCOME | 0x100 | log2_bucket(trace.events().len() as u64));
+    keys.insert(FAM_OUTCOME | 0x200 | log2_bucket(data_sends));
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstp_core::TimingParams;
+    use rstp_sim::adversary::{DeliveryPolicy, StepPolicy};
+    use rstp_sim::harness::{run_configured, ProtocolKind, RunConfig};
+
+    fn keys_for(delivery: DeliveryPolicy) -> BTreeSet<u64> {
+        let params = TimingParams::from_ticks(1, 2, 6).unwrap();
+        let out = run_configured(
+            &RunConfig {
+                kind: ProtocolKind::Gamma { k: 4 },
+                params,
+                step: StepPolicy::AllSlow,
+                delivery,
+                ..RunConfig::default()
+            },
+            &[true, false, true, true, false, false, true, false],
+        )
+        .unwrap();
+        coverage_keys(&out.trace, params, Outcome::Quiescent)
+    }
+
+    #[test]
+    fn reordering_adversaries_reach_more_reorder_coverage() {
+        let fifo = keys_for(DeliveryPolicy::MaxDelay);
+        let reversed = keys_for(DeliveryPolicy::ReverseBurst { burst: 3 });
+        let depth = |keys: &BTreeSet<u64>| keys.range(FAM_REORDER..FAM_REORDER + (1 << 56)).count();
+        assert!(
+            depth(&reversed) > depth(&fifo),
+            "reverse-burst must exercise deeper reordering than FIFO ({} vs {})",
+            depth(&reversed),
+            depth(&fifo)
+        );
+    }
+
+    #[test]
+    fn absorb_counts_only_novel_keys() {
+        let keys = keys_for(DeliveryPolicy::MaxDelay);
+        let mut cov = Coverage::default();
+        let fresh = cov.absorb(&keys);
+        assert_eq!(fresh, keys.len());
+        assert_eq!(cov.absorb(&keys), 0);
+        let stats = cov.stats();
+        assert_eq!(
+            stats.total,
+            stats.occupancy + stats.reorder + stats.slack + stats.outcome
+        );
+        assert!(stats.occupancy > 0 && stats.slack > 0 && stats.outcome > 0);
+    }
+}

@@ -1,0 +1,317 @@
+//! The coverage-guided fuzzing loop.
+//!
+//! Each iteration either generates a fresh scenario or mutates a member of
+//! the coverage-novel pool, runs it through every simulation-side oracle,
+//! and absorbs its coverage keys; scenarios that reached new coverage join
+//! the pool, so mutation pressure concentrates on behaviors the campaign
+//! has not seen before. Every `differential_every`-th iteration the
+//! scenario is additionally re-run in wall-clock time over `MemTransport`
+//! with the same scripted delivery plan.
+//!
+//! The whole loop is deterministic: one `StdRng` seeded from
+//! `seed ^ fnv(protocol name)` drives generation and mutation, the
+//! differential cadence is positional, and coverage lives in ordered sets —
+//! so two runs with the same configuration produce identical reports.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rstp_core::TimingParams;
+use rstp_sim::ProtocolKind;
+
+use crate::coverage::{coverage_keys, Coverage, CoverageStats};
+use crate::oracle::{differential_failure, run_scenario, Failure, FailureKind};
+use crate::scenario::Scenario;
+use crate::shrink::shrink;
+
+/// How many coverage-novel scenarios the mutation pool retains.
+const POOL_CAP: usize = 64;
+
+/// One fuzzing campaign's configuration.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Protocol under test.
+    pub kind: ProtocolKind,
+    /// Timing parameters for every scenario.
+    pub params: TimingParams,
+    /// Campaign seed — same seed, same campaign.
+    pub seed: u64,
+    /// Number of scenarios to run.
+    pub iters: u64,
+    /// Largest input word to generate.
+    pub max_input: usize,
+    /// Per-run event budget (exceeding it is a termination failure).
+    pub max_events: u64,
+    /// Run the sim↔net differential every Nth iteration (0 disables it).
+    pub differential_every: u64,
+    /// Tick length for differential runs.
+    pub differential_tick: Duration,
+    /// Wall-clock cap for each differential run.
+    pub differential_wall: Duration,
+    /// Shrink attempt budget per failure.
+    pub shrink_budget: u32,
+    /// Stop after this many failures.
+    pub max_failures: usize,
+}
+
+impl FuzzConfig {
+    /// Defaults: 500 iterations, seed 0, inputs up to 24 bits, a
+    /// differential check every 250th iteration.
+    #[must_use]
+    pub fn new(kind: ProtocolKind, params: TimingParams) -> Self {
+        FuzzConfig {
+            kind,
+            params,
+            seed: 0,
+            iters: 500,
+            max_input: 24,
+            max_events: 500_000,
+            differential_every: 250,
+            differential_tick: Duration::from_micros(400),
+            differential_wall: Duration::from_secs(20),
+            shrink_budget: 600,
+            max_failures: 3,
+        }
+    }
+}
+
+/// One oracle rejection found by a campaign, minimized.
+#[derive(Clone, Debug)]
+pub struct FoundFailure {
+    /// The oracle that fired.
+    pub failure: Failure,
+    /// 0-based iteration the failure surfaced at.
+    pub iteration: u64,
+    /// Trace events of the originally failing scenario.
+    pub original_events: u64,
+    /// Trace events of the minimized scenario.
+    pub events: u64,
+    /// The minimized reproducer.
+    pub scenario: Scenario,
+}
+
+/// A finished campaign.
+#[derive(Clone, Debug)]
+pub struct FuzzReport {
+    /// `kind.name()` of the protocol fuzzed.
+    pub protocol: String,
+    /// Iterations actually executed (less than configured when
+    /// `max_failures` stopped the campaign early).
+    pub iterations: u64,
+    /// Final coverage counters.
+    pub coverage: CoverageStats,
+    /// Final mutation-pool size.
+    pub pool: usize,
+    /// Minimized failures, in discovery order.
+    pub failures: Vec<FoundFailure>,
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Runs one deterministic fuzzing campaign.
+#[must_use]
+pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ fnv64(cfg.kind.name().as_bytes()));
+    let mut coverage = Coverage::default();
+    let mut pool: Vec<Scenario> = Vec::new();
+    let mut failures = Vec::new();
+    let mut iterations = 0;
+
+    for iter in 0..cfg.iters {
+        iterations = iter + 1;
+        let scenario = if pool.is_empty() || rng.gen_bool(0.25) {
+            Scenario::generate(cfg.kind, cfg.params, &mut rng, cfg.max_input)
+        } else {
+            let pick = rng.gen_range(0..pool.len());
+            pool[pick].mutate(&mut rng)
+        };
+
+        let run = run_scenario(&scenario, cfg.max_events);
+        let keys = coverage_keys(
+            &run.trace,
+            cfg.params,
+            if run.quiescent {
+                rstp_sim::Outcome::Quiescent
+            } else {
+                rstp_sim::Outcome::BudgetExhausted
+            },
+        );
+        if coverage.absorb(&keys) > 0 {
+            if pool.len() < POOL_CAP {
+                pool.push(scenario.clone());
+            } else {
+                let victim = rng.gen_range(0..pool.len());
+                pool[victim] = scenario.clone();
+            }
+        }
+
+        let mut failure = run.failure.clone();
+        if failure.is_none()
+            && cfg.differential_every > 0
+            && (iter + 1) % cfg.differential_every == 0
+        {
+            failure = differential_failure(&scenario, cfg.differential_tick, cfg.differential_wall);
+        }
+
+        if let Some(failure) = failure {
+            failures.push(minimize(cfg, &scenario, run.events, failure, iter));
+            if failures.len() >= cfg.max_failures {
+                break;
+            }
+        }
+    }
+
+    FuzzReport {
+        protocol: cfg.kind.name(),
+        iterations,
+        coverage: coverage.stats(),
+        pool: pool.len(),
+        failures,
+    }
+}
+
+/// Shrinks a failing scenario, re-running the simulation oracles and
+/// keeping only candidates that fail with the same kind. Differential
+/// failures are not shrunk (each candidate would cost a wall-clock run);
+/// the original scenario is reported as-is.
+fn minimize(
+    cfg: &FuzzConfig,
+    scenario: &Scenario,
+    original_events: u64,
+    failure: Failure,
+    iteration: u64,
+) -> FoundFailure {
+    if failure.kind == FailureKind::Differential {
+        return FoundFailure {
+            failure,
+            iteration,
+            original_events,
+            events: original_events,
+            scenario: scenario.clone(),
+        };
+    }
+    let kind = failure.kind;
+    let (minimized, events) = shrink(
+        scenario,
+        original_events,
+        |candidate| {
+            let run = run_scenario(candidate, cfg.max_events);
+            match run.failure {
+                Some(f) if f.kind == kind => Some(run.events),
+                _ => None,
+            }
+        },
+        cfg.shrink_budget,
+    );
+    // Re-run once so the reported detail matches the minimized scenario.
+    let failure = run_scenario(&minimized, cfg.max_events)
+        .failure
+        .unwrap_or(failure);
+    FoundFailure {
+        failure,
+        iteration,
+        original_events,
+        events,
+        scenario: minimized,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> TimingParams {
+        TimingParams::from_ticks(1, 2, 6).unwrap()
+    }
+
+    fn quick(kind: ProtocolKind, iters: u64) -> FuzzConfig {
+        let mut cfg = FuzzConfig::new(kind, params());
+        cfg.iters = iters;
+        // Keep unit tests fast: the differential has its own test.
+        cfg.differential_every = 0;
+        cfg
+    }
+
+    #[test]
+    fn campaigns_are_deterministic_per_seed() {
+        let cfg = quick(ProtocolKind::Gamma { k: 4 }, 60);
+        let a = fuzz(&cfg);
+        let b = fuzz(&cfg);
+        assert_eq!(a.coverage, b.coverage);
+        assert_eq!(a.pool, b.pool);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.failures.len(), b.failures.len());
+    }
+
+    // Gamma is deliberately broken under the injected-bug cfg; the
+    // acceptance test below covers that build instead.
+    #[cfg(not(rstp_check_inject_ack_bug))]
+    #[test]
+    fn healthy_protocols_survive_a_short_campaign() {
+        for kind in [
+            ProtocolKind::Alpha,
+            ProtocolKind::Beta { k: 4 },
+            ProtocolKind::Gamma { k: 4 },
+        ] {
+            let report = fuzz(&quick(kind, 40));
+            assert!(
+                report.failures.is_empty(),
+                "{}: {}",
+                report.protocol,
+                report.failures[0].failure
+            );
+            assert_eq!(report.iterations, 40);
+            assert!(report.coverage.total > 0);
+            assert!(report.pool > 0);
+        }
+    }
+
+    /// The acceptance run for the whole tentpole: compiled with
+    /// `RUSTFLAGS="--cfg rstp_check_inject_ack_bug"`, `A^γ`'s transmitter
+    /// advances one ack early, which corrupts the receiver's multiset
+    /// decode only under burst-overlapping delivery schedules. The fuzzer
+    /// must find it and shrink it to a small replayable repro.
+    #[cfg(rstp_check_inject_ack_bug)]
+    #[test]
+    fn injected_ack_bug_is_caught_and_shrunk() {
+        let params = TimingParams::from_ticks(1, 2, 4).unwrap();
+        let mut cfg = FuzzConfig::new(ProtocolKind::Gamma { k: 2 }, params);
+        cfg.iters = 2_000;
+        cfg.differential_every = 0;
+        cfg.max_failures = 1;
+        let report = fuzz(&cfg);
+        assert!(
+            !report.failures.is_empty(),
+            "the injected ack bug must be found within {} iterations",
+            cfg.iters
+        );
+        let found = &report.failures[0];
+        assert!(
+            found.events <= 20,
+            "repro must shrink to ≤ 20 events, got {} ({})",
+            found.events,
+            found.failure
+        );
+        // The repro replays byte-for-byte through the corpus format.
+        let text = crate::corpus::render_repro(&crate::corpus::Repro {
+            scenario: found.scenario.clone(),
+            expect: crate::corpus::Expectation::Violation,
+            reason: found.failure.to_string(),
+        });
+        let back = crate::corpus::parse_repro(&text).unwrap();
+        let replayed = crate::oracle::run_scenario(&back.scenario, cfg.max_events);
+        assert_eq!(
+            replayed.failure.map(|f| f.kind),
+            Some(found.failure.kind),
+            "committed repro must reproduce the same failure"
+        );
+    }
+}

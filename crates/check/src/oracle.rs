@@ -1,0 +1,393 @@
+//! Invariant oracles: everything a scenario's run is checked against.
+//!
+//! A scenario fails when *any* of the following is violated, in this order:
+//!
+//! 1. **Model** — the runner itself rejects the run (nondeterminism,
+//!    adversary out of bounds, automaton refusing an applicable action).
+//!    Legal-by-construction scenarios should never trip this; when one
+//!    does, either the generator or the model is broken.
+//! 2. **Termination** — the event budget runs out before quiescence.
+//! 3. **Violation** — the `good(A)` trace checker finds a safety/liveness
+//!    breach (prefix property, step spacing, delivery window, bijection).
+//! 4. **Output** — the receiver wrote something other than `X`.
+//! 5. **Effort** — measured effort exceeds the paper's closed-form
+//!    worst-case bound (§4 for `A^α`/`A^β`, §6 for `A^γ`).
+//! 6. **Replay** — the trace does not replay through the composed formal
+//!    automaton.
+//! 7. **Differential** — the same scenario, run in wall-clock time over
+//!    `rstp-net`'s in-memory transport with the *same* scripted delivery
+//!    plan, produces a different output (checked periodically by the
+//!    engine, not on every iteration).
+
+use std::fmt;
+use std::time::Duration;
+
+use rstp_core::bounds;
+use rstp_core::protocols::{
+    AlphaReceiver, AlphaTransmitter, AltBitReceiver, AltBitTransmitter, BetaReceiver,
+    BetaTransmitter, FramedReceiver, FramedTransmitter, GammaReceiver, GammaTransmitter,
+    PipelinedReceiver, PipelinedTransmitter, StenningReceiver, StenningTransmitter,
+};
+use rstp_net::{run_transfer_mem_scripted, DriverOutcome, Pace, TransferConfig};
+use rstp_sim::checker::{check_trace, CheckConfig};
+use rstp_sim::harness::RunConfig;
+use rstp_sim::replay::replay_trace;
+use rstp_sim::{run_with_adversaries, Outcome, ProtocolKind, SimTrace};
+
+use crate::scenario::Scenario;
+
+/// Which oracle rejected the scenario. Shrinking preserves the kind: a
+/// candidate only counts as "still failing" when it fails the same way.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The runner rejected the run — a model or generator bug.
+    Model,
+    /// The run did not quiesce within the event budget.
+    Termination,
+    /// The `good(A)` trace checker found a violation.
+    Violation,
+    /// The receiver's output differs from the input.
+    Output,
+    /// Measured effort exceeds the closed-form worst-case bound.
+    Effort,
+    /// The trace does not replay through the composed formal automaton.
+    Replay,
+    /// Simulated and wall-clock runs of the same scenario disagree.
+    Differential,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FailureKind::Model => "model",
+            FailureKind::Termination => "termination",
+            FailureKind::Violation => "violation",
+            FailureKind::Output => "output",
+            FailureKind::Effort => "effort",
+            FailureKind::Replay => "replay",
+            FailureKind::Differential => "differential",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One concrete oracle rejection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Failure {
+    /// Which oracle fired.
+    pub kind: FailureKind,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.detail)
+    }
+}
+
+/// The outcome of running every simulation-side oracle on one scenario.
+#[derive(Clone, Debug)]
+pub struct ScenarioRun {
+    /// The recorded trace (empty when the runner rejected the scenario).
+    pub trace: SimTrace,
+    /// Whether the run quiesced (false also covers runner rejection).
+    pub quiescent: bool,
+    /// Number of trace events.
+    pub events: u64,
+    /// The first oracle rejection, if any.
+    pub failure: Option<Failure>,
+}
+
+/// Runs `scenario` through the simulator and all simulation-side oracles
+/// (1–6 above). The differential oracle is separate — see
+/// [`differential_failure`].
+#[must_use]
+pub fn run_scenario(scenario: &Scenario, max_events: u64) -> ScenarioRun {
+    let cfg = RunConfig {
+        kind: scenario.kind,
+        params: scenario.params,
+        d_lo_ticks: 0,
+        max_events,
+        record_trace: true,
+        ..RunConfig::default()
+    };
+    let mut step = scenario.step_adversary();
+    let mut delivery = scenario.delivery_adversary();
+    let run = match run_with_adversaries(&cfg, &scenario.input, &mut step, &mut delivery) {
+        Ok(run) => run,
+        Err(e) => {
+            return ScenarioRun {
+                trace: SimTrace::default(),
+                quiescent: false,
+                events: 0,
+                failure: Some(Failure {
+                    kind: FailureKind::Model,
+                    detail: e.to_string(),
+                }),
+            }
+        }
+    };
+    let quiescent = run.outcome == Outcome::Quiescent;
+    let events = run.trace.events().len() as u64;
+    let failure = first_failure(scenario, &run.trace, quiescent, &run.metrics);
+    ScenarioRun {
+        trace: run.trace,
+        quiescent,
+        events,
+        failure,
+    }
+}
+
+fn first_failure(
+    scenario: &Scenario,
+    trace: &SimTrace,
+    quiescent: bool,
+    metrics: &rstp_sim::RunMetrics,
+) -> Option<Failure> {
+    if !quiescent {
+        return Some(Failure {
+            kind: FailureKind::Termination,
+            detail: format!(
+                "event budget exhausted after {} events without quiescence",
+                trace.events().len()
+            ),
+        });
+    }
+
+    let faulty = !scenario.is_fault_free();
+    let mut check = CheckConfig::from_params(scenario.params);
+    check.expect_complete = !faulty;
+    check.expect_bijection = !faulty;
+    if faulty {
+        // Under injected drops the checker's per-value FIFO matching pairs
+        // a delivery against a dropped earlier send, so the Δ upper bound
+        // would false-alarm; the prefix, liveness, and Σ checks stay on.
+        check.d_hi = rstp_automata::TimeDelta::from_ticks(u64::MAX / 4);
+    }
+    let report = check_trace(trace, &check);
+    if let Some(v) = report.violations.first() {
+        return Some(Failure {
+            kind: FailureKind::Violation,
+            detail: v.to_string(),
+        });
+    }
+
+    if trace.written() != scenario.input {
+        return Some(Failure {
+            kind: FailureKind::Output,
+            detail: format!(
+                "receiver wrote {} bits, input had {} (first divergence at {:?})",
+                trace.written().len(),
+                scenario.input.len(),
+                scenario
+                    .input
+                    .iter()
+                    .zip(trace.written())
+                    .position(|(a, b)| *a != b)
+            ),
+        });
+    }
+
+    if let Some(f) = effort_failure(scenario, metrics) {
+        return Some(f);
+    }
+    replay_failure(scenario, trace)
+}
+
+/// Compares measured effort against the protocol's universal worst-case
+/// bound. Only `A^α`/`A^β`/`A^γ` have closed forms; other kinds pass.
+fn effort_failure(scenario: &Scenario, metrics: &rstp_sim::RunMetrics) -> Option<Failure> {
+    let n = scenario.input.len();
+    let effort = metrics.effort(n)?;
+    let bound = match scenario.kind {
+        ProtocolKind::Alpha => bounds::alpha_effort(scenario.params),
+        ProtocolKind::Beta { k } => bounds::passive_upper_finite(scenario.params, k, n),
+        ProtocolKind::Gamma { k } => bounds::active_upper_finite(scenario.params, k, n),
+        _ => return None,
+    };
+    // Small epsilon so f64 rounding in the closed forms never false-alarms.
+    if effort > bound + 1e-9 {
+        return Some(Failure {
+            kind: FailureKind::Effort,
+            detail: format!("measured effort {effort:.4} exceeds worst-case bound {bound:.4}"),
+        });
+    }
+    None
+}
+
+/// Replays the trace through the composed formal automaton, mirroring the
+/// constructions of `tests/replay_all.rs`.
+fn replay_failure(scenario: &Scenario, trace: &SimTrace) -> Option<Failure> {
+    // The composed automaton's channel is a pure delay: injected drops and
+    // duplicates have no formal counterpart, so faulty traces cannot replay.
+    if !scenario.is_fault_free() {
+        return None;
+    }
+    let p = scenario.params;
+    let input = scenario.input.clone();
+    let result = match scenario.kind {
+        ProtocolKind::Alpha => {
+            replay_trace(AlphaTransmitter::new(p, input), AlphaReceiver::new(), trace)
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+        }
+        ProtocolKind::Beta { k } => build_and_replay(trace, || {
+            Ok((
+                BetaTransmitter::new(p, k, &input)?,
+                BetaReceiver::new(p, k, input.len())?,
+            ))
+        }),
+        ProtocolKind::Gamma { k } => build_and_replay(trace, || {
+            Ok((
+                GammaTransmitter::new(p, k, &input)?,
+                GammaReceiver::new(p, k, input.len())?,
+            ))
+        }),
+        ProtocolKind::AltBit { timeout_steps } => replay_trace(
+            AltBitTransmitter::new(p, input, timeout_steps),
+            AltBitReceiver::new(),
+            trace,
+        )
+        .map(|_| ())
+        .map_err(|e| e.to_string()),
+        ProtocolKind::Framed { k } => build_and_replay(trace, || {
+            Ok((
+                FramedTransmitter::new(p, k, &input)?,
+                FramedReceiver::new(p, k)?,
+            ))
+        }),
+        ProtocolKind::Stenning { timeout_steps } => replay_trace(
+            StenningTransmitter::new(p, input, timeout_steps),
+            StenningReceiver::new(),
+            trace,
+        )
+        .map(|_| ())
+        .map_err(|e| e.to_string()),
+        ProtocolKind::Pipelined { k, window } => build_and_replay(trace, || {
+            Ok((
+                PipelinedTransmitter::with_window(p, k, window, &input)?,
+                PipelinedReceiver::with_window(p, k, window, input.len())?,
+            ))
+        }),
+        // BetaWindow needs a d_lo > 0 regime the fuzzer does not target.
+        ProtocolKind::BetaWindow { .. } => Ok(()),
+    };
+    result.err().map(|detail| Failure {
+        kind: FailureKind::Replay,
+        detail,
+    })
+}
+
+fn build_and_replay<T, R>(
+    trace: &SimTrace,
+    build: impl FnOnce() -> Result<(T, R), rstp_core::ProtocolError>,
+) -> Result<(), String>
+where
+    T: rstp_automata::Automaton<Action = rstp_core::RstpAction>,
+    R: rstp_automata::Automaton<Action = rstp_core::RstpAction>,
+{
+    let (t, r) = build().map_err(|e| e.to_string())?;
+    replay_trace(t, r, trace)
+        .map(|_| ())
+        .map_err(|e| e.to_string())
+}
+
+/// Runs the scenario a second time in wall-clock over `MemTransport` with
+/// the same scripted delivery plan and compares outputs. Only meaningful
+/// for fault-free scenarios of wire-supported protocols; others return
+/// `None` immediately.
+#[must_use]
+pub fn differential_failure(
+    scenario: &Scenario,
+    tick: Duration,
+    max_wall: Duration,
+) -> Option<Failure> {
+    if !scenario.is_fault_free() || matches!(scenario.kind, ProtocolKind::BetaWindow { .. }) {
+        return None;
+    }
+    let mut config = TransferConfig::new(scenario.params, tick, 0).with_pace(Pace::Slow);
+    config.max_wall = max_wall;
+    let report = match run_transfer_mem_scripted(
+        scenario.kind,
+        &scenario.input,
+        &config,
+        scenario.data.clone(),
+        scenario.ack.clone(),
+    ) {
+        Ok(report) => report,
+        Err(e) => {
+            return Some(Failure {
+                kind: FailureKind::Differential,
+                detail: format!("net run failed where sim succeeded: {e}"),
+            })
+        }
+    };
+    if report.receiver.outcome != DriverOutcome::Completed {
+        return Some(Failure {
+            kind: FailureKind::Differential,
+            detail: "net receiver timed out where sim quiesced".into(),
+        });
+    }
+    if report.output() != scenario.input {
+        return Some(Failure {
+            kind: FailureKind::Differential,
+            detail: format!(
+                "net wrote {} bits, sim wrote {}",
+                report.output().len(),
+                scenario.input.len()
+            ),
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rstp_core::TimingParams;
+
+    fn params() -> TimingParams {
+        TimingParams::from_ticks(1, 2, 6).unwrap()
+    }
+
+    // Gamma is deliberately broken under the injected-bug cfg, so the
+    // healthy-protocol oracles only hold in a normal build.
+    #[cfg(not(rstp_check_inject_ack_bug))]
+    #[test]
+    fn random_legal_scenarios_pass_every_oracle() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for kind in [
+            ProtocolKind::Alpha,
+            ProtocolKind::Beta { k: 4 },
+            ProtocolKind::Gamma { k: 4 },
+            ProtocolKind::Stenning {
+                timeout_steps: None,
+            },
+        ] {
+            for _ in 0..25 {
+                let s = Scenario::generate(kind, params(), &mut rng, 12);
+                let run = run_scenario(&s, 500_000);
+                assert!(
+                    run.failure.is_none(),
+                    "{}: {}",
+                    kind.name(),
+                    run.failure.unwrap()
+                );
+                assert!(run.quiescent);
+            }
+        }
+    }
+
+    #[cfg(not(rstp_check_inject_ack_bug))]
+    #[test]
+    fn differential_agrees_on_a_scripted_gamma_run() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = Scenario::generate(ProtocolKind::Gamma { k: 4 }, params(), &mut rng, 8);
+        assert!(run_scenario(&s, 500_000).failure.is_none());
+        let failure = differential_failure(&s, Duration::from_micros(400), Duration::from_secs(20));
+        assert!(failure.is_none(), "{}", failure.unwrap());
+    }
+}

@@ -1,0 +1,223 @@
+//! Delta-debugging shrinker for failing scenarios.
+//!
+//! Given a scenario the oracle rejects, the shrinker greedily tries
+//! structurally smaller candidates — truncating the input word, clearing or
+//! halving the gap and fate scripts, normalizing gaps toward `c2` and
+//! delays toward `d` — and keeps any candidate the caller confirms *still
+//! fails the same way*. It iterates to a fixpoint or an attempt budget,
+//! whichever comes first, and returns the smallest confirmed reproducer.
+
+use rstp_sim::PacketFate;
+
+use crate::scenario::Scenario;
+
+/// Ordering key for candidates: fewer input bits beats fewer scripted
+/// entries beats fewer trace events.
+fn weight(s: &Scenario, events: u64) -> (usize, usize, u64) {
+    (s.input.len(), s.script_len(), events)
+}
+
+/// Shrinks `origin` (which fails with `origin_events` trace events) using
+/// `still_fails`, which re-runs a candidate and returns `Some(events)` iff
+/// it fails with the *same* [`crate::FailureKind`]. At most `budget`
+/// candidates are evaluated. Returns the minimal scenario found and its
+/// event count.
+pub fn shrink(
+    origin: &Scenario,
+    origin_events: u64,
+    mut still_fails: impl FnMut(&Scenario) -> Option<u64>,
+    budget: u32,
+) -> (Scenario, u64) {
+    let mut best = origin.clone();
+    let mut best_events = origin_events;
+    let mut attempts = 0u32;
+
+    loop {
+        let mut improved = false;
+        for candidate in candidates(&best) {
+            if attempts >= budget {
+                return (best, best_events);
+            }
+            if candidate == best {
+                continue;
+            }
+            attempts += 1;
+            if let Some(events) = still_fails(&candidate) {
+                if weight(&candidate, events) < weight(&best, best_events) {
+                    best = candidate;
+                    best_events = events;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        if !improved {
+            return (best, best_events);
+        }
+    }
+}
+
+/// Structurally smaller (or normalized) variants of `s`, most aggressive
+/// first so a single confirmation skips many rounds.
+fn candidates(s: &Scenario) -> Vec<Scenario> {
+    let c2 = s.params.c2().ticks();
+    let d = s.params.d().ticks();
+    let mut out = Vec::new();
+
+    // Input truncation: half, three-quarters, minus one.
+    for keep in [
+        s.input.len() / 2,
+        (s.input.len() * 3) / 4,
+        s.input.len().saturating_sub(1),
+    ] {
+        if keep >= 1 && keep < s.input.len() {
+            let mut c = s.clone();
+            c.input.truncate(keep);
+            out.push(c);
+        }
+    }
+
+    // Script reduction: clear, halve, drop the tail entry.
+    let gap_edits: [fn(&mut Vec<u64>); 3] = [
+        |v| v.clear(),
+        |v| {
+            let half = v.len() / 2;
+            v.truncate(half);
+        },
+        |v| {
+            v.pop();
+        },
+    ];
+    for edit in gap_edits {
+        for which in 0..2 {
+            let mut c = s.clone();
+            let script = if which == 0 {
+                &mut c.t_gaps
+            } else {
+                &mut c.r_gaps
+            };
+            if script.is_empty() {
+                continue;
+            }
+            edit(script);
+            out.push(c);
+        }
+    }
+    let fate_edits: [fn(&mut Vec<PacketFate>); 3] = [
+        |v| v.clear(),
+        |v| {
+            let half = v.len() / 2;
+            v.truncate(half);
+        },
+        |v| {
+            v.pop();
+        },
+    ];
+    for edit in fate_edits {
+        for which in 0..2 {
+            let mut c = s.clone();
+            let plan = if which == 0 { &mut c.data } else { &mut c.ack };
+            if plan.fates().is_empty() {
+                continue;
+            }
+            edit(plan.fates_mut());
+            out.push(c);
+        }
+    }
+
+    // Normalization toward the canonical worst case: gaps at c2, delays at
+    // the deadline d. These do not reduce the weight on their own, so pair
+    // each with a tail pop to stay strictly decreasing.
+    if s.gap_fallback != c2 {
+        let mut c = s.clone();
+        c.gap_fallback = c2;
+        shed_one_entry(&mut c);
+        out.push(c);
+    }
+    if s.data.fallback() != d || s.ack.fallback() != d {
+        let mut c = s.clone();
+        c.data.set_fallback(d);
+        c.ack.set_fallback(d);
+        shed_one_entry(&mut c);
+        out.push(c);
+    }
+
+    out
+}
+
+/// Drops one scripted entry from the longest script, so normalization
+/// candidates still shrink the weight.
+fn shed_one_entry(s: &mut Scenario) {
+    let lens = [
+        s.t_gaps.len(),
+        s.r_gaps.len(),
+        s.data.fates().len(),
+        s.ack.fates().len(),
+    ];
+    let Some((which, _)) = lens.iter().enumerate().max_by_key(|&(_, &len)| len) else {
+        return;
+    };
+    match which {
+        0 => {
+            s.t_gaps.pop();
+        }
+        1 => {
+            s.r_gaps.pop();
+        }
+        2 => {
+            s.data.fates_mut().pop();
+        }
+        _ => {
+            s.ack.fates_mut().pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rstp_core::TimingParams;
+    use rstp_sim::ProtocolKind;
+
+    /// A synthetic failure predicate: "fails" whenever the input still
+    /// contains at least 3 `true` bits. The shrinker should strip
+    /// everything else away.
+    #[test]
+    fn shrinks_to_the_predicate_core() {
+        let params = TimingParams::from_ticks(1, 2, 6).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut origin = Scenario::generate(ProtocolKind::Beta { k: 4 }, params, &mut rng, 20);
+        origin.input = vec![true; 9];
+        origin.t_gaps = vec![1; 30];
+        origin.data = rstp_sim::ScriptedDelivery::deliver_all(&[3; 25], 0);
+
+        let fails = |s: &Scenario| {
+            let trues = s.input.iter().filter(|&&b| b).count();
+            (trues >= 3).then_some(s.input.len() as u64 * 10)
+        };
+        assert!(fails(&origin).is_some());
+        let (min, _) = shrink(&origin, 90, fails, 10_000);
+        assert_eq!(min.input.len(), 3, "input must shrink to the 3-bit core");
+        assert_eq!(min.script_len(), 0, "all scripts must be cleared");
+    }
+
+    #[test]
+    fn shrink_respects_the_attempt_budget() {
+        let params = TimingParams::from_ticks(1, 2, 6).unwrap();
+        let mut rng = StdRng::seed_from_u64(22);
+        let origin = Scenario::generate(ProtocolKind::Alpha, params, &mut rng, 20);
+        let mut calls = 0u32;
+        let _ = shrink(
+            &origin,
+            100,
+            |_| {
+                calls += 1;
+                Some(100)
+            },
+            5,
+        );
+        assert!(calls <= 5);
+    }
+}

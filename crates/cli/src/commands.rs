@@ -27,13 +27,16 @@ COMMANDS:
   plan          smallest k for a latency   --c1 --c2 --d --target --kmax
   dist          effort distribution        --protocol --k --c1 --c2 --d --n --runs
   net           real-time wire transfers   net <send|recv|bench> (run `rstp net help`)
+  check         coverage-guided schedule fuzzer  --protocol --k --seed --iters
+                                           --c1 --c2 --d --max-input --differential
+                                           --corpus DIR --minimize FILE [--out FILE]
 
 PROTOCOLS: alpha | beta | gamma | altbit | stenning | framed | pipelined
 STEP:      fast | slow | alternate | random
 DELIVERY:  eager | max | reverse | batch | random
 ";
 
-fn timing(args: &Args) -> Result<TimingParams, ArgError> {
+pub(crate) fn timing(args: &Args) -> Result<TimingParams, ArgError> {
     let c1 = args.get_u64("c1", 1)?;
     let c2 = args.get_u64("c2", 2)?;
     let d = args.get_u64("d", 8)?;
@@ -381,6 +384,7 @@ pub fn dispatch(args: &Args) -> Result<String, ArgError> {
         Some("plan") => cmd_plan(args),
         Some("dist") => cmd_dist(args),
         Some("net") => crate::net::cmd_net(args),
+        Some("check") => crate::check::cmd_check(args),
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(ArgError(format!(
             "unknown command {other:?}; run `rstp help`"

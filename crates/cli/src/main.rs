@@ -11,6 +11,7 @@
 //! ```
 
 mod args;
+mod check;
 mod commands;
 mod net;
 

@@ -161,7 +161,19 @@ impl Automaton for GammaTransmitter {
                     return Ok(state.clone());
                 }
                 let acks = state.acks + 1;
-                if acks == self.delta2 {
+                // Test-only seeded fault for the `rstp-check` fuzzer's
+                // acceptance run: compile with
+                // `RUSTFLAGS="--cfg rstp_check_inject_ack_bug"` and the
+                // transmitter advances one ack early (an off-by-one the
+                // fuzzer must catch via burst overlap under reordering).
+                // δ2 = 1 is exempt so the bug stays a timing bug rather
+                // than a trivial deadlock.
+                let needed = if cfg!(rstp_check_inject_ack_bug) {
+                    (self.delta2 - 1).max(1)
+                } else {
+                    self.delta2
+                };
+                if acks == needed {
                     Ok(GammaTransmitterState {
                         block: state.block + 1,
                         step_in_burst: 0,

@@ -9,6 +9,7 @@
 
 use rand::{Rng, SeedableRng};
 use rstp_core::TimingParams;
+use rstp_sim::{PacketFate, ScriptedDelivery};
 use std::time::Duration;
 
 /// How the channel draws a delivery delay (in ticks) for each packet.
@@ -165,6 +166,61 @@ impl ChannelSampler {
     }
 }
 
+/// Per-direction verdict source realizing a [`ScriptedDelivery`] plan in
+/// wall-clock time: the `i`-th packet sent in this direction gets the
+/// plan's `i`-th fate, tick delays scaled by `tick`. This is how one
+/// `rstp-check` scenario drives the real transport and the simulator with
+/// the same delivery schedule.
+#[derive(Clone, Debug)]
+pub struct ScriptedVerdicts {
+    plan: ScriptedDelivery,
+    tick: Duration,
+    index: u64,
+}
+
+impl ScriptedVerdicts {
+    /// Creates the verdict source from a plan and the tick duration.
+    pub fn new(plan: ScriptedDelivery, tick: Duration) -> Self {
+        ScriptedVerdicts {
+            plan,
+            tick,
+            index: 0,
+        }
+    }
+
+    /// Decides the fate of the next packet in this direction.
+    pub fn next_verdict(&mut self) -> Verdict {
+        let fate = self.plan.fate(self.index);
+        self.index += 1;
+        let scale = |ticks: u64| self.tick * u32::try_from(ticks).unwrap_or(u32::MAX);
+        match fate {
+            PacketFate::Deliver(t) => Verdict::Deliver(scale(t)),
+            PacketFate::Drop => Verdict::Drop,
+            PacketFate::Duplicate(a, b) => Verdict::Duplicate(scale(a), scale(b)),
+        }
+    }
+}
+
+/// Either fate-decision backend of a channel direction: the seeded
+/// [`ChannelSampler`] or a [`ScriptedVerdicts`] plan.
+#[derive(Debug)]
+pub enum VerdictSource {
+    /// Seeded pseudorandom fates from a [`ChannelConfig`].
+    Sampled(ChannelSampler),
+    /// Replay of an explicit per-packet plan.
+    Scripted(ScriptedVerdicts),
+}
+
+impl VerdictSource {
+    /// Decides the fate of the next packet.
+    pub fn next_verdict(&mut self) -> Verdict {
+        match self {
+            VerdictSource::Sampled(s) => s.next_verdict(),
+            VerdictSource::Scripted(s) => s.next_verdict(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,6 +276,29 @@ mod tests {
                 Verdict::Drop => panic!("reliable channel must not drop"),
             }
         }
+    }
+
+    #[test]
+    fn scripted_verdicts_replay_the_plan_in_wall_clock() {
+        let tick = Duration::from_micros(100);
+        let plan = ScriptedDelivery::new(
+            vec![
+                PacketFate::Deliver(3),
+                PacketFate::Drop,
+                PacketFate::Duplicate(0, 8),
+            ],
+            2, // fallback
+        );
+        let mut s = ScriptedVerdicts::new(plan, tick);
+        assert_eq!(s.next_verdict(), Verdict::Deliver(tick * 3));
+        assert_eq!(s.next_verdict(), Verdict::Drop);
+        assert_eq!(
+            s.next_verdict(),
+            Verdict::Duplicate(Duration::ZERO, tick * 8)
+        );
+        // Fallback tail, forever.
+        assert_eq!(s.next_verdict(), Verdict::Deliver(tick * 2));
+        assert_eq!(s.next_verdict(), Verdict::Deliver(tick * 2));
     }
 
     #[test]

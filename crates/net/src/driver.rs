@@ -252,16 +252,20 @@ where
         }
         let overshoot = clock.sleep_until(deadline);
         let wake = std::time::Instant::now();
-        if overshoot > config.slack {
+        // A late wake is accounted once, as a deadline miss; intervals
+        // that start or end at a late wake are distorted by that same
+        // stall, so they are excluded from the step-gap measurement
+        // rather than double-counted as timing violations.
+        let late = overshoot > config.slack;
+        if late {
             report.deadline_misses += 1;
-        }
-        if let Some(prev) = prev_wake {
+        } else if let Some(prev) = prev_wake {
             let observed = wake.saturating_duration_since(prev);
             if observed < lo || observed > hi {
                 report.timing_violations += 1;
             }
         }
-        prev_wake = Some(wake);
+        prev_wake = (!late).then_some(wake);
 
         // Apply every delivered packet as a recv input before the local
         // step, mirroring the engine's input-before-step ordering at a
@@ -357,6 +361,9 @@ where
         let now = std::time::Instant::now();
         if now > deadline + gap {
             deadline = now;
+            // The interval spanning the stall is as distorted as one
+            // ending at a late wake — skip its gap measurement too.
+            prev_wake = None;
         }
     }
 

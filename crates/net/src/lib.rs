@@ -43,15 +43,17 @@ pub mod transport;
 pub mod udp;
 pub mod wire;
 
-pub use chan::{ChannelConfig, ChannelSampler, DelayModel, Verdict};
+pub use chan::{
+    ChannelConfig, ChannelSampler, DelayModel, ScriptedVerdicts, Verdict, VerdictSource,
+};
 pub use clock::TickClock;
 pub use driver::{run_endpoint, DriverConfig, DriverOutcome, DriverReport, Pace};
 pub use error::NetError;
 pub use histogram::LatencyHistogram;
 pub use mem::MemTransport;
 pub use session::{
-    codec_for, run_receiver, run_transfer_mem, run_transmitter, wire_identity, TransferConfig,
-    TransferReport,
+    codec_for, run_receiver, run_transfer_mem, run_transfer_mem_scripted, run_transmitter,
+    wire_identity, TransferConfig, TransferReport,
 };
 pub use transport::{Transport, TransportStats};
 pub use udp::UdpTransport;

@@ -11,17 +11,19 @@
 //! reorder behaviour the paper's channel axioms permit, now realised in
 //! real time rather than simulated ticks.
 
-use crate::chan::{ChannelConfig, ChannelSampler, Verdict};
+use crate::chan::{ChannelConfig, ChannelSampler, ScriptedVerdicts, Verdict, VerdictSource};
 use crate::error::NetError;
 use crate::transport::{Transport, TransportStats};
 use crate::wire::{Frame, WireCodec};
 use rstp_core::Packet;
+use rstp_sim::ScriptedDelivery;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
 use std::thread;
+use std::time::Duration;
 use std::time::Instant;
 
 /// Fault counters a delivery thread shares with its sending endpoint.
@@ -49,8 +51,38 @@ impl MemTransport {
     /// the same configuration but draw from independent PRNG streams, so a
     /// single seed reproduces the whole channel behaviour.
     pub fn pair(codec: WireCodec, config: ChannelConfig) -> (MemTransport, MemTransport) {
-        let (a_to_b, b_inbox, a_faults) = direction(config, 0);
-        let (b_to_a, a_inbox, b_faults) = direction(config, 1);
+        MemTransport::pair_with(
+            codec,
+            VerdictSource::Sampled(ChannelSampler::new(config, 0)),
+            VerdictSource::Sampled(ChannelSampler::new(config, 1)),
+        )
+    }
+
+    /// Builds a connected endpoint pair whose two directions replay
+    /// explicit [`ScriptedDelivery`] plans (tick delays scaled by `tick`)
+    /// instead of sampling a PRNG — the wall-clock half of an `rstp-check`
+    /// differential scenario. `a_to_b` governs packets sent by the first
+    /// endpoint, `b_to_a` those sent by the second.
+    pub fn pair_scripted(
+        codec: WireCodec,
+        tick: Duration,
+        a_to_b: ScriptedDelivery,
+        b_to_a: ScriptedDelivery,
+    ) -> (MemTransport, MemTransport) {
+        MemTransport::pair_with(
+            codec,
+            VerdictSource::Scripted(ScriptedVerdicts::new(a_to_b, tick)),
+            VerdictSource::Scripted(ScriptedVerdicts::new(b_to_a, tick)),
+        )
+    }
+
+    fn pair_with(
+        codec: WireCodec,
+        a_to_b_verdicts: VerdictSource,
+        b_to_a_verdicts: VerdictSource,
+    ) -> (MemTransport, MemTransport) {
+        let (a_to_b, b_inbox, a_faults) = direction(a_to_b_verdicts, 0);
+        let (b_to_a, a_inbox, b_faults) = direction(b_to_a_verdicts, 1);
         let a = MemTransport {
             codec,
             egress: a_to_b,
@@ -84,7 +116,7 @@ type Ingress = mpsc::Sender<(Instant, Vec<u8>)>;
 
 /// Spawns one delivery direction: returns the ingress sender, the inbox
 /// the peer endpoint reads from, and the fault counters of this direction.
-fn direction(config: ChannelConfig, stream: u64) -> (Ingress, Inbox, Arc<FaultCounters>) {
+fn direction(verdicts: VerdictSource, stream: u64) -> (Ingress, Inbox, Arc<FaultCounters>) {
     let (tx, rx) = mpsc::channel::<(Instant, Vec<u8>)>();
     let inbox: Inbox = Arc::new(Mutex::new(VecDeque::new()));
     let faults = Arc::new(FaultCounters::default());
@@ -92,7 +124,7 @@ fn direction(config: ChannelConfig, stream: u64) -> (Ingress, Inbox, Arc<FaultCo
     let thread_faults = Arc::clone(&faults);
     thread::Builder::new()
         .name(format!("rstp-net-chan-{stream}"))
-        .spawn(move || delivery_loop(rx, thread_inbox, config, stream, thread_faults))
+        .spawn(move || delivery_loop(rx, thread_inbox, verdicts, thread_faults))
         .expect("spawn delivery thread");
     (tx, inbox, faults)
 }
@@ -102,11 +134,9 @@ fn direction(config: ChannelConfig, stream: u64) -> (Ingress, Inbox, Arc<FaultCo
 fn delivery_loop(
     ingress: mpsc::Receiver<(Instant, Vec<u8>)>,
     inbox: Arc<Mutex<VecDeque<Vec<u8>>>>,
-    config: ChannelConfig,
-    stream: u64,
+    mut verdicts: VerdictSource,
     faults: Arc<FaultCounters>,
 ) {
-    let mut sampler = ChannelSampler::new(config, stream);
     // Min-heap on (deliver_at, arrival_index); the index breaks ties so
     // equal deadlines release in send order.
     let mut heap: BinaryHeap<Reverse<(Instant, u64, Vec<u8>)>> = BinaryHeap::new();
@@ -155,7 +185,7 @@ fn delivery_loop(
             },
         };
         if let Some((sent_at, bytes)) = incoming {
-            match sampler.next_verdict() {
+            match verdicts.next_verdict() {
                 Verdict::Drop => {
                     faults.losses.fetch_add(1, Ordering::Relaxed);
                 }
@@ -329,6 +359,94 @@ mod tests {
             received.len() as u64,
             200 - stats.injected_losses + stats.injected_duplicates
         );
+    }
+
+    #[test]
+    fn duplicated_packets_still_respect_the_d_window() {
+        // Satellite check for the at-most-d guarantee under faults: a
+        // duplicated packet's *second* copy draws its own delay, and that
+        // delay is still capped at d ticks. Script every fate explicitly so
+        // the interaction of `injected_duplicates` with the window is pinned,
+        // not sampled: 8 packets, each duplicated with one eager copy and
+        // one copy at the full d = 8 ticks.
+        let tick = Duration::from_millis(2);
+        let d_ticks = params().d().ticks();
+        let plan = ScriptedDelivery::new(
+            (0..8)
+                .map(|_| rstp_sim::PacketFate::Duplicate(0, d_ticks))
+                .collect(),
+            0,
+        );
+        let (mut a, mut b) =
+            MemTransport::pair_scripted(codec(), tick, plan, ScriptedDelivery::deliver_all(&[], 0));
+        let mut sent_at = Vec::new();
+        for i in 0..8u64 {
+            sent_at.push(Instant::now());
+            a.send(Packet::Data(i), i).expect("send");
+            thread::sleep(tick);
+        }
+        // Every copy — original and duplicate — must arrive by
+        // send_instant + d·tick, modulo scheduler lateness (the thread can
+        // only release late, never early; generous slack keeps CI honest).
+        let window = tick * u32::try_from(d_ticks).expect("small d");
+        let slack = Duration::from_millis(250);
+        let deadline = Instant::now() + Duration::from_secs(4);
+        let mut frames = Vec::new();
+        while frames.len() < 16 && Instant::now() < deadline {
+            match b.poll_recv().expect("poll") {
+                Some(f) => frames.push((Instant::now(), f)),
+                None => thread::sleep(Duration::from_micros(200)),
+            }
+        }
+        assert_eq!(frames.len(), 16, "one duplicate per packet");
+        for (arrived, f) in &frames {
+            let sent = sent_at[usize::try_from(f.seq).expect("small seq")];
+            let late = arrived.saturating_duration_since(sent);
+            assert!(
+                late <= window + slack,
+                "seq {} arrived {late:?} after send, window {window:?}",
+                f.seq
+            );
+        }
+        let stats = a.local_stats();
+        assert_eq!(stats.frames_sent, 8);
+        assert_eq!(stats.injected_duplicates, 8, "every packet duplicated");
+        assert_eq!(stats.injected_losses, 0);
+        assert_eq!(b.local_stats().frames_received, 16);
+        // Each seq arrives exactly twice (duplication, no loss).
+        let mut counts = [0u32; 8];
+        for (_, f) in &frames {
+            counts[usize::try_from(f.seq).expect("small seq")] += 1;
+        }
+        assert_eq!(counts, [2; 8]);
+    }
+
+    #[test]
+    fn scripted_drops_are_counted_and_never_delivered() {
+        let tick = Duration::from_micros(100);
+        let plan = ScriptedDelivery::new(
+            vec![
+                rstp_sim::PacketFate::Deliver(0),
+                rstp_sim::PacketFate::Drop,
+                rstp_sim::PacketFate::Deliver(0),
+                rstp_sim::PacketFate::Drop,
+            ],
+            0,
+        );
+        let (mut a, mut b) =
+            MemTransport::pair_scripted(codec(), tick, plan, ScriptedDelivery::deliver_all(&[], 0));
+        for i in 0..4u64 {
+            a.send(Packet::Data(i), i).expect("send");
+        }
+        let frames = drain(&mut b, 2, Duration::from_secs(1));
+        // Allow the thread a beat to classify the dropped frames too.
+        thread::sleep(Duration::from_millis(50));
+        let symbols: Vec<u64> = frames.iter().map(|f| f.packet.symbol()).collect();
+        assert_eq!(symbols, vec![0, 2]);
+        let stats = a.local_stats();
+        assert_eq!(stats.injected_losses, 2);
+        assert_eq!(stats.injected_duplicates, 0);
+        assert!(b.poll_recv().expect("poll").is_none(), "drops stay dropped");
     }
 
     #[test]

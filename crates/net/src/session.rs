@@ -22,6 +22,7 @@ use rstp_core::protocols::{
 };
 use rstp_core::{Message, TimingParams};
 use rstp_sim::harness::ProtocolKind;
+use rstp_sim::ScriptedDelivery;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -238,7 +239,40 @@ pub fn run_transfer_mem(
     config: &TransferConfig,
 ) -> Result<TransferReport, NetError> {
     let codec = codec_for(kind)?;
-    let (mut t_end, mut r_end) = MemTransport::pair(codec, config.channel);
+    let ends = MemTransport::pair(codec, config.channel);
+    run_transfer_over(kind, input, config, ends)
+}
+
+/// Like [`run_transfer_mem`], but the two channel directions replay
+/// explicit [`ScriptedDelivery`] plans instead of sampling the configured
+/// channel: `data_plan` governs transmitter → receiver packets, `ack_plan`
+/// the reverse direction. This is the wall-clock half of an `rstp-check`
+/// differential scenario — the same plans drive the simulator through
+/// `rstp_sim::ScriptedDeliveryAdversary`, so a divergence between the two
+/// outputs indicts the stack, not the schedule.
+///
+/// # Errors
+///
+/// [`NetError`] from either endpoint; a panicking endpoint thread is
+/// reported as [`NetError::Thread`].
+pub fn run_transfer_mem_scripted(
+    kind: ProtocolKind,
+    input: &[Message],
+    config: &TransferConfig,
+    data_plan: ScriptedDelivery,
+    ack_plan: ScriptedDelivery,
+) -> Result<TransferReport, NetError> {
+    let codec = codec_for(kind)?;
+    let ends = MemTransport::pair_scripted(codec, config.tick, data_plan, ack_plan);
+    run_transfer_over(kind, input, config, ends)
+}
+
+fn run_transfer_over(
+    kind: ProtocolKind,
+    input: &[Message],
+    config: &TransferConfig,
+    (mut t_end, mut r_end): (MemTransport, MemTransport),
+) -> Result<TransferReport, NetError> {
     // Anchor tick 0 slightly in the future so both threads are running
     // before their first deadline.
     let epoch = Instant::now() + Duration::from_millis(2);
@@ -320,6 +354,23 @@ mod tests {
             run_transfer_mem(ProtocolKind::Alpha, &input, &quick_config(3)).expect("transfer");
         assert_eq!(report.output(), input);
         assert_eq!(report.transmitter.data_sends, 16);
+    }
+
+    #[test]
+    fn scripted_transfer_matches_the_plain_one() {
+        // The same input over a scripted eager plan must reproduce the
+        // input exactly, like the sampled channel does.
+        let input = random_input(24, 11);
+        let report = run_transfer_mem_scripted(
+            ProtocolKind::Gamma { k: 4 },
+            &input,
+            &quick_config(11),
+            ScriptedDelivery::deliver_all(&[0, 4, 2, 0, 3], 0),
+            ScriptedDelivery::deliver_all(&[], 0),
+        )
+        .expect("transfer");
+        assert_eq!(report.output(), input);
+        assert_eq!(report.receiver.outcome, DriverOutcome::Completed);
     }
 
     #[test]

@@ -470,4 +470,161 @@ mod tests {
             assert_eq!(frame.protocol, id);
         }
     }
+
+    /// Exhaustiveness: every [`WireError`] variant is reachable from a
+    /// hand-crafted byte buffer — one test per variant, built from the
+    /// layout table rather than by mutating `encode` output, so a layout
+    /// regression cannot silently retire an error path.
+    mod every_error_variant_is_reachable {
+        use super::*;
+
+        /// Builds a frame byte-by-byte from the documented layout, with a
+        /// correct checksum. Independent of `encode`.
+        fn crafted() -> Vec<u8> {
+            let mut buf = vec![0u8; FRAME_LEN];
+            buf[0] = 0x52; // magic "R"
+            buf[1] = 0x54; // magic "T"
+            buf[2] = WIRE_VERSION;
+            buf[3] = ProtocolId::Beta as u8;
+            buf[4..6].copy_from_slice(&4u16.to_be_bytes()); // k = 4
+            buf[6] = 0; // kind = data
+            buf[7] = 0; // flags
+            buf[8..16].copy_from_slice(&7u64.to_be_bytes()); // symbol
+            buf[16..24].copy_from_slice(&1u64.to_be_bytes()); // seq
+            buf[24..32].copy_from_slice(&2u64.to_be_bytes()); // sent_at
+            reseal(&mut buf);
+            buf
+        }
+
+        /// Recomputes the FNV-1a checksum after a deliberate header edit,
+        /// so the test reaches the *intended* error rather than tripping
+        /// the (later) checksum check.
+        fn reseal(buf: &mut [u8]) {
+            let mut sum: u32 = 0x811c_9dc5;
+            for &b in &buf[0..32] {
+                sum ^= u32::from(b);
+                sum = sum.wrapping_mul(0x0100_0193);
+            }
+            buf[32..36].copy_from_slice(&sum.to_be_bytes());
+        }
+
+        #[test]
+        fn crafted_baseline_decodes() {
+            let frame = decode_any(&crafted()).expect("baseline must be valid");
+            assert_eq!(frame.packet, Packet::Data(7));
+            assert_eq!(frame.k, 4);
+        }
+
+        #[test]
+        fn too_short() {
+            let buf = crafted();
+            assert_eq!(decode_any(&buf[..35]), Err(WireError::TooShort { got: 35 }));
+            assert_eq!(decode_any(&[]), Err(WireError::TooShort { got: 0 }));
+        }
+
+        #[test]
+        fn trailing_bytes() {
+            let mut buf = crafted();
+            buf.push(0xFF);
+            assert_eq!(decode_any(&buf), Err(WireError::TrailingBytes { got: 37 }));
+        }
+
+        #[test]
+        fn bad_magic() {
+            let mut buf = crafted();
+            buf[0] = 0x00;
+            buf[1] = 0x99;
+            reseal(&mut buf);
+            assert_eq!(decode_any(&buf), Err(WireError::BadMagic { got: 0x0099 }));
+        }
+
+        #[test]
+        fn unsupported_version() {
+            let mut buf = crafted();
+            buf[2] = WIRE_VERSION + 1;
+            reseal(&mut buf);
+            assert_eq!(
+                decode_any(&buf),
+                Err(WireError::UnsupportedVersion {
+                    got: WIRE_VERSION + 1
+                })
+            );
+        }
+
+        #[test]
+        fn unknown_protocol() {
+            let mut buf = crafted();
+            buf[3] = 0; // below every defined id
+            reseal(&mut buf);
+            assert_eq!(decode_any(&buf), Err(WireError::UnknownProtocol { got: 0 }));
+            buf[3] = 200; // above every defined id
+            reseal(&mut buf);
+            assert_eq!(
+                decode_any(&buf),
+                Err(WireError::UnknownProtocol { got: 200 })
+            );
+        }
+
+        #[test]
+        fn bad_kind() {
+            let mut buf = crafted();
+            buf[6] = 2; // neither data (0) nor ack (1)
+            reseal(&mut buf);
+            assert_eq!(decode_any(&buf), Err(WireError::BadKind { got: 2 }));
+        }
+
+        #[test]
+        fn non_zero_flags() {
+            let mut buf = crafted();
+            buf[7] = 0x80;
+            reseal(&mut buf);
+            assert_eq!(decode_any(&buf), Err(WireError::NonZeroFlags { got: 0x80 }));
+        }
+
+        #[test]
+        fn bad_checksum() {
+            let mut buf = crafted();
+            let want = u32::from_be_bytes([buf[32], buf[33], buf[34], buf[35]]);
+            let got = want ^ 1;
+            buf[32..36].copy_from_slice(&got.to_be_bytes());
+            assert_eq!(decode_any(&buf), Err(WireError::BadChecksum { got, want }));
+        }
+
+        #[test]
+        fn protocol_mismatch() {
+            // A structurally valid gamma frame offered to a beta codec —
+            // and a right-protocol frame with the wrong k.
+            let c = WireCodec::new(ProtocolId::Beta, 4).expect("k fits");
+            let mut buf = crafted();
+            buf[3] = ProtocolId::Gamma as u8;
+            reseal(&mut buf);
+            assert_eq!(
+                c.decode(&buf),
+                Err(WireError::ProtocolMismatch {
+                    got: ProtocolId::Gamma,
+                    want: ProtocolId::Beta,
+                })
+            );
+            let mut wrong_k = crafted();
+            wrong_k[4..6].copy_from_slice(&5u16.to_be_bytes());
+            reseal(&mut wrong_k);
+            assert_eq!(
+                c.decode(&wrong_k),
+                Err(WireError::ProtocolMismatch {
+                    got: ProtocolId::Beta,
+                    want: ProtocolId::Beta,
+                })
+            );
+        }
+
+        #[test]
+        fn k_too_large() {
+            // The only encode-side variant: constructing a codec with a k
+            // that does not fit the 16-bit header field.
+            assert_eq!(
+                WireCodec::new(ProtocolId::Beta, MAX_WIRE_K + 1),
+                Err(WireError::KTooLarge { k: MAX_WIRE_K + 1 })
+            );
+        }
+    }
 }

@@ -185,17 +185,105 @@ fn run_pair<T, R>(
     receiver: R,
     input: &[Message],
     cfg: &RunConfig,
+    step: &mut dyn crate::adversary::StepAdversary,
+    delivery: &mut dyn crate::adversary::DeliveryAdversary,
 ) -> Result<SimRun, HarnessError>
 where
     T: Automaton<Action = RstpAction>,
     R: Automaton<Action = RstpAction>,
 {
     let sim = Simulation::new(transmitter, receiver, settings_of(cfg));
-    let mut step = cfg.step.build(cfg.params);
-    let mut delivery = cfg
-        .delivery
-        .build(TimeDelta::from_ticks(cfg.d_lo_ticks), cfg.params.d());
-    Ok(sim.run(input, step.as_mut(), delivery.as_mut())?)
+    Ok(sim.run(input, step, delivery)?)
+}
+
+/// Builds the configured protocol pair and runs it under *caller-supplied*
+/// adversaries, ignoring `cfg.step` / `cfg.delivery` — the entry point for
+/// scripted scenarios (bug reproducers, the `rstp-check` fuzzer) that need
+/// an exact timed execution over any [`ProtocolKind`].
+///
+/// No trace checking is performed; callers run [`check_trace`] themselves
+/// with the expectations their adversary warrants.
+///
+/// # Errors
+///
+/// [`HarnessError`] on construction failure or model violation (including
+/// an adversary stepping outside `[c1, c2]` or delivering outside the
+/// `d`-window).
+pub fn run_with_adversaries(
+    cfg: &RunConfig,
+    input: &[Message],
+    step: &mut dyn crate::adversary::StepAdversary,
+    delivery: &mut dyn crate::adversary::DeliveryAdversary,
+) -> Result<SimRun, HarnessError> {
+    match cfg.kind {
+        ProtocolKind::Alpha => run_pair(
+            AlphaTransmitter::new(cfg.params, input.to_vec()),
+            AlphaReceiver::new(),
+            input,
+            cfg,
+            step,
+            delivery,
+        ),
+        ProtocolKind::Beta { k } => run_pair(
+            BetaTransmitter::new(cfg.params, k, input)?,
+            BetaReceiver::new(cfg.params, k, input.len())?,
+            input,
+            cfg,
+            step,
+            delivery,
+        ),
+        ProtocolKind::Gamma { k } => run_pair(
+            GammaTransmitter::new(cfg.params, k, input)?,
+            GammaReceiver::new(cfg.params, k, input.len())?,
+            input,
+            cfg,
+            step,
+            delivery,
+        ),
+        ProtocolKind::AltBit { timeout_steps } => run_pair(
+            AltBitTransmitter::new(cfg.params, input.to_vec(), timeout_steps),
+            AltBitReceiver::new(),
+            input,
+            cfg,
+            step,
+            delivery,
+        ),
+        ProtocolKind::Framed { k } => run_pair(
+            FramedTransmitter::new(cfg.params, k, input)?,
+            FramedReceiver::new(cfg.params, k)?,
+            input,
+            cfg,
+            step,
+            delivery,
+        ),
+        ProtocolKind::BetaWindow { k } => {
+            let ext = window_params(cfg);
+            run_pair(
+                ext.passive_transmitter(k, input)?,
+                ext.passive_receiver(k, input.len())?,
+                input,
+                cfg,
+                step,
+                delivery,
+            )
+        }
+        ProtocolKind::Stenning { timeout_steps } => run_pair(
+            StenningTransmitter::new(cfg.params, input.to_vec(), timeout_steps),
+            StenningReceiver::new(),
+            input,
+            cfg,
+            step,
+            delivery,
+        ),
+        ProtocolKind::Pipelined { k, window } => run_pair(
+            PipelinedTransmitter::with_window(cfg.params, k, window, input)?,
+            PipelinedReceiver::with_window(cfg.params, k, window, input.len())?,
+            input,
+            cfg,
+            step,
+            delivery,
+        ),
+    }
 }
 
 /// Builds the configured protocol pair, runs it on `input`, and checks the
@@ -209,59 +297,11 @@ where
 ///
 /// [`HarnessError`] on construction failure or model violation.
 pub fn run_configured(cfg: &RunConfig, input: &[Message]) -> Result<RunOutput, HarnessError> {
-    let run = match cfg.kind {
-        ProtocolKind::Alpha => run_pair(
-            AlphaTransmitter::new(cfg.params, input.to_vec()),
-            AlphaReceiver::new(),
-            input,
-            cfg,
-        )?,
-        ProtocolKind::Beta { k } => run_pair(
-            BetaTransmitter::new(cfg.params, k, input)?,
-            BetaReceiver::new(cfg.params, k, input.len())?,
-            input,
-            cfg,
-        )?,
-        ProtocolKind::Gamma { k } => run_pair(
-            GammaTransmitter::new(cfg.params, k, input)?,
-            GammaReceiver::new(cfg.params, k, input.len())?,
-            input,
-            cfg,
-        )?,
-        ProtocolKind::AltBit { timeout_steps } => run_pair(
-            AltBitTransmitter::new(cfg.params, input.to_vec(), timeout_steps),
-            AltBitReceiver::new(),
-            input,
-            cfg,
-        )?,
-        ProtocolKind::Framed { k } => run_pair(
-            FramedTransmitter::new(cfg.params, k, input)?,
-            FramedReceiver::new(cfg.params, k)?,
-            input,
-            cfg,
-        )?,
-        ProtocolKind::BetaWindow { k } => {
-            let ext = window_params(cfg);
-            run_pair(
-                ext.passive_transmitter(k, input)?,
-                ext.passive_receiver(k, input.len())?,
-                input,
-                cfg,
-            )?
-        }
-        ProtocolKind::Stenning { timeout_steps } => run_pair(
-            StenningTransmitter::new(cfg.params, input.to_vec(), timeout_steps),
-            StenningReceiver::new(),
-            input,
-            cfg,
-        )?,
-        ProtocolKind::Pipelined { k, window } => run_pair(
-            PipelinedTransmitter::with_window(cfg.params, k, window, input)?,
-            PipelinedReceiver::with_window(cfg.params, k, window, input.len())?,
-            input,
-            cfg,
-        )?,
-    };
+    let mut step = cfg.step.build(cfg.params);
+    let mut delivery = cfg
+        .delivery
+        .build(TimeDelta::from_ticks(cfg.d_lo_ticks), cfg.params.d());
+    let run = run_with_adversaries(cfg, input, step.as_mut(), delivery.as_mut())?;
 
     let faulty = matches!(
         cfg.delivery,

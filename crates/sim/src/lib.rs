@@ -69,10 +69,13 @@ pub mod trace;
 
 pub use adversary::{DeliveryAdversary, DeliveryPolicy, StepAdversary, StepPolicy};
 pub use checker::{CheckReport, Violation};
-pub use harness::{run_configured, ProtocolKind, RunConfig, RunOutput};
+pub use harness::{run_configured, run_with_adversaries, ProtocolKind, RunConfig, RunOutput};
 pub use metrics::RunMetrics;
 pub use replay::{replay_trace, Replay, ReplayError};
 pub use runner::{Outcome, SimError, Simulation};
-pub use scripted::{verify_all_delay_schedules, ScriptedDelays, ScriptedSteps};
+pub use scripted::{
+    verify_all_delay_schedules, PacketFate, ScriptedDelays, ScriptedDelivery,
+    ScriptedDeliveryAdversary, ScriptedSteps,
+};
 pub use timeline::render_timeline;
 pub use trace::{SimTrace, TraceEvent};

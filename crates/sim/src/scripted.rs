@@ -79,6 +79,167 @@ impl DeliveryAdversary for ScriptedDelays {
     }
 }
 
+/// The scripted fate of one packet, delays measured in ticks.
+///
+/// `Deliver(t)` hands the packet over `t` ticks after the send;
+/// `Duplicate(a, b)` delivers two copies at delays `a` and `b`. All delays
+/// must lie in the run's delivery window (the runner rejects anything
+/// outside `[d_lo, d_hi]`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PacketFate {
+    /// Deliver after the given number of ticks.
+    Deliver(u64),
+    /// Lose the packet.
+    Drop,
+    /// Deliver two copies after the given tick delays.
+    Duplicate(u64, u64),
+}
+
+impl PacketFate {
+    /// The largest delay this fate schedules (0 for a drop).
+    #[must_use]
+    pub fn max_delay(self) -> u64 {
+        match self {
+            PacketFate::Deliver(t) => t,
+            PacketFate::Drop => 0,
+            PacketFate::Duplicate(a, b) => a.max(b),
+        }
+    }
+
+    /// Whether this fate neither loses nor duplicates.
+    #[must_use]
+    pub fn is_clean(self) -> bool {
+        matches!(self, PacketFate::Deliver(_))
+    }
+}
+
+/// A single-direction delivery plan: the `i`-th packet sent in that
+/// direction receives `fates[i]`, and every packet past the script's end is
+/// delivered after `fallback` ticks.
+///
+/// This is the scenario currency shared by the simulator (via
+/// [`ScriptedDeliveryAdversary`], which runs one plan per direction) and by
+/// `rstp-net`'s in-memory transport (whose scripted channel realizes the
+/// same plan in wall-clock time, one plan per direction) — one plan drives
+/// both backends.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScriptedDelivery {
+    fates: Vec<PacketFate>,
+    fallback: u64,
+}
+
+impl ScriptedDelivery {
+    /// Creates a plan from explicit fates plus a fallback delay (ticks).
+    #[must_use]
+    pub fn new(fates: Vec<PacketFate>, fallback: u64) -> Self {
+        ScriptedDelivery { fates, fallback }
+    }
+
+    /// A fault-free plan from plain per-packet delays.
+    #[must_use]
+    pub fn deliver_all(delays: &[u64], fallback: u64) -> Self {
+        ScriptedDelivery {
+            fates: delays.iter().map(|&t| PacketFate::Deliver(t)).collect(),
+            fallback,
+        }
+    }
+
+    /// The fate of the `index`-th packet in this direction.
+    #[must_use]
+    pub fn fate(&self, index: u64) -> PacketFate {
+        usize::try_from(index)
+            .ok()
+            .and_then(|i| self.fates.get(i).copied())
+            .unwrap_or(PacketFate::Deliver(self.fallback))
+    }
+
+    /// The scripted fates (without the fallback tail).
+    #[must_use]
+    pub fn fates(&self) -> &[PacketFate] {
+        &self.fates
+    }
+
+    /// Mutable access for shrinkers.
+    pub fn fates_mut(&mut self) -> &mut Vec<PacketFate> {
+        &mut self.fates
+    }
+
+    /// The fallback delay in ticks.
+    #[must_use]
+    pub fn fallback(&self) -> u64 {
+        self.fallback
+    }
+
+    /// Replaces the fallback delay.
+    pub fn set_fallback(&mut self, fallback: u64) {
+        self.fallback = fallback;
+    }
+
+    /// The largest delay any packet can receive under this plan.
+    #[must_use]
+    pub fn max_delay(&self) -> u64 {
+        self.fates
+            .iter()
+            .map(|f| f.max_delay())
+            .max()
+            .unwrap_or(0)
+            .max(self.fallback)
+    }
+
+    /// Whether the plan contains no drops or duplications.
+    #[must_use]
+    pub fn is_fault_free(&self) -> bool {
+        self.fates.iter().all(|f| f.is_clean())
+    }
+}
+
+/// The simulator-side adapter for a pair of [`ScriptedDelivery`] plans:
+/// data packets consume the `data` plan, acknowledgements the `ack` plan,
+/// each indexed by its own send counter — exactly the per-direction
+/// indexing a wire transport sees, so the same scenario drives both the
+/// discrete-event and the wall-clock backend.
+#[derive(Clone, Debug)]
+pub struct ScriptedDeliveryAdversary {
+    data: ScriptedDelivery,
+    ack: ScriptedDelivery,
+    data_index: u64,
+    ack_index: u64,
+}
+
+impl ScriptedDeliveryAdversary {
+    /// Creates the adapter from one plan per direction.
+    #[must_use]
+    pub fn new(data: ScriptedDelivery, ack: ScriptedDelivery) -> Self {
+        ScriptedDeliveryAdversary {
+            data,
+            ack,
+            data_index: 0,
+            ack_index: 0,
+        }
+    }
+}
+
+impl DeliveryAdversary for ScriptedDeliveryAdversary {
+    fn dispose(&mut self, packet: Packet, _send_time: Time, _send_index: u64) -> Disposition {
+        let fate = if packet.is_data() {
+            let f = self.data.fate(self.data_index);
+            self.data_index += 1;
+            f
+        } else {
+            let f = self.ack.fate(self.ack_index);
+            self.ack_index += 1;
+            f
+        };
+        match fate {
+            PacketFate::Deliver(t) => Disposition::Deliver(TimeDelta::from_ticks(t)),
+            PacketFate::Drop => Disposition::Drop,
+            PacketFate::Duplicate(a, b) => {
+                Disposition::Duplicate(TimeDelta::from_ticks(a), TimeDelta::from_ticks(b))
+            }
+        }
+    }
+}
+
 /// One counterexample from [`verify_all_delay_schedules`].
 #[derive(Clone, Debug)]
 pub struct ScheduleCounterexample {
@@ -257,6 +418,63 @@ mod tests {
             d.dispose(Packet::Data(0), Time::ZERO, 1),
             Disposition::Deliver(TimeDelta::from_ticks(0))
         );
+    }
+
+    #[test]
+    fn scripted_delivery_indexes_per_direction() {
+        let data = ScriptedDelivery::new(
+            vec![PacketFate::Deliver(3), PacketFate::Drop],
+            1, // fallback
+        );
+        let ack = ScriptedDelivery::new(vec![PacketFate::Duplicate(0, 2)], 0);
+        assert!(!data.is_fault_free());
+        assert_eq!(data.max_delay(), 3);
+        let mut adv = ScriptedDeliveryAdversary::new(data, ack);
+        // Data stream: scripted, scripted, fallback.
+        assert_eq!(
+            adv.dispose(Packet::Data(0), Time::ZERO, 0),
+            Disposition::Deliver(TimeDelta::from_ticks(3))
+        );
+        // Ack stream has its own counter: index 0 despite send_index 1.
+        assert_eq!(
+            adv.dispose(Packet::Ack(0), Time::ZERO, 1),
+            Disposition::Duplicate(TimeDelta::ZERO, TimeDelta::from_ticks(2))
+        );
+        assert_eq!(
+            adv.dispose(Packet::Data(1), Time::ZERO, 2),
+            Disposition::Drop
+        );
+        assert_eq!(
+            adv.dispose(Packet::Data(0), Time::ZERO, 3),
+            Disposition::Deliver(TimeDelta::from_ticks(1))
+        );
+        assert_eq!(
+            adv.dispose(Packet::Ack(0), Time::ZERO, 4),
+            Disposition::Deliver(TimeDelta::ZERO)
+        );
+    }
+
+    #[test]
+    fn scripted_delivery_runs_a_protocol() {
+        // A fault-free plan must carry beta to quiescence like any other
+        // legal adversary.
+        let p = TimingParams::from_ticks(1, 2, 4).unwrap();
+        let input = vec![true, false, true];
+        let sim = Simulation::new(
+            BetaTransmitter::new(p, 4, &input).unwrap(),
+            BetaReceiver::new(p, 4, input.len()).unwrap(),
+            SimSettings::from_params(p),
+        );
+        let mut steps = ScriptedSteps::new(vec![], vec![], TimeDelta::from_ticks(2));
+        let mut delivery = ScriptedDeliveryAdversary::new(
+            ScriptedDelivery::deliver_all(&[4, 0, 2], 1),
+            ScriptedDelivery::deliver_all(&[], 0),
+        );
+        let run = sim.run(&input, &mut steps, &mut delivery).unwrap();
+        assert_eq!(run.outcome, Outcome::Quiescent);
+        assert_eq!(run.trace.written(), input);
+        let report = check_trace(&run.trace, &CheckConfig::from_params(p));
+        assert!(report.all_good(), "{report}");
     }
 
     #[test]

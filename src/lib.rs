@@ -13,6 +13,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`automata`] | `rstp-automata` | I/O automata, composition, timed executions |
+//! | [`check`] | `rstp-check` | coverage-guided schedule fuzzer, shrinking, repro corpus |
 //! | [`combinatorics`] | `rstp-combinatorics` | multisets, `μ_k`/`ζ_k`, rank/unrank |
 //! | [`codec`] | `rstp-codec` | bit-block ↔ multiset ↔ packet-burst codec |
 //! | [`core`] | `rstp-core` | problem, channel, protocols `A^α`/`A^β(k)`/`A^γ(k)`, bounds |
@@ -57,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub use rstp_automata as automata;
+pub use rstp_check as check;
 pub use rstp_codec as codec;
 pub use rstp_combinatorics as combinatorics;
 pub use rstp_core as core;

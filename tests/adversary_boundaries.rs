@@ -1,0 +1,113 @@
+//! Boundary legality: schedules pinned EXACTLY at the timing limits must
+//! be accepted everywhere.
+//!
+//! The paper's Σ axiom admits the closed interval `[c1, c2]` and the Δ
+//! axiom the closed window `[0, d]` — the endpoints are legal, not edge
+//! cases. These tests pin all four endpoints:
+//!
+//! - simulator: every step gap exactly `c1`, then exactly `c2`; every
+//!   delivery exactly at `d`, then exactly at `0`. The runs must not be
+//!   rejected as `AdversaryOutOfBounds`, must satisfy every fuzzer oracle,
+//!   and must deliver `X` exactly.
+//! - wire driver: endpoints paced at `c1` (`Pace::Fast`) and `c2`
+//!   (`Pace::Slow`) over eager and exactly-`d` channels must finish with
+//!   ZERO entries in the driver's `timing_violations` accounting — pacing
+//!   on the limit is conformant, not a violation.
+
+use std::time::Duration;
+
+use rstp::check::{run_scenario, Scenario};
+use rstp::core::TimingParams;
+use rstp::net::{run_transfer_mem, ChannelConfig, Pace, TransferConfig};
+use rstp::sim::{ProtocolKind, ScriptedDelivery};
+
+fn params() -> TimingParams {
+    TimingParams::from_ticks(1, 2, 6).unwrap()
+}
+
+fn trio() -> [ProtocolKind; 3] {
+    [
+        ProtocolKind::Alpha,
+        ProtocolKind::Beta { k: 4 },
+        ProtocolKind::Gamma { k: 4 },
+    ]
+}
+
+/// A scenario with every gap pinned to `gap` and every delivery pinned to
+/// `delay` — empty scripts, everything rides the fallbacks.
+fn pinned(kind: ProtocolKind, gap: u64, delay: u64) -> Scenario {
+    Scenario {
+        kind,
+        params: params(),
+        input: vec![true, false, true, true, false, true, false, false],
+        t_gaps: Vec::new(),
+        r_gaps: Vec::new(),
+        gap_fallback: gap,
+        data: ScriptedDelivery::new(Vec::new(), delay),
+        ack: ScriptedDelivery::new(Vec::new(), delay),
+    }
+}
+
+#[test]
+fn sim_accepts_schedules_pinned_at_every_timing_endpoint() {
+    let p = params();
+    let (c1, c2, d) = (p.c1().ticks(), p.c2().ticks(), p.d().ticks());
+    for kind in trio() {
+        for gap in [c1, c2] {
+            for delay in [0, d] {
+                let run = run_scenario(&pinned(kind, gap, delay), 500_000);
+                assert!(
+                    run.failure.is_none(),
+                    "{} gap={gap} delay={delay}: {}",
+                    kind.name(),
+                    run.failure.unwrap()
+                );
+                assert!(run.quiescent, "{} gap={gap} delay={delay}", kind.name());
+            }
+        }
+    }
+}
+
+/// Runs one wall-clock transfer and asserts the driver's timing-violation
+/// accounting stayed at zero on both endpoints.
+/// Wide enough that the driver's quarter-tick slack (1 ms here) dwarfs
+/// `thread::sleep` scheduling noise: the paces, not the wall clock, are
+/// under test.
+const TICK: Duration = Duration::from_millis(4);
+
+fn assert_no_timing_violations(kind: ProtocolKind, pace: Pace, channel: ChannelConfig) {
+    let p = params();
+    let input = [true, false, true, false];
+    let config = TransferConfig::new(p, TICK, 0)
+        .with_channel(channel)
+        .with_pace(pace);
+    let report = run_transfer_mem(kind, &input, &config)
+        .unwrap_or_else(|e| panic!("{} {pace:?}: {e}", kind.name()));
+    assert_eq!(report.output(), input, "{} {pace:?}", kind.name());
+    for (who, end) in [
+        ("transmitter", &report.transmitter),
+        ("receiver", &report.receiver),
+    ] {
+        assert_eq!(
+            end.timing_violations,
+            0,
+            "{} {pace:?}: {who} paced on the limit must not be flagged",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn driver_pacing_at_c1_is_not_a_timing_violation() {
+    for kind in trio() {
+        assert_no_timing_violations(kind, Pace::Fast, ChannelConfig::eager(TICK, 0));
+    }
+}
+
+#[test]
+fn driver_pacing_at_c2_with_deliveries_at_d_is_not_a_timing_violation() {
+    let p = params();
+    for kind in trio() {
+        assert_no_timing_violations(kind, Pace::Slow, ChannelConfig::max_delay(p, TICK, 0));
+    }
+}

@@ -1,0 +1,62 @@
+//! Replays every committed repro under `tests/corpus/` and asserts its
+//! recorded expectation still holds — so any fuzzer-found failure that was
+//! minimized and committed keeps regression-testing the fix forever, and
+//! pass-expected boundary scenarios keep exercising their edge.
+//!
+//! Add files with `rstp check` (failures are written here automatically)
+//! or by hand in the `rstp-check repro v1` format; see `docs/TESTING.md`.
+
+use std::fs;
+
+use rstp::check::{parse_repro, run_scenario, Expectation};
+
+const MAX_EVENTS: u64 = 500_000;
+
+#[test]
+fn corpus_replays_with_expected_verdicts() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    let mut paths: Vec<_> = fs::read_dir(dir)
+        .expect("tests/corpus exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("repro"))
+        .collect();
+    paths.sort();
+    assert!(
+        paths.len() >= 3,
+        "corpus must contain committed repros, found {}",
+        paths.len()
+    );
+
+    for path in paths {
+        let text = fs::read_to_string(&path).expect("readable repro");
+        let repro = parse_repro(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let run = run_scenario(&repro.scenario, MAX_EVENTS);
+        match repro.expect {
+            Expectation::Pass => assert!(
+                run.failure.is_none(),
+                "{}: {}",
+                path.display(),
+                run.failure.unwrap()
+            ),
+            Expectation::Violation => assert!(
+                run.failure.is_some(),
+                "{}: expected a violation but every oracle passed — if the\
+                 underlying bug was fixed, flip `expect` to pass or delete\
+                 the file",
+                path.display()
+            ),
+        }
+
+        // Byte-for-byte replayability: a second run of the same scenario
+        // is identical, and the parsed form re-renders losslessly.
+        let again = run_scenario(&repro.scenario, MAX_EVENTS);
+        assert_eq!(run.events, again.events, "{}", path.display());
+        assert_eq!(run.failure, again.failure, "{}", path.display());
+        assert_eq!(
+            parse_repro(&rstp::check::render_repro(&repro)).unwrap(),
+            repro,
+            "{}",
+            path.display()
+        );
+    }
+}

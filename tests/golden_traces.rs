@@ -159,3 +159,326 @@ fn golden_traces_are_deterministic() {
         assert_eq!(a, b);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Fuzzer-promoted goldens: the two highest-coverage scenarios per protocol
+// from `rstp check`'s seed-0 campaigns, committed with their exact traces.
+// Unlike the policy-driven goldens above, these scripts came out of the
+// coverage-guided search in `rstp-check` — each one reached channel/ordering
+// structure the deterministic policies never produce.
+// ---------------------------------------------------------------------------
+
+/// Replays an `rstp-check` repro and returns the rendered trace, asserting
+/// every fuzzer oracle passes on the way.
+fn replay_repro(text: &str) -> String {
+    let repro = rstp::check::parse_repro(text).expect("golden repro parses");
+    assert_eq!(repro.expect, rstp::check::Expectation::Pass);
+    let run = rstp::check::run_scenario(&repro.scenario, 500_000);
+    assert!(run.failure.is_none(), "{}", run.failure.unwrap());
+    run.trace.render()
+}
+
+#[test]
+fn alpha_fuzzed_golden_eager_delivery_with_jittered_receiver() {
+    // Stresses the Δ lower edge and the prefix property at its tightest:
+    // the first packet is delivered with ZERO delay (legal in the classic
+    // [0, d] window), so the receiver — stepping on an uneven 1/2-tick
+    // script — writes bit 0 just one tick after transmission started. The
+    // second round's packet lands 2 ticks out, interleaving writes with
+    // the transmitter's wait steps.
+    let got = replay_repro(
+        "rstp-check repro v1\n\
+         protocol = alpha\n\
+         params = 1 2 6\n\
+         expect = pass\n\
+         reason = eager 0-tick delivery against a jittered receiver clock\n\
+         input = 11\n\
+         t_gaps =\n\
+         r_gaps = 1 2 2 1\n\
+         gap_fallback = 1\n\
+         data_fates = 0 0 0 2\n\
+         ack_fates =\n\
+         data_fallback = 4\n\
+         ack_fallback = 0\n",
+    );
+    let want = "\
+[       0] send(data(1))
+[       0] idle_r
+[       0] recv(data(1))
+[       1] wait_t
+[       1] write(1)
+[       2] wait_t
+[       3] idle_r
+[       3] wait_t
+[       4] wait_t
+[       5] idle_r
+[       5] wait_t
+[       6] idle_r
+[       6] send(data(1))
+[       6] recv(data(1))
+[       7] write(1)
+[       7] wait_t
+[       8] idle_r
+[       8] wait_t
+[       9] idle_r
+[       9] wait_t
+[      10] idle_r
+[      10] wait_t
+[      11] idle_r
+[      11] wait_t
+";
+    assert_eq!(got, want, "alpha fuzzed golden drifted:\n{got}");
+}
+
+#[test]
+fn alpha_fuzzed_golden_delivery_at_the_exact_deadline() {
+    // Stresses the Δ upper edge: the second packet rides the fallback
+    // delay and arrives exactly d = 6 ticks after its send — the last
+    // legal instant — while the first is held 4 ticks. Both writes must
+    // still land in order (prefix property) and the step script must stay
+    // inside Σ despite mixing 1- and 2-tick gaps.
+    let got = replay_repro(
+        "rstp-check repro v1\n\
+         protocol = alpha\n\
+         params = 1 2 6\n\
+         expect = pass\n\
+         reason = delivery pinned at the d = 6 deadline\n\
+         input = 11\n\
+         t_gaps = 1\n\
+         r_gaps =\n\
+         gap_fallback = 1\n\
+         data_fates = 4 6 0 1\n\
+         ack_fates = 2\n\
+         data_fallback = 2\n\
+         ack_fallback = 6\n",
+    );
+    let want = "\
+[       0] send(data(1))
+[       0] idle_r
+[       1] wait_t
+[       1] idle_r
+[       2] wait_t
+[       2] idle_r
+[       3] wait_t
+[       3] idle_r
+[       4] recv(data(1))
+[       4] wait_t
+[       4] write(1)
+[       5] wait_t
+[       5] idle_r
+[       6] send(data(1))
+[       6] idle_r
+[       7] wait_t
+[       7] idle_r
+[       8] wait_t
+[       8] idle_r
+[       9] wait_t
+[       9] idle_r
+[      10] wait_t
+[      10] idle_r
+[      11] wait_t
+[      11] idle_r
+[      12] recv(data(1))
+[      12] write(1)
+";
+    assert_eq!(got, want, "alpha fuzzed golden drifted:\n{got}");
+}
+
+#[test]
+fn beta_fuzzed_golden_tail_packet_delayed_past_the_burst() {
+    // Stresses the multiset decode's order-independence: the burst's last
+    // packet (the only data(1) carrying the block's high rank) is delayed
+    // 2 ticks while earlier packets arrive instantly, so the receiver
+    // holds a partial multiset across its wait boundary and may only
+    // write once all δ2+1 packets of the burst are in.
+    let got = replay_repro(
+        "rstp-check repro v1\n\
+         protocol = beta k=2\n\
+         params = 1 2 6\n\
+         expect = pass\n\
+         reason = burst tail delayed past in-order siblings\n\
+         input = 11\n\
+         t_gaps =\n\
+         r_gaps = 1 2 2 1\n\
+         gap_fallback = 1\n\
+         data_fates = 0 0 0 2\n\
+         ack_fates =\n\
+         data_fallback = 4\n\
+         ack_fallback = 0\n",
+    );
+    let want = "\
+[       0] send(data(0))
+[       0] idle_r
+[       0] recv(data(0))
+[       1] send(data(0))
+[       1] idle_r
+[       1] recv(data(0))
+[       2] send(data(0))
+[       2] recv(data(0))
+[       3] idle_r
+[       3] send(data(1))
+[       4] send(data(1))
+[       5] idle_r
+[       5] recv(data(1))
+[       5] send(data(1))
+[       6] idle_r
+[       6] wait_t
+[       7] idle_r
+[       7] wait_t
+[       8] recv(data(1))
+[       8] idle_r
+[       8] wait_t
+[       9] recv(data(1))
+[       9] write(1)
+[       9] wait_t
+[      10] write(1)
+[      10] wait_t
+[      11] idle_r
+[      11] wait_t
+";
+    assert_eq!(got, want, "beta fuzzed golden drifted:\n{got}");
+}
+
+#[test]
+fn beta_fuzzed_golden_cross_burst_reordering() {
+    // Stresses Y ⊑ X under genuinely out-of-order delivery: delays
+    // 4/6/0/1 invert the arrival order (packet 3 lands before packets 1
+    // and 2, and the first send arrives SECOND-to-last at t = 7). The
+    // receiver's multiset counting must absorb arrivals from two
+    // interleaved bursts without mis-ranking either block.
+    let got = replay_repro(
+        "rstp-check repro v1\n\
+         protocol = beta k=2\n\
+         params = 1 2 6\n\
+         expect = pass\n\
+         reason = arrival order inverted across adjacent bursts\n\
+         input = 11\n\
+         t_gaps = 1\n\
+         r_gaps =\n\
+         gap_fallback = 1\n\
+         data_fates = 4 6 0 1\n\
+         ack_fates = 2\n\
+         data_fallback = 2\n\
+         ack_fallback = 6\n",
+    );
+    let want = "\
+[       0] send(data(0))
+[       0] idle_r
+[       1] send(data(0))
+[       1] idle_r
+[       2] send(data(0))
+[       2] idle_r
+[       2] recv(data(0))
+[       3] send(data(1))
+[       3] idle_r
+[       4] recv(data(0))
+[       4] recv(data(1))
+[       4] send(data(1))
+[       4] idle_r
+[       5] send(data(1))
+[       5] idle_r
+[       6] recv(data(1))
+[       6] wait_t
+[       6] idle_r
+[       7] recv(data(0))
+[       7] recv(data(1))
+[       7] wait_t
+[       7] write(1)
+[       8] wait_t
+[       8] write(1)
+[       9] wait_t
+[       9] idle_r
+[      10] wait_t
+[      10] idle_r
+[      11] wait_t
+";
+    assert_eq!(got, want, "beta fuzzed golden drifted:\n{got}");
+}
+
+#[test]
+fn gamma_fuzzed_golden_instant_acks_drive_fastest_rounds() {
+    // Stresses the ack-clocked round structure at its fastest legal
+    // cadence: every packet AND every ack is delivered with 0 delay, so
+    // the transmitter's δ2 = 3 ack count fills while the burst is still
+    // in flight and the whole 1-block transfer quiesces in 7 ticks —
+    // effort far under the 3d + c2 worst case, which the Effort oracle
+    // verifies on replay.
+    let got = replay_repro(
+        "rstp-check repro v1\n\
+         protocol = gamma k=2\n\
+         params = 1 2 6\n\
+         expect = pass\n\
+         reason = zero-delay acks clock rounds at maximum speed\n\
+         input = 11\n\
+         t_gaps =\n\
+         r_gaps = 1 2 2 1\n\
+         gap_fallback = 1\n\
+         data_fates = 0 0 0 2\n\
+         ack_fates =\n\
+         data_fallback = 4\n\
+         ack_fallback = 0\n",
+    );
+    let want = "\
+[       0] send(data(1))
+[       0] idle_r
+[       0] recv(data(1))
+[       1] send(data(1))
+[       1] send(ack(0))
+[       1] recv(data(1))
+[       1] recv(ack(0))
+[       2] send(data(1))
+[       2] recv(data(1))
+[       3] send(ack(0))
+[       3] idle_t
+[       3] recv(ack(0))
+[       4] idle_t
+[       5] send(ack(0))
+[       5] idle_t
+[       5] recv(ack(0))
+[       6] write(1)
+[       7] write(1)
+";
+    assert_eq!(got, want, "gamma fuzzed golden drifted:\n{got}");
+}
+
+#[test]
+fn gamma_fuzzed_golden_straggling_acks_stall_the_transmitter() {
+    // Stresses the active protocol's idle/ack interplay: acks crawl back
+    // with delays up to 5 ticks, so the transmitter sits in idle_t steps
+    // awaiting its δ2-th ack while stale acks from the same burst are
+    // still in flight — the window where an ack-counting off-by-one
+    // (see the injected-bug acceptance test) corrupts the next burst.
+    let got = replay_repro(
+        "rstp-check repro v1\n\
+         protocol = gamma k=2\n\
+         params = 1 2 6\n\
+         expect = pass\n\
+         reason = straggling acks force transmitter idling\n\
+         input = 0\n\
+         t_gaps =\n\
+         r_gaps = 2\n\
+         gap_fallback = 2\n\
+         data_fates = 2 1\n\
+         ack_fates = 5 2 0 2 2 4\n\
+         data_fallback = 2\n\
+         ack_fallback = 0\n",
+    );
+    let want = "\
+[       0] send(data(0))
+[       0] idle_r
+[       2] recv(data(0))
+[       2] send(data(0))
+[       2] send(ack(0))
+[       3] recv(data(0))
+[       4] send(data(0))
+[       4] send(ack(0))
+[       6] recv(data(0))
+[       6] idle_t
+[       6] recv(ack(0))
+[       6] send(ack(0))
+[       6] recv(ack(0))
+[       7] recv(ack(0))
+[       8] write(0)
+";
+    assert_eq!(got, want, "gamma fuzzed golden drifted:\n{got}");
+}
