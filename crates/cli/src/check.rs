@@ -10,6 +10,11 @@
 //! counters, the same failures, and the same corpus files. Minimized
 //! failures are written under `--corpus` (default `tests/corpus`) so they
 //! replay as cargo tests from then on.
+//!
+//! `--json FILE` additionally writes a machine-readable campaign summary
+//! (protocols, iteration counts, coverage buckets, failures with their
+//! repro paths). The file is written *before* a failing campaign turns
+//! into a nonzero exit, so CI can always collect it as an artifact.
 
 use core::fmt::Write as _;
 use std::fs;
@@ -17,6 +22,7 @@ use std::path::Path;
 
 use crate::args::{ArgError, Args};
 use crate::commands::timing;
+use rstp_bench::json::Json;
 use rstp_check::{
     fuzz, parse_repro, render_repro, run_scenario, shrink, Expectation, FoundFailure, FuzzConfig,
     FuzzReport, Repro,
@@ -38,6 +44,7 @@ const FLAGS: &[&str] = &[
     "corpus",
     "minimize",
     "out",
+    "json",
 ];
 
 /// Event budget for replays and shrinks driven from the CLI.
@@ -60,6 +67,7 @@ pub fn cmd_check(args: &Args) -> Result<String, ArgError> {
 
     let mut out = String::new();
     let mut total_failures = 0usize;
+    let mut campaigns: Vec<(FuzzReport, Vec<String>)> = Vec::new();
     for kind in kinds {
         let mut cfg = FuzzConfig::new(kind, params);
         cfg.seed = seed;
@@ -69,12 +77,22 @@ pub fn cmd_check(args: &Args) -> Result<String, ArgError> {
         cfg.differential_every = differential;
         let report = fuzz(&cfg);
         render_report(&mut out, &report);
+        let mut repro_paths = Vec::new();
         for found in &report.failures {
             let path = corpus_path(&corpus, kind, seed, found.iteration);
             write_repro(&path, found)?;
             let _ = writeln!(out, "  repro written to {path}");
+            repro_paths.push(path);
         }
         total_failures += report.failures.len();
+        campaigns.push((report, repro_paths));
+    }
+    // The JSON summary goes out before a failure turns into a nonzero
+    // exit, so CI can collect it as an artifact either way.
+    if let Some(path) = args.get("json") {
+        let text = campaign_json(seed, iters, max_input, &campaigns).render();
+        fs::write(path, text + "\n").map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "json summary written to {path}");
     }
     if total_failures > 0 {
         // Surface failures through the exit code so CI cannot miss them.
@@ -83,6 +101,61 @@ pub fn cmd_check(args: &Args) -> Result<String, ArgError> {
         )));
     }
     Ok(out)
+}
+
+/// The machine-readable campaign summary behind `--json`.
+fn campaign_json(
+    seed: u64,
+    iters: u64,
+    max_input: usize,
+    campaigns: &[(FuzzReport, Vec<String>)],
+) -> Json {
+    let num = |v: u64| Json::Num(v as f64);
+    let campaign_values = campaigns
+        .iter()
+        .map(|(report, repro_paths)| {
+            let failures = report
+                .failures
+                .iter()
+                .zip(repro_paths)
+                .map(|(found, path)| {
+                    Json::Obj(vec![
+                        ("iteration".into(), num(found.iteration)),
+                        ("failure".into(), Json::Str(found.failure.to_string())),
+                        ("original_events".into(), num(found.original_events)),
+                        ("shrunk_events".into(), num(found.events)),
+                        ("repro".into(), Json::Str(path.clone())),
+                    ])
+                })
+                .collect();
+            Json::Obj(vec![
+                ("protocol".into(), Json::Str(report.protocol.clone())),
+                ("iterations".into(), num(report.iterations)),
+                (
+                    "coverage".into(),
+                    Json::Obj(vec![
+                        ("total".into(), num(report.coverage.total)),
+                        ("occupancy".into(), num(report.coverage.occupancy)),
+                        ("reorder".into(), num(report.coverage.reorder)),
+                        ("slack".into(), num(report.coverage.slack)),
+                        ("outcome".into(), num(report.coverage.outcome)),
+                    ]),
+                ),
+                ("pool".into(), num(report.pool as u64)),
+                ("failures".into(), Json::Arr(failures)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("seed".into(), num(seed)),
+        ("iters".into(), num(iters)),
+        ("max_input".into(), num(max_input as u64)),
+        ("campaigns".into(), Json::Arr(campaign_values)),
+        (
+            "total_failures".into(),
+            num(campaigns.iter().map(|(r, _)| r.failures.len() as u64).sum()),
+        ),
+    ])
 }
 
 /// The protocols a campaign covers: `--protocol` if given, else the
@@ -239,6 +312,33 @@ mod tests {
     #[test]
     fn unknown_protocol_is_rejected() {
         assert!(run(&["check", "--protocol", "omega"]).is_err());
+    }
+
+    #[test]
+    fn json_flag_writes_a_campaign_summary() {
+        let dir = std::env::temp_dir().join("rstp-check-cli-json-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.json");
+        let out = run(&[
+            "check",
+            "--protocol",
+            "alpha",
+            "--iters",
+            "10",
+            "--seed",
+            "0",
+            "--max-input",
+            "8",
+            "--json",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("json summary written"), "{out}");
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"campaigns\""), "{text}");
+        assert!(text.contains("\"protocol\": \"alpha\""), "{text}");
+        assert!(text.contains("\"total_failures\": 0"), "{text}");
+        assert!(text.contains("\"occupancy\""), "{text}");
     }
 
     #[test]

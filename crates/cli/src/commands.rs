@@ -27,9 +27,15 @@ COMMANDS:
   plan          smallest k for a latency   --c1 --c2 --d --target --kmax
   dist          effort distribution        --protocol --k --c1 --c2 --d --n --runs
   net           real-time wire transfers   net <send|recv|bench> (run `rstp net help`)
+  serve         sharded multi-session UDP server  --local --sessions --protocol --n
+                                           --shards --batch --queue-cap --tick-us
+  swarm         M-client loopback load test --sessions --protocol --k --n --seed
+                                           --transport mem|udp --shards --batch
+                                           --queue-cap --tick-us --oracle-sample
   check         coverage-guided schedule fuzzer  --protocol --k --seed --iters
                                            --c1 --c2 --d --max-input --differential
                                            --corpus DIR --minimize FILE [--out FILE]
+                                           [--json FILE]
 
 PROTOCOLS: alpha | beta | gamma | altbit | stenning | framed | pipelined
 STEP:      fast | slow | alternate | random
@@ -43,7 +49,7 @@ pub(crate) fn timing(args: &Args) -> Result<TimingParams, ArgError> {
     TimingParams::from_ticks(c1, c2, d).map_err(|e| ArgError(e.to_string()))
 }
 
-fn protocol(args: &Args) -> Result<ProtocolKind, ArgError> {
+pub(crate) fn protocol(args: &Args) -> Result<ProtocolKind, ArgError> {
     let k = args.get_u64("k", 4)?;
     let window = args.get_u64("window", 2)?.max(1);
     match args.get("protocol").unwrap_or("beta") {
@@ -384,6 +390,8 @@ pub fn dispatch(args: &Args) -> Result<String, ArgError> {
         Some("plan") => cmd_plan(args),
         Some("dist") => cmd_dist(args),
         Some("net") => crate::net::cmd_net(args),
+        Some("serve") => crate::serve::cmd_serve(args),
+        Some("swarm") => crate::serve::cmd_swarm(args),
         Some("check") => crate::check::cmd_check(args),
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(ArgError(format!(

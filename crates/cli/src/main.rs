@@ -8,12 +8,14 @@
 //! rstp distinguish --protocol beta --k 2 --n 8 --c1 1 --c2 1 --d 3
 //! rstp curve  --c1 1 --c2 2 --d 12 --kmax 32
 //! rstp net bench --protocol beta --k 4 --n 4096
+//! rstp swarm --sessions 256 --protocol beta --k 4
 //! ```
 
 mod args;
 mod check;
 mod commands;
 mod net;
+mod serve;
 
 use std::process::ExitCode;
 

@@ -64,7 +64,7 @@ fn protocol(args: &Args) -> Result<ProtocolKind, ArgError> {
     }
 }
 
-fn pace(args: &Args) -> Result<Pace, ArgError> {
+pub(crate) fn pace(args: &Args) -> Result<Pace, ArgError> {
     match args.get("pace").unwrap_or("slow") {
         "fast" => Ok(Pace::Fast),
         "slow" => Ok(Pace::Slow),
@@ -72,7 +72,7 @@ fn pace(args: &Args) -> Result<Pace, ArgError> {
     }
 }
 
-fn tick_of(args: &Args, default_us: u64) -> Result<Duration, ArgError> {
+pub(crate) fn tick_of(args: &Args, default_us: u64) -> Result<Duration, ArgError> {
     let us = args.get_u64("tick-us", default_us)?;
     if us == 0 {
         return Err(ArgError("--tick-us must be positive".into()));

@@ -64,6 +64,43 @@ impl fmt::Display for Packet {
     }
 }
 
+/// Identifies one independent RSTP transfer multiplexed over a shared wire.
+///
+/// The paper studies a single transmitter–receiver pair, so its packets
+/// need no addressing. A transfer *server* runs many such pairs at once
+/// over one socket, and every packet must then name the session it belongs
+/// to. The id is transport metadata like a sequence number: protocols never
+/// read it, and two sessions with the same input and timing behave
+/// identically regardless of their ids.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(u32);
+
+impl SessionId {
+    /// Wraps a raw 32-bit id.
+    #[must_use]
+    pub const fn new(raw: u32) -> Self {
+        SessionId(raw)
+    }
+
+    /// The raw 32-bit id as carried on the wire.
+    #[must_use]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<u32> for SessionId {
+    fn from(raw: u32) -> Self {
+        SessionId(raw)
+    }
+}
+
 /// The named internal actions of the paper's figures.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum InternalKind {

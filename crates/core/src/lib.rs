@@ -66,7 +66,7 @@ pub mod ext;
 pub mod params;
 pub mod protocols;
 
-pub use action::{InternalKind, Message, Owner, Packet, RstpAction};
+pub use action::{InternalKind, Message, Owner, Packet, RstpAction, SessionId};
 pub use channel::{Channel, ChannelState};
 pub use ext::{ProcessTiming, TimingParamsExt};
 pub use params::{ParamError, TimingParams};

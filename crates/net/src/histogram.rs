@@ -78,6 +78,38 @@ impl LatencyHistogram {
         Some(self.max_micros)
     }
 
+    /// Interpolated quantile: linearly interpolates the rank position
+    /// within the bucket that holds the `q`-th observation, clamped to
+    /// the observed `[min, max]` range. Smoother than
+    /// [`quantile_micros`](Self::quantile_micros) (which reports a bucket
+    /// upper edge, one power of two of slack) while costing the same one
+    /// pass over the 32 buckets — the resolution aggregated swarm metrics
+    /// need without keeping every sample.
+    pub fn quantile_interp_micros(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.total as f64).max(1.0).min(self.total as f64);
+        let mut seen = 0u64;
+        for (bucket, &n) in self.counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if (seen + n) as f64 >= rank {
+                // Interpolate by how far into this bucket's count the
+                // rank falls, assuming uniform spread across the bucket.
+                let lo = bucket_lower_edge(bucket) as f64;
+                let hi = bucket_upper_edge(bucket) as f64;
+                let frac = (rank - seen as f64) / n as f64;
+                let est = lo + (hi - lo) * frac;
+                return Some(est.clamp(self.min_micros as f64, self.max_micros as f64));
+            }
+            seen += n;
+        }
+        Some(self.max_micros as f64)
+    }
+
     /// Non-empty buckets as `(upper_edge_micros, count)` pairs.
     pub fn buckets(&self) -> Vec<(u64, u64)> {
         self.counts
@@ -99,6 +131,15 @@ impl LatencyHistogram {
             self.min_micros = self.min_micros.min(other.min_micros);
             self.max_micros = self.max_micros.max(other.max_micros);
         }
+    }
+}
+
+/// Lower edge (inclusive) of bucket `b` in microseconds.
+fn bucket_lower_edge(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
     }
 }
 
@@ -186,5 +227,66 @@ mod tests {
         let mut h = LatencyHistogram::new();
         h.record(0);
         assert_eq!(h.buckets(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn interpolated_quantile_is_within_bucket_and_monotone() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile_interp_micros(0.5).expect("non-empty");
+        let p90 = h.quantile_interp_micros(0.9).expect("non-empty");
+        let p99 = h.quantile_interp_micros(0.99).expect("non-empty");
+        // Uniform 0..1000: the true p50 is ~500, inside the [512, 1023]
+        // bucket's lower half; interpolation must beat the coarse upper
+        // edge (1023) by landing in the bucket's interior.
+        assert!((256.0..1023.0).contains(&p50), "p50={p50}");
+        assert!(p50 <= p90 && p90 <= p99, "quantiles must be monotone");
+        assert!(p99 <= 1023.0);
+    }
+
+    #[test]
+    fn interpolated_quantile_single_value() {
+        let mut h = LatencyHistogram::new();
+        h.record(700);
+        // One observation: every quantile is that observation (clamping
+        // to [min, max] collapses the bucket's span).
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_interp_micros(q), Some(700.0));
+        }
+    }
+
+    #[test]
+    fn interpolated_quantile_empty_and_clamped() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_interp_micros(0.5), None);
+        let mut h = LatencyHistogram::new();
+        h.record(3);
+        h.record(1000);
+        // q outside [0, 1] clamps rather than panicking.
+        assert_eq!(h.quantile_interp_micros(-1.0), Some(3.0));
+        assert_eq!(h.quantile_interp_micros(2.0), Some(1000.0));
+    }
+
+    #[test]
+    fn interpolated_quantile_merged_histograms_agree_with_direct() {
+        let mut direct = LatencyHistogram::new();
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for v in 0..500u64 {
+            direct.record(v);
+            a.record(v);
+        }
+        for v in 500..1000u64 {
+            direct.record(v);
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, direct);
+        assert_eq!(
+            a.quantile_interp_micros(0.9),
+            direct.quantile_interp_micros(0.9)
+        );
     }
 }

@@ -57,4 +57,7 @@ pub use session::{
 };
 pub use transport::{Transport, TransportStats};
 pub use udp::UdpTransport;
-pub use wire::{decode_any, Frame, ProtocolId, WireCodec, WireError, FRAME_LEN, WIRE_VERSION};
+pub use wire::{
+    decode_any, peek_session, Frame, ProtocolId, WireCodec, WireError, FLAG_SESSION, FRAME_LEN,
+    FRAME_LEN_V2, WIRE_VERSION,
+};

@@ -13,20 +13,43 @@
 //! | 3      | 1    | protocol id      | [`ProtocolId`] discriminant             |
 //! | 4      | 2    | k                | burst parameter of the sender (0 = n/a) |
 //! | 6      | 1    | kind             | 0 = data, 1 = ack                       |
-//! | 7      | 1    | flags            | reserved, must be zero                  |
+//! | 7      | 1    | flags            | extension bits, see below               |
 //! | 8      | 8    | symbol           | packet symbol (multiset element / seq)  |
 //! | 16     | 8    | seq              | per-endpoint send counter               |
 //! | 24     | 8    | sent\_at\_micros | sender clock at send, microseconds      |
 //! | 32     | 4    | checksum         | FNV-1a over bytes `0..32`               |
 //!
+//! # Frame v2: the session-id extension (40 bytes)
+//!
+//! Multi-session servers ([`rstp-serve`]) multiplex many transfers over
+//! one socket and need each frame to name its session. Setting
+//! [`FLAG_SESSION`] in the flags byte inserts a 32-bit session id between
+//! the fixed body and the checksum:
+//!
+//! | offset | size | field      | notes                               |
+//! |-------:|-----:|------------|-------------------------------------|
+//! | 0..32  |      | as v1      | identical byte-for-byte             |
+//! | 32     | 4    | session id | [`rstp_core::SessionId`], big-endian |
+//! | 36     | 4    | checksum   | FNV-1a over bytes `0..36`           |
+//!
+//! Compatibility is strict in both directions: a frame with `flags = 0`
+//! is exactly a v1 frame (same bytes, same checksum coverage — pinned by
+//! a golden test), and any flag bit other than [`FLAG_SESSION`] is
+//! rejected, so future extensions cannot be silently misparsed. The
+//! version byte stays [`WIRE_VERSION`]: the extension changes the frame
+//! *shape*, not the protocol semantics.
+//!
 //! Decoding is strict: any malformed frame yields a typed [`WireError`];
 //! no input may panic the decoder. The `symbol` field is the paper's
 //! packet alphabet value — protocols draw it from `{0, …, µ-1}` (data)
-//! or echo it back (acks) — and `seq`/`sent_at_micros` are transport
-//! metadata used for latency accounting, invisible to the automata.
+//! or echo it back (acks) — and `seq`/`sent_at_micros`/session id are
+//! transport metadata used for latency accounting and demultiplexing,
+//! invisible to the automata.
+//!
+//! [`rstp-serve`]: https://docs.rs/rstp-serve
 
 use core::fmt;
-use rstp_core::Packet;
+use rstp_core::{Packet, SessionId};
 
 /// Current wire protocol version.
 pub const WIRE_VERSION: u8 = 1;
@@ -34,8 +57,14 @@ pub const WIRE_VERSION: u8 = 1;
 /// Leading magic bytes of every frame (`"RT"`).
 pub const WIRE_MAGIC: u16 = 0x5254;
 
-/// Encoded frame length in bytes.
+/// Encoded v1 frame length in bytes.
 pub const FRAME_LEN: usize = 36;
+
+/// Encoded length of a frame carrying the session-id extension.
+pub const FRAME_LEN_V2: usize = FRAME_LEN + 4;
+
+/// Flags bit marking the session-id extension (frame v2).
+pub const FLAG_SESSION: u8 = 0x01;
 
 /// Largest `k` representable in the 16-bit header field.
 pub const MAX_WIRE_K: u64 = u16::MAX as u64;
@@ -106,18 +135,22 @@ pub struct Frame {
     pub seq: u64,
     /// Sender clock at send time, in microseconds since its epoch.
     pub sent_at_micros: u64,
+    /// Session id carried by the v2 extension, `None` for v1 frames.
+    pub session: Option<SessionId>,
 }
 
 /// Strict decode failures. Every variant names the first check that failed.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WireError {
-    /// Fewer than [`FRAME_LEN`] bytes.
+    /// Fewer bytes than the frame's shape requires: below [`FRAME_LEN`]
+    /// for any frame, below [`FRAME_LEN_V2`] when [`FLAG_SESSION`] is set.
     TooShort {
         /// Bytes actually available.
         got: usize,
     },
-    /// More than [`FRAME_LEN`] bytes: datagram transports deliver whole
-    /// frames, so trailing bytes mean corruption or a foreign sender.
+    /// More bytes than the frame's shape allows: datagram transports
+    /// deliver whole frames, so trailing bytes mean corruption or a
+    /// foreign sender.
     TrailingBytes {
         /// Bytes actually available.
         got: usize,
@@ -142,7 +175,8 @@ pub enum WireError {
         /// Kind observed on the wire.
         got: u8,
     },
-    /// Reserved flags byte is non-zero.
+    /// Flags byte has bits set outside the known extensions
+    /// (currently only [`FLAG_SESSION`]).
     NonZeroFlags {
         /// Flags observed on the wire.
         got: u8,
@@ -173,10 +207,13 @@ impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WireError::TooShort { got } => {
-                write!(f, "frame too short: {got} bytes, need {FRAME_LEN}")
+                write!(f, "frame too short: {got} bytes, need at least {FRAME_LEN}")
             }
             WireError::TrailingBytes { got } => {
-                write!(f, "frame too long: {got} bytes, expected {FRAME_LEN}")
+                write!(
+                    f,
+                    "frame too long: {got} bytes, expected {FRAME_LEN} or {FRAME_LEN_V2}"
+                )
             }
             WireError::BadMagic { got } => {
                 write!(f, "bad magic {got:#06x}, expected {WIRE_MAGIC:#06x}")
@@ -187,7 +224,7 @@ impl fmt::Display for WireError {
             WireError::UnknownProtocol { got } => write!(f, "unknown protocol id {got}"),
             WireError::BadKind { got } => write!(f, "bad packet kind {got}, expected 0 or 1"),
             WireError::NonZeroFlags { got } => {
-                write!(f, "reserved flags byte is {got:#04x}, must be zero")
+                write!(f, "flags byte {got:#04x} has unknown extension bits set")
             }
             WireError::BadChecksum { got, want } => {
                 write!(
@@ -243,25 +280,48 @@ impl WireCodec {
         self.k
     }
 
-    /// Encodes `packet` with transport metadata into a fresh frame buffer.
+    /// Encodes `packet` with transport metadata into a fresh v1 frame
+    /// buffer (no session extension).
     pub fn encode(&self, packet: Packet, seq: u64, sent_at_micros: u64) -> [u8; FRAME_LEN] {
+        let mut buf = [0u8; FRAME_LEN];
+        self.fill_body(&mut buf, packet, seq, sent_at_micros, 0);
+        let sum = fnv1a(&buf[0..32]);
+        buf[32..36].copy_from_slice(&sum.to_be_bytes());
+        buf
+    }
+
+    /// Encodes `packet` into a v2 frame carrying `session` (sets
+    /// [`FLAG_SESSION`]; the checksum covers the extension).
+    pub fn encode_with_session(
+        &self,
+        packet: Packet,
+        seq: u64,
+        sent_at_micros: u64,
+        session: SessionId,
+    ) -> [u8; FRAME_LEN_V2] {
+        let mut buf = [0u8; FRAME_LEN_V2];
+        self.fill_body(&mut buf, packet, seq, sent_at_micros, FLAG_SESSION);
+        buf[32..36].copy_from_slice(&session.raw().to_be_bytes());
+        let sum = fnv1a(&buf[0..36]);
+        buf[36..40].copy_from_slice(&sum.to_be_bytes());
+        buf
+    }
+
+    /// Writes the 32-byte fixed body shared by both frame shapes.
+    fn fill_body(&self, buf: &mut [u8], packet: Packet, seq: u64, sent_at_micros: u64, flags: u8) {
         let (kind, symbol) = match packet {
             Packet::Data(s) => (0u8, s),
             Packet::Ack(s) => (1u8, s),
         };
-        let mut buf = [0u8; FRAME_LEN];
         buf[0..2].copy_from_slice(&WIRE_MAGIC.to_be_bytes());
         buf[2] = WIRE_VERSION;
         buf[3] = self.protocol as u8;
         buf[4..6].copy_from_slice(&self.k.to_be_bytes());
         buf[6] = kind;
-        buf[7] = 0; // reserved flags
+        buf[7] = flags;
         buf[8..16].copy_from_slice(&symbol.to_be_bytes());
         buf[16..24].copy_from_slice(&seq.to_be_bytes());
         buf[24..32].copy_from_slice(&sent_at_micros.to_be_bytes());
-        let sum = fnv1a(&buf[0..32]);
-        buf[32..36].copy_from_slice(&sum.to_be_bytes());
-        buf
     }
 
     /// Decodes one frame, enforcing structure, checksum, and protocol
@@ -286,9 +346,6 @@ pub fn decode_any(bytes: &[u8]) -> Result<Frame, WireError> {
     if bytes.len() < FRAME_LEN {
         return Err(WireError::TooShort { got: bytes.len() });
     }
-    if bytes.len() > FRAME_LEN {
-        return Err(WireError::TrailingBytes { got: bytes.len() });
-    }
     let magic = u16::from_be_bytes([bytes[0], bytes[1]]);
     if magic != WIRE_MAGIC {
         return Err(WireError::BadMagic { got: magic });
@@ -303,11 +360,28 @@ pub fn decode_any(bytes: &[u8]) -> Result<Frame, WireError> {
     if kind > 1 {
         return Err(WireError::BadKind { got: kind });
     }
-    if bytes[7] != 0 {
-        return Err(WireError::NonZeroFlags { got: bytes[7] });
+    let flags = bytes[7];
+    if flags & !FLAG_SESSION != 0 {
+        return Err(WireError::NonZeroFlags { got: flags });
     }
-    let stored = u32::from_be_bytes([bytes[32], bytes[33], bytes[34], bytes[35]]);
-    let computed = fnv1a(&bytes[0..32]);
+    let expected_len = if flags & FLAG_SESSION != 0 {
+        FRAME_LEN_V2
+    } else {
+        FRAME_LEN
+    };
+    if bytes.len() < expected_len {
+        return Err(WireError::TooShort { got: bytes.len() });
+    }
+    if bytes.len() > expected_len {
+        return Err(WireError::TrailingBytes { got: bytes.len() });
+    }
+    let body_len = expected_len - 4;
+    let stored = u32::from_be_bytes(
+        bytes[body_len..expected_len]
+            .try_into()
+            .expect("slice is 4 bytes"),
+    );
+    let computed = fnv1a(&bytes[0..body_len]);
     if stored != computed {
         return Err(WireError::BadChecksum {
             got: stored,
@@ -317,6 +391,12 @@ pub fn decode_any(bytes: &[u8]) -> Result<Frame, WireError> {
     let symbol = u64::from_be_bytes(bytes[8..16].try_into().expect("slice is 8 bytes"));
     let seq = u64::from_be_bytes(bytes[16..24].try_into().expect("slice is 8 bytes"));
     let sent_at_micros = u64::from_be_bytes(bytes[24..32].try_into().expect("slice is 8 bytes"));
+    let session = if flags & FLAG_SESSION != 0 {
+        let raw = u32::from_be_bytes(bytes[32..36].try_into().expect("slice is 4 bytes"));
+        Some(SessionId::new(raw))
+    } else {
+        None
+    };
     let packet = if kind == 0 {
         Packet::Data(symbol)
     } else {
@@ -328,7 +408,31 @@ pub fn decode_any(bytes: &[u8]) -> Result<Frame, WireError> {
         packet,
         seq,
         sent_at_micros,
+        session,
     })
+}
+
+/// Extracts the session id from a v2 frame's fixed offset *without*
+/// validating the checksum or any other field beyond the minimum needed
+/// to locate it (length, magic, and [`FLAG_SESSION`]).
+///
+/// This exists for the server's hot demultiplexing path, where the frame
+/// will be fully decoded (and checksum-verified) by the owning shard; a
+/// frame whose id lies about its session is caught there, never acted on
+/// here. Returns `None` for v1 frames and anything malformed.
+#[must_use]
+pub fn peek_session(bytes: &[u8]) -> Option<SessionId> {
+    if bytes.len() != FRAME_LEN_V2 {
+        return None;
+    }
+    if u16::from_be_bytes([bytes[0], bytes[1]]) != WIRE_MAGIC {
+        return None;
+    }
+    if bytes[7] & FLAG_SESSION == 0 {
+        return None;
+    }
+    let raw = u32::from_be_bytes(bytes[32..36].try_into().expect("slice is 4 bytes"));
+    Some(SessionId::new(raw))
 }
 
 /// 32-bit FNV-1a over `bytes`.
@@ -469,6 +573,137 @@ mod tests {
             let frame = decode_any(&buf).expect("structurally valid");
             assert_eq!(frame.protocol, id);
         }
+    }
+
+    /// Golden test: the exact bytes of a v1 frame are pinned, so no codec
+    /// change (including the v2 extension) can silently alter the layout
+    /// existing peers depend on. If this test fails, the wire format broke.
+    #[test]
+    fn v1_frame_bytes_are_pinned() {
+        let c = WireCodec::new(ProtocolId::Beta, 4).expect("k fits");
+        let buf = c.encode(
+            Packet::Data(0x0102_0304_0506_0708),
+            0x1122,
+            0x0055_6677_8899_AABB,
+        );
+        let expected: [u8; FRAME_LEN] = [
+            0x52, 0x54, // magic "RT"
+            0x01, // version
+            0x02, // protocol id: beta
+            0x00, 0x04, // k = 4
+            0x00, // kind = data
+            0x00, // flags = 0 (v1)
+            0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, // symbol
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x11, 0x22, // seq
+            0x00, 0x55, 0x66, 0x77, 0x88, 0x99, 0xAA, 0xBB, // sent_at_micros
+            0x3F, 0x17, 0x82, 0x7F, // FNV-1a over bytes 0..32
+        ];
+        assert_eq!(buf, expected, "v1 wire layout must never change");
+        // And those pinned bytes decode to exactly the original frame.
+        let frame = decode_any(&expected).expect("pinned v1 frame decodes");
+        assert_eq!(
+            frame,
+            Frame {
+                protocol: ProtocolId::Beta,
+                k: 4,
+                packet: Packet::Data(0x0102_0304_0506_0708),
+                seq: 0x1122,
+                sent_at_micros: 0x0055_6677_8899_AABB,
+                session: None,
+            }
+        );
+    }
+
+    #[test]
+    fn v2_round_trips_session_id() {
+        let c = codec();
+        for raw in [0u32, 1, 0xDEAD_BEEF, u32::MAX] {
+            let sid = SessionId::new(raw);
+            let buf = c.encode_with_session(Packet::Ack(3), 7, 99, sid);
+            assert_eq!(buf.len(), FRAME_LEN_V2);
+            assert_eq!(buf[7], FLAG_SESSION);
+            let frame = c.decode(&buf).expect("v2 round trip");
+            assert_eq!(frame.session, Some(sid));
+            assert_eq!(frame.packet, Packet::Ack(3));
+            assert_eq!(frame.seq, 7);
+            assert_eq!(frame.sent_at_micros, 99);
+        }
+    }
+
+    #[test]
+    fn v2_first_32_bytes_match_v1() {
+        // The extension inserts after the fixed body: a v2 frame's first
+        // 32 bytes are byte-for-byte the v1 encoding of the same packet.
+        let c = codec();
+        let v1 = c.encode(Packet::Data(42), 5, 1000);
+        let v2 = c.encode_with_session(Packet::Data(42), 5, 1000, SessionId::new(9));
+        assert_eq!(v1[0..7], v2[0..7]);
+        assert_eq!(v1[8..32], v2[8..32]);
+        assert_eq!(v2[32..36], 9u32.to_be_bytes());
+    }
+
+    #[test]
+    fn v2_rejects_truncation_and_trailing() {
+        let c = codec();
+        let buf = c.encode_with_session(Packet::Data(1), 0, 0, SessionId::new(7));
+        // A v2 frame truncated to v1 length: the flag promises 40 bytes.
+        assert_eq!(
+            decode_any(&buf[..FRAME_LEN]),
+            Err(WireError::TooShort { got: FRAME_LEN })
+        );
+        let mut long = buf.to_vec();
+        long.push(0);
+        assert_eq!(
+            decode_any(&long),
+            Err(WireError::TrailingBytes {
+                got: FRAME_LEN_V2 + 1
+            })
+        );
+    }
+
+    #[test]
+    fn v2_checksum_covers_session_id() {
+        let c = codec();
+        let good = c.encode_with_session(Packet::Data(1), 0, 0, SessionId::new(0x01020304));
+        for offset in 32..36 {
+            let mut bad = good;
+            bad[offset] ^= 0x01;
+            assert!(
+                matches!(decode_any(&bad), Err(WireError::BadChecksum { .. })),
+                "session-id bit flip at offset {offset} must fail the checksum"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_flag_bits_rejected_even_with_session_bit() {
+        let c = codec();
+        let mut buf = c
+            .encode_with_session(Packet::Data(1), 0, 0, SessionId::new(1))
+            .to_vec();
+        buf[7] = FLAG_SESSION | 0x02;
+        let sum = fnv1a(&buf[0..36]);
+        buf[36..40].copy_from_slice(&sum.to_be_bytes());
+        assert_eq!(
+            decode_any(&buf),
+            Err(WireError::NonZeroFlags {
+                got: FLAG_SESSION | 0x02
+            })
+        );
+    }
+
+    #[test]
+    fn peek_session_reads_v2_only() {
+        let c = codec();
+        let v2 = c.encode_with_session(Packet::Data(1), 0, 0, SessionId::new(77));
+        assert_eq!(peek_session(&v2), Some(SessionId::new(77)));
+        let v1 = c.encode(Packet::Data(1), 0, 0);
+        assert_eq!(peek_session(&v1), None);
+        assert_eq!(peek_session(&[]), None);
+        assert_eq!(peek_session(&v2[..FRAME_LEN]), None);
+        let mut bad_magic = v2;
+        bad_magic[0] = 0;
+        assert_eq!(peek_session(&bad_magic), None);
     }
 
     /// Exhaustiveness: every [`WireError`] variant is reachable from a

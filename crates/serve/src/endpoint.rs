@@ -1,0 +1,224 @@
+//! Object-safe session endpoints: heterogeneous automata in one table.
+//!
+//! [`Automaton`] has an associated `State` type, so a shard cannot store
+//! `Box<dyn Automaton>` directly. [`Driven`] pairs a concrete automaton
+//! with its current state behind the object-safe [`SessionEndpoint`]
+//! trait: `apply_recv` feeds a delivered packet as a `recv` input, `step`
+//! fires the unique enabled local action and reports its visible effect.
+//! The single-enabled-action determinism check mirrors the real-time
+//! driver and the simulator exactly — a shard must not weaken the model
+//! just because it runs many sessions.
+
+use rstp_automata::Automaton;
+use rstp_core::protocols::{
+    AlphaReceiver, AltBitReceiver, BetaReceiver, FramedReceiver, GammaReceiver, PipelinedReceiver,
+    StenningReceiver,
+};
+use rstp_core::{InternalKind, Message, Packet, RstpAction, TimingParams};
+use rstp_net::NetError;
+use rstp_sim::ProtocolKind;
+
+/// The externally visible effect of one local step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepEffect {
+    /// The automaton sent a packet (to be framed and flushed by the shard).
+    Sent(Packet),
+    /// The automaton wrote the next output message.
+    Wrote(Message),
+    /// A counted `wait` step — productive work, not idling.
+    Waited,
+    /// A pure `idle` step — the endpoint may be done.
+    Idled,
+    /// No local action is enabled: the automaton has quiesced.
+    Quiescent,
+}
+
+/// One session's protocol endpoint, statically erased so shards can own a
+/// mixed-protocol table.
+pub trait SessionEndpoint: Send {
+    /// Applies a delivered packet as a `recv` input (input-enabled: this
+    /// must succeed in every state for well-formed automata).
+    fn apply_recv(&mut self, packet: Packet) -> Result<(), NetError>;
+
+    /// Fires the unique enabled local action, enforcing the paper's
+    /// determinism condition (more than one enabled action is a model
+    /// bug, reported exactly like the single-session driver does).
+    fn step(&mut self) -> Result<StepEffect, NetError>;
+
+    /// Messages written so far — the session's output sequence `Y`.
+    fn written(&self) -> &[Message];
+}
+
+/// A concrete automaton plus its evolving state.
+struct Driven<A: Automaton<Action = RstpAction>> {
+    automaton: A,
+    state: A::State,
+    written: Vec<Message>,
+}
+
+impl<A> SessionEndpoint for Driven<A>
+where
+    A: Automaton<Action = RstpAction> + Send,
+    A::State: Send,
+{
+    fn apply_recv(&mut self, packet: Packet) -> Result<(), NetError> {
+        self.state = self
+            .automaton
+            .step(&self.state, &RstpAction::Recv(packet))
+            .map_err(|e| NetError::Automaton {
+                what: e.to_string(),
+            })?;
+        Ok(())
+    }
+
+    fn step(&mut self) -> Result<StepEffect, NetError> {
+        let enabled = self.automaton.enabled(&self.state);
+        let action = match enabled.as_slice() {
+            [] => return Ok(StepEffect::Quiescent),
+            [a] => *a,
+            many => {
+                return Err(NetError::Determinism {
+                    enabled: many.iter().map(|a| format!("{a:?}")).collect(),
+                })
+            }
+        };
+        self.state =
+            self.automaton
+                .step(&self.state, &action)
+                .map_err(|e| NetError::Automaton {
+                    what: e.to_string(),
+                })?;
+        Ok(match action {
+            RstpAction::Send(p) => StepEffect::Sent(p),
+            RstpAction::Write(m) => {
+                self.written.push(m);
+                StepEffect::Wrote(m)
+            }
+            RstpAction::TransmitterInternal(k) | RstpAction::ReceiverInternal(k) => {
+                if k == InternalKind::Wait {
+                    StepEffect::Waited
+                } else {
+                    StepEffect::Idled
+                }
+            }
+            RstpAction::Recv(_) => {
+                return Err(NetError::Automaton {
+                    what: "recv reported as a locally controlled action".into(),
+                })
+            }
+        })
+    }
+
+    fn written(&self) -> &[Message] {
+        &self.written
+    }
+}
+
+fn boxed<A>(automaton: A) -> Box<dyn SessionEndpoint>
+where
+    A: Automaton<Action = RstpAction> + Send + 'static,
+    A::State: Send,
+{
+    let state = automaton.initial_state();
+    Box::new(Driven {
+        automaton,
+        state,
+        written: Vec::new(),
+    })
+}
+
+/// Builds the *receiver* endpoint of `kind` expecting `n` messages — the
+/// server side of a transfer (clients run the transmitter through the
+/// ordinary single-session driver).
+///
+/// # Errors
+///
+/// [`NetError::Unsupported`] for [`ProtocolKind::BetaWindow`] (same
+/// reason the wire rejects it: no in-band `d_lo` agreement), or a
+/// construction error from the protocol itself.
+pub fn receiver_endpoint(
+    kind: ProtocolKind,
+    params: TimingParams,
+    n: usize,
+) -> Result<Box<dyn SessionEndpoint>, NetError> {
+    Ok(match kind {
+        ProtocolKind::Alpha => boxed(AlphaReceiver::new()),
+        ProtocolKind::Beta { k } => boxed(BetaReceiver::new(params, k, n)?),
+        ProtocolKind::Gamma { k } => boxed(GammaReceiver::new(params, k, n)?),
+        ProtocolKind::AltBit { .. } => boxed(AltBitReceiver::new()),
+        ProtocolKind::Framed { k } => boxed(FramedReceiver::new(params, k)?),
+        ProtocolKind::Stenning { .. } => boxed(StenningReceiver::new()),
+        ProtocolKind::Pipelined { k, window } => {
+            boxed(PipelinedReceiver::with_window(params, k, window, n)?)
+        }
+        ProtocolKind::BetaWindow { .. } => {
+            return Err(NetError::Unsupported {
+                what: "beta-window needs an out-of-band d_lo agreement; \
+                       run it in the simulator instead"
+                    .into(),
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> TimingParams {
+        TimingParams::from_ticks(1, 2, 4).expect("valid")
+    }
+
+    #[test]
+    fn alpha_receiver_writes_in_symbol_order() {
+        let mut ep = receiver_endpoint(ProtocolKind::Alpha, params(), 2).expect("build");
+        // Alpha's receiver writes each arriving raw bit in order.
+        ep.apply_recv(Packet::Data(1)).expect("recv");
+        let eff = ep.step().expect("step");
+        assert_eq!(eff, StepEffect::Wrote(true));
+        ep.apply_recv(Packet::Data(0)).expect("recv");
+        assert_eq!(ep.step().expect("step"), StepEffect::Wrote(false));
+        assert_eq!(ep.written(), &[true, false]);
+    }
+
+    #[test]
+    fn gamma_receiver_acks_each_data_packet() {
+        let mut ep = receiver_endpoint(ProtocolKind::Gamma { k: 4 }, params(), 4).expect("build");
+        // With nothing received, the receiver idles.
+        assert_eq!(ep.step().expect("step"), StepEffect::Idled);
+        // After a data packet, the next local step is the ack.
+        ep.apply_recv(Packet::Data(0)).expect("recv");
+        let eff = ep.step().expect("step");
+        assert!(
+            matches!(eff, StepEffect::Sent(Packet::Ack(_))),
+            "expected an ack, got {eff:?}"
+        );
+    }
+
+    #[test]
+    fn beta_window_is_rejected() {
+        let Err(err) = receiver_endpoint(ProtocolKind::BetaWindow { k: 4 }, params(), 1) else {
+            panic!("beta-window must be rejected");
+        };
+        assert!(matches!(err, NetError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn every_wire_protocol_constructs() {
+        for kind in [
+            ProtocolKind::Alpha,
+            ProtocolKind::Beta { k: 4 },
+            ProtocolKind::Gamma { k: 4 },
+            ProtocolKind::AltBit {
+                timeout_steps: None,
+            },
+            ProtocolKind::Framed { k: 4 },
+            ProtocolKind::Stenning {
+                timeout_steps: None,
+            },
+            ProtocolKind::Pipelined { k: 4, window: 2 },
+        ] {
+            assert!(receiver_endpoint(kind, params(), 8).is_ok(), "{kind:?}");
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! The loopback transport: many clients, one server, zero sockets.
+//!
+//! A [`MemHub`] is a shared mailbox fabric. Every client pushes encoded
+//! v2 frames into one central server inbox; the server drains that inbox
+//! in whole batches (one lock acquisition per batch, the in-process
+//! analogue of `recvmmsg`), and shard egress pushes reply frames into
+//! per-client inboxes keyed by session id. [`HubClientTransport`] adapts
+//! a client's view of the hub to the ordinary [`Transport`] trait, so
+//! the existing single-session real-time driver runs over it unchanged.
+
+use crate::server::{EgressSink, ServeTransport};
+use rstp_core::{Packet, SessionId};
+use rstp_net::{decode_any, Frame, NetError, Transport, TransportStats, WireCodec};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+type Inbox = Arc<Mutex<VecDeque<Vec<u8>>>>;
+
+/// The shared loopback fabric joining one server to many clients.
+#[derive(Clone, Default)]
+pub struct MemHub {
+    /// All client → server datagrams, in arrival order.
+    server_inbox: Inbox,
+    /// Per-session client inboxes for server → client datagrams.
+    clients: Arc<Mutex<HashMap<u32, Inbox>>>,
+}
+
+impl MemHub {
+    /// An empty hub.
+    #[must_use]
+    pub fn new() -> Self {
+        MemHub::default()
+    }
+
+    /// Registers a client for `session` and returns its [`Transport`]
+    /// endpoint. Frames the client sends carry `session` in the wire v2
+    /// extension; frames the server addresses to `session` land in this
+    /// client's inbox.
+    #[must_use]
+    pub fn client_transport(&self, session: SessionId, codec: WireCodec) -> HubClientTransport {
+        let inbox: Inbox = Arc::default();
+        self.clients
+            .lock()
+            .expect("hub client map poisoned")
+            .insert(session.raw(), inbox.clone());
+        HubClientTransport {
+            session,
+            codec,
+            seq: 0,
+            server_inbox: self.server_inbox.clone(),
+            inbox,
+            stats: TransportStats::default(),
+        }
+    }
+}
+
+impl ServeTransport for MemHub {
+    fn recv_batch(&mut self, out: &mut Vec<Vec<u8>>, max: usize) -> Result<usize, NetError> {
+        let mut inbox = self.server_inbox.lock().expect("hub server inbox poisoned");
+        let take = inbox.len().min(max);
+        out.extend(inbox.drain(..take));
+        Ok(take)
+    }
+
+    fn egress(&self) -> Result<Box<dyn EgressSink>, NetError> {
+        Ok(Box::new(HubEgress {
+            clients: self.clients.clone(),
+            cached: HashMap::new(),
+        }))
+    }
+}
+
+/// Shard-side egress into the per-client inboxes.
+struct HubEgress {
+    clients: Arc<Mutex<HashMap<u32, Inbox>>>,
+    /// Sessions are pinned to one shard, so each egress handle caches the
+    /// inboxes it has resolved and touches the shared map only on first
+    /// contact with a session.
+    cached: HashMap<u32, Inbox>,
+}
+
+impl EgressSink for HubEgress {
+    fn send_batch(&mut self, frames: &[(u32, Vec<u8>)]) -> Result<usize, NetError> {
+        let mut delivered = 0;
+        for (session, bytes) in frames {
+            let inbox = match self.cached.get(session) {
+                Some(inbox) => inbox.clone(),
+                None => {
+                    let map = self.clients.lock().expect("hub client map poisoned");
+                    match map.get(session) {
+                        Some(inbox) => {
+                            let inbox = inbox.clone();
+                            self.cached.insert(*session, inbox.clone());
+                            inbox
+                        }
+                        // A frame for a client that never registered is
+                        // dropped: the hub mirrors UDP, not TCP.
+                        None => continue,
+                    }
+                }
+            };
+            inbox
+                .lock()
+                .expect("hub client inbox poisoned")
+                .push_back(bytes.clone());
+            delivered += 1;
+        }
+        Ok(delivered)
+    }
+}
+
+/// One client's [`Transport`] endpoint over a [`MemHub`].
+pub struct HubClientTransport {
+    session: SessionId,
+    codec: WireCodec,
+    seq: u64,
+    server_inbox: Inbox,
+    inbox: Inbox,
+    stats: TransportStats,
+}
+
+impl Transport for HubClientTransport {
+    fn send(&mut self, packet: Packet, sent_at_micros: u64) -> Result<(), NetError> {
+        let bytes = self
+            .codec
+            .encode_with_session(packet, self.seq, sent_at_micros, self.session);
+        self.seq += 1;
+        self.server_inbox
+            .lock()
+            .expect("hub server inbox poisoned")
+            .push_back(bytes.to_vec());
+        self.stats.frames_sent += 1;
+        Ok(())
+    }
+
+    fn poll_recv(&mut self) -> Result<Option<Frame>, NetError> {
+        loop {
+            let bytes = {
+                let mut inbox = self.inbox.lock().expect("hub client inbox poisoned");
+                match inbox.pop_front() {
+                    Some(bytes) => bytes,
+                    None => return Ok(None),
+                }
+            };
+            match decode_any(&bytes) {
+                Ok(frame) if frame.session == Some(self.session) => {
+                    self.stats.frames_received += 1;
+                    return Ok(Some(frame));
+                }
+                // Misrouted or malformed: drop and keep draining. The
+                // server only writes to the inbox it resolved by id, so
+                // this is defence in depth, not an expected path.
+                Ok(_) | Err(_) => {
+                    self.stats.decode_errors += 1;
+                }
+            }
+        }
+    }
+
+    fn local_stats(&self) -> TransportStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstp_net::ProtocolId;
+
+    fn codec() -> WireCodec {
+        WireCodec::new(ProtocolId::Beta, 4).expect("codec")
+    }
+
+    #[test]
+    fn client_sends_land_in_the_server_inbox_with_their_session() {
+        let mut hub = MemHub::new();
+        let mut a = hub.client_transport(SessionId::new(7), codec());
+        let mut b = hub.client_transport(SessionId::new(9), codec());
+        a.send(Packet::Data(1), 100).expect("send");
+        b.send(Packet::Data(2), 200).expect("send");
+
+        let mut batch = Vec::new();
+        let got = hub.recv_batch(&mut batch, 16).expect("drain");
+        assert_eq!(got, 2);
+        let f0 = decode_any(&batch[0]).expect("frame");
+        let f1 = decode_any(&batch[1]).expect("frame");
+        assert_eq!(f0.session, Some(SessionId::new(7)));
+        assert_eq!(f1.session, Some(SessionId::new(9)));
+        assert_eq!(f0.packet, Packet::Data(1));
+    }
+
+    #[test]
+    fn recv_batch_respects_the_batch_cap() {
+        let mut hub = MemHub::new();
+        let mut a = hub.client_transport(SessionId::new(1), codec());
+        for i in 0..10 {
+            a.send(Packet::Data(i), 0).expect("send");
+        }
+        let mut batch = Vec::new();
+        assert_eq!(hub.recv_batch(&mut batch, 4).expect("drain"), 4);
+        assert_eq!(hub.recv_batch(&mut batch, 100).expect("drain"), 6);
+        assert_eq!(batch.len(), 10);
+    }
+
+    #[test]
+    fn egress_routes_by_session_and_drops_unknown_clients() {
+        let hub = MemHub::new();
+        let mut a = hub.client_transport(SessionId::new(3), codec());
+        let mut sink = hub.egress().expect("egress");
+        let frame = codec()
+            .encode_with_session(Packet::Ack(5), 0, 42, SessionId::new(3))
+            .to_vec();
+        let stranger = codec()
+            .encode_with_session(Packet::Ack(5), 0, 42, SessionId::new(99))
+            .to_vec();
+        let delivered = sink
+            .send_batch(&[(3, frame), (99, stranger)])
+            .expect("send");
+        assert_eq!(delivered, 1);
+        let got = a.poll_recv().expect("recv").expect("frame");
+        assert_eq!(got.packet, Packet::Ack(5));
+        assert_eq!(a.poll_recv().expect("recv"), None);
+    }
+
+    #[test]
+    fn client_drops_misrouted_frames() {
+        let hub = MemHub::new();
+        let mut a = hub.client_transport(SessionId::new(3), codec());
+        let mut sink = hub.egress().expect("egress");
+        // A frame whose body says session 8 pushed into client 3's inbox.
+        let lying = codec()
+            .encode_with_session(Packet::Ack(1), 0, 0, SessionId::new(8))
+            .to_vec();
+        sink.send_batch(&[(3, lying)]).expect("send");
+        assert_eq!(a.poll_recv().expect("recv"), None);
+        assert_eq!(a.local_stats().decode_errors, 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! # rstp-serve — sharded multi-session RSTP transfer server
+//!
+//! Everything below `rstp-net` drives exactly one transmitter–receiver
+//! pair: one automaton, one transport, one thread sleeping through one
+//! `[c1, c2]` schedule. This crate is the server-side answer to *many*
+//! concurrent transfers multiplexed over one socket, while preserving
+//! each session's paper semantics — per-process pacing in `[c1, c2]`,
+//! `d`-bounded delivery, and the prefix-safety obligation that every
+//! receiver output `Y` is exactly its session's input `X`.
+//!
+//! The architecture (see `docs/SERVE.md` for the full discussion):
+//!
+//! * [`wheel`] — a hierarchical timer wheel: one thread paces thousands
+//!   of session deadlines without one sleeper per session.
+//! * [`endpoint`] — object-safe wrapper over the protocol automata, so a
+//!   shard can own a heterogeneous session table (α next to β(k) next to
+//!   γ(k)) behind one trait.
+//! * [`metrics`] — per-shard and aggregate counters: active/completed
+//!   sessions, per-session effort, latency percentiles, deadline misses.
+//! * [`shard`] — the worker: a session table slice, its timer wheel, a
+//!   bounded ingress queue, and batched egress. No global lock is taken
+//!   on the data path.
+//! * [`hub`] — the loopback transport: a server inbox and per-client
+//!   inboxes, drained whole batches at a time.
+//! * [`udp`] — the same server loop over one UDP socket, demultiplexing
+//!   by the frame-v2 session id.
+//! * [`server`] — session admission, frame routing, shard lifecycle.
+//! * [`swarm`] — the M-client loopback load harness behind `rstp swarm`,
+//!   including the simulator-oracle cross-check.
+//!
+//! Frames carry their session in the wire v2 extension
+//! ([`rstp_net::FLAG_SESSION`]); single-session v1 traffic is untouched.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod endpoint;
+pub mod hub;
+pub mod metrics;
+pub mod server;
+pub mod shard;
+pub mod swarm;
+pub mod udp;
+pub mod wheel;
+
+pub use endpoint::{receiver_endpoint, SessionEndpoint, StepEffect};
+pub use hub::{HubClientTransport, MemHub};
+pub use metrics::{ServeReport, SessionStats, ShardReport};
+pub use server::{run_server, EgressSink, ServeConfig, ServeTransport, SessionSpec};
+pub use shard::ShardMsg;
+pub use swarm::{run_swarm, run_swarm_sessions, SwarmConfig, SwarmReport, SwarmTransport};
+pub use udp::{UdpServerTransport, UdpSessionClient};
+pub use wheel::TimerWheel;

@@ -1,0 +1,226 @@
+//! Per-shard and aggregate server metrics.
+//!
+//! Each shard keeps its own counters with no sharing on the data path;
+//! the server merges [`ShardReport`]s into one [`ServeReport`] when the
+//! shards join. Latency aggregation relies on
+//! [`LatencyHistogram::merge`], and the summary quantiles use the
+//! interpolated estimator so 256 sessions' worth of samples do not
+//! collapse onto power-of-two bucket edges.
+
+use rstp_core::{Message, SessionId};
+use rstp_net::LatencyHistogram;
+use std::time::Duration;
+
+/// Outcome and accounting of one completed (or failed) session.
+#[derive(Clone, Debug)]
+pub struct SessionStats {
+    /// The session's wire id.
+    pub id: SessionId,
+    /// Short protocol name (`ProtocolKind::name()`).
+    pub protocol: String,
+    /// Messages the session was expected to deliver.
+    pub n: usize,
+    /// The receiver's output sequence `Y`.
+    pub written: Vec<Message>,
+    /// Local steps this session took.
+    pub steps: u64,
+    /// Data/ack frames this session received.
+    pub recvs: u64,
+    /// Frames this session sent (acks for receiver sessions).
+    pub sends: u64,
+    /// Wall-clock tick of the last write, if any — effort numerator.
+    pub last_write_tick: Option<u64>,
+    /// Whether the session completed (grace period drained quietly after
+    /// all `n` writes).
+    pub completed: bool,
+}
+
+impl SessionStats {
+    /// Receiver-side effort in ticks per message: `t(last-write)/n`.
+    #[must_use]
+    pub fn learn_effort_ticks(&self) -> Option<f64> {
+        let last = self.last_write_tick?;
+        (self.n > 0).then(|| last as f64 / self.n as f64)
+    }
+}
+
+/// Everything one shard observed.
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Sessions admitted to this shard.
+    pub admitted: u64,
+    /// Sessions that completed all writes and drained their grace period.
+    pub completed: u64,
+    /// Sessions still open when the shard stopped.
+    pub unfinished: u64,
+    /// Wake-ups later than their deadline by more than the slack.
+    pub deadline_misses: u64,
+    /// Observed per-session step gaps outside `[c1·tick − slack, c2·tick + slack]`.
+    pub timing_violations: u64,
+    /// Frames dropped because an admitted session's ingress queue was full.
+    pub ingress_overflow: u64,
+    /// Total automaton steps across all sessions.
+    pub steps: u64,
+    /// Frames sent by this shard's sessions.
+    pub frames_sent: u64,
+    /// Frames delivered to this shard's sessions.
+    pub frames_received: u64,
+    /// Per-packet delivery latency across the shard's sessions.
+    pub latency: LatencyHistogram,
+    /// Per-session outcomes.
+    pub sessions: Vec<SessionStats>,
+}
+
+impl ShardReport {
+    /// An empty report for shard `shard`.
+    #[must_use]
+    pub fn new(shard: usize) -> Self {
+        ShardReport {
+            shard,
+            admitted: 0,
+            completed: 0,
+            unfinished: 0,
+            deadline_misses: 0,
+            timing_violations: 0,
+            ingress_overflow: 0,
+            steps: 0,
+            frames_sent: 0,
+            frames_received: 0,
+            latency: LatencyHistogram::new(),
+            sessions: Vec::new(),
+        }
+    }
+}
+
+/// The server-wide aggregate over all shards.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Per-shard reports, in shard order.
+    pub shards: Vec<ShardReport>,
+    /// Sessions rejected at admission (table full or queue full on first
+    /// contact) — backpressure's reject-new-session policy at work.
+    pub rejected_sessions: u64,
+    /// Frames that arrived for no admitted session and were dropped.
+    pub orphan_frames: u64,
+    /// Frames that failed strict decoding at the socket and were dropped.
+    pub decode_errors: u64,
+    /// Wall-clock duration of the whole run.
+    pub wall_elapsed: Duration,
+}
+
+impl ServeReport {
+    /// Total admitted sessions.
+    #[must_use]
+    pub fn admitted(&self) -> u64 {
+        self.shards.iter().map(|s| s.admitted).sum()
+    }
+
+    /// Total completed sessions.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.shards.iter().map(|s| s.completed).sum()
+    }
+
+    /// Total deadline misses.
+    #[must_use]
+    pub fn deadline_misses(&self) -> u64 {
+        self.shards.iter().map(|s| s.deadline_misses).sum()
+    }
+
+    /// Total timing violations.
+    #[must_use]
+    pub fn timing_violations(&self) -> u64 {
+        self.shards.iter().map(|s| s.timing_violations).sum()
+    }
+
+    /// Total ingress-queue overflow drops (admitted sessions only).
+    #[must_use]
+    pub fn ingress_overflow(&self) -> u64 {
+        self.shards.iter().map(|s| s.ingress_overflow).sum()
+    }
+
+    /// All shards' latency histograms merged.
+    #[must_use]
+    pub fn latency(&self) -> LatencyHistogram {
+        let mut all = LatencyHistogram::new();
+        for s in &self.shards {
+            all.merge(&s.latency);
+        }
+        all
+    }
+
+    /// Messages delivered per wall-clock second across all sessions.
+    #[must_use]
+    pub fn throughput_msgs_per_sec(&self) -> f64 {
+        let written: usize = self
+            .shards
+            .iter()
+            .flat_map(|s| s.sessions.iter())
+            .map(|s| s.written.len())
+            .sum();
+        let secs = self.wall_elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        written as f64 / secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(n: usize, last: Option<u64>) -> SessionStats {
+        SessionStats {
+            id: SessionId::new(1),
+            protocol: "beta(k=4)".into(),
+            n,
+            written: vec![true; n],
+            steps: 10,
+            recvs: 5,
+            sends: 0,
+            last_write_tick: last,
+            completed: true,
+        }
+    }
+
+    #[test]
+    fn learn_effort_divides_by_n() {
+        assert_eq!(stats(4, Some(40)).learn_effort_ticks(), Some(10.0));
+        assert_eq!(stats(4, None).learn_effort_ticks(), None);
+        assert_eq!(stats(0, Some(40)).learn_effort_ticks(), None);
+    }
+
+    #[test]
+    fn aggregate_sums_shards_and_merges_latency() {
+        let mut a = ShardReport::new(0);
+        a.admitted = 3;
+        a.completed = 3;
+        a.deadline_misses = 1;
+        a.latency.record(10);
+        a.sessions.push(stats(2, Some(8)));
+        let mut b = ShardReport::new(1);
+        b.admitted = 2;
+        b.completed = 1;
+        b.timing_violations = 2;
+        b.latency.record(1000);
+        b.sessions.push(stats(3, Some(9)));
+        let report = ServeReport {
+            shards: vec![a, b],
+            rejected_sessions: 4,
+            orphan_frames: 0,
+            decode_errors: 0,
+            wall_elapsed: Duration::from_secs(1),
+        };
+        assert_eq!(report.admitted(), 5);
+        assert_eq!(report.completed(), 4);
+        assert_eq!(report.deadline_misses(), 1);
+        assert_eq!(report.timing_violations(), 2);
+        assert_eq!(report.latency().count(), 2);
+        assert_eq!(report.latency().max_micros(), Some(1000));
+        // 2 + 3 messages written over one second.
+        assert!((report.throughput_msgs_per_sec() - 5.0).abs() < 1e-9);
+    }
+}

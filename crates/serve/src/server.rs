@@ -1,0 +1,388 @@
+//! Session admission, frame routing, and shard lifecycle.
+//!
+//! [`run_server`] is the pump: it drains the transport in batches of up
+//! to `B` datagrams per call, peels each frame's wire v2 session id, and
+//! hands the frame to the owning shard over a bounded queue. Admission
+//! is strict — a session beyond `max_sessions`, with a duplicate id, or
+//! arriving while its shard's queue is full is *rejected*, because the
+//! alternative (blocking the pump) would stall every admitted session
+//! past its `c2` window. Frames for admitted sessions likewise drop
+//! rather than block when a queue is full; the protocols already
+//! tolerate channel loss, they do not tolerate a frozen clock.
+
+use crate::metrics::{ServeReport, ShardReport};
+use crate::shard::{run_shard, ShardMsg, ShardParams};
+use rstp_core::{SessionId, TimingParams};
+use rstp_net::{decode_any, NetError, Pace, TickClock};
+use rstp_sim::ProtocolKind;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, TrySendError};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// A shard-side egress sink: ships encoded frames, addressed by raw
+/// session id, back toward their clients in batches.
+pub trait EgressSink: Send {
+    /// Sends a batch of `(session id, frame bytes)` pairs. Returns how
+    /// many were actually shipped (unroutable frames drop silently —
+    /// the sink mirrors UDP, not TCP).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError`] only for unrecoverable transport failure.
+    fn send_batch(&mut self, frames: &[(u32, Vec<u8>)]) -> Result<usize, NetError>;
+}
+
+/// The server's ingress side: a source of raw datagrams plus a factory
+/// for per-shard egress sinks.
+pub trait ServeTransport {
+    /// Drains up to `max` datagrams into `out` without blocking. Returns
+    /// how many were appended.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError`] on unrecoverable transport failure.
+    fn recv_batch(&mut self, out: &mut Vec<Vec<u8>>, max: usize) -> Result<usize, NetError>;
+
+    /// A new egress sink (one per shard, so shards never share a lock
+    /// on the send path).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError`] if the underlying socket cannot be cloned.
+    fn egress(&self) -> Result<Box<dyn EgressSink>, NetError>;
+}
+
+/// One planned transfer: the server runs this session's *receiver*.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionSpec {
+    /// Wire session id (must be unique across the run).
+    pub id: SessionId,
+    /// Protocol the session speaks.
+    pub kind: ProtocolKind,
+    /// Messages the transfer carries.
+    pub n: usize,
+}
+
+/// Configuration of a server run.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Timing parameters `(c1, c2, d)` in ticks.
+    pub params: TimingParams,
+    /// Wall-clock length of one tick.
+    pub tick: Duration,
+    /// Step pace of every server-side session within `[c1, c2]`.
+    pub pace: Pace,
+    /// Worker shard count; sessions are hashed by `id % shards`.
+    pub shards: usize,
+    /// Batch bound `B`: datagrams drained per ingress call and frames
+    /// flushed per egress call.
+    pub batch: usize,
+    /// Bound of each shard's ingress queue (frames + admissions).
+    pub queue_cap: usize,
+    /// Admission ceiling across all shards.
+    pub max_sessions: usize,
+    /// Timing tolerance for miss/violation accounting (driver-identical).
+    pub slack: Duration,
+    /// Quiet ticks a session must drain after its last write to count
+    /// as completed.
+    pub grace_ticks: u64,
+    /// Hard wall-clock cap on the whole run.
+    pub max_wall: Duration,
+}
+
+impl ServeConfig {
+    /// Defaults mirroring the single-session driver where the knobs
+    /// overlap: slow pace, slack of a quarter tick, grace of
+    /// `2·(d + c2)` ticks; plus 4 shards, batches of 32, queues of 256,
+    /// and room for 1024 sessions.
+    #[must_use]
+    pub fn new(params: TimingParams, tick: Duration) -> Self {
+        ServeConfig {
+            params,
+            tick,
+            pace: Pace::Slow,
+            shards: 4,
+            batch: 32,
+            queue_cap: 256,
+            max_sessions: 1024,
+            slack: tick / 4,
+            grace_ticks: 2 * (params.d().ticks() + params.c2().ticks()),
+            max_wall: Duration::from_secs(60),
+        }
+    }
+
+    /// Sets the shard count.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the I/O batch bound.
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Sets the per-shard ingress queue bound.
+    #[must_use]
+    pub fn with_queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = cap.max(1);
+        self
+    }
+
+    /// Sets the admission ceiling.
+    #[must_use]
+    pub fn with_max_sessions(mut self, max: usize) -> Self {
+        self.max_sessions = max;
+        self
+    }
+
+    /// Sets the pace.
+    #[must_use]
+    pub fn with_pace(mut self, pace: Pace) -> Self {
+        self.pace = pace;
+        self
+    }
+
+    /// Sets the hard wall-clock cap.
+    #[must_use]
+    pub fn with_max_wall(mut self, cap: Duration) -> Self {
+        self.max_wall = cap;
+        self
+    }
+}
+
+/// Runs the receiver side of every admitted session in `specs` over
+/// `transport` until they all complete or `max_wall` expires.
+///
+/// The caller owns the clock so client endpoints can share its epoch
+/// (latency stamps are only comparable on one epoch).
+///
+/// # Errors
+///
+/// [`NetError`] on transport failure, a shard hitting a model violation
+/// (determinism, automaton rejection), or a panicked shard thread.
+pub fn run_server<T: ServeTransport>(
+    transport: &mut T,
+    clock: TickClock,
+    specs: &[SessionSpec],
+    config: &ServeConfig,
+) -> Result<ServeReport, NetError> {
+    let shard_count = config.shards.max(1);
+    let completed = Arc::new(AtomicU64::new(0));
+
+    let mut txs = Vec::with_capacity(shard_count);
+    let mut handles = Vec::with_capacity(shard_count);
+    for index in 0..shard_count {
+        let (tx, rx) = sync_channel::<ShardMsg>(config.queue_cap.max(1));
+        let sp = ShardParams {
+            index,
+            params: config.params,
+            tick: config.tick,
+            pace: config.pace,
+            slack: config.slack,
+            grace_ticks: config.grace_ticks,
+            batch: config.batch.max(1),
+        };
+        let egress = transport.egress()?;
+        let counter = completed.clone();
+        let handle = thread::Builder::new()
+            .name(format!("rstp-serve-shard-{index}"))
+            .spawn(move || run_shard(sp, clock, rx, egress, counter))
+            .map_err(|e| NetError::Thread {
+                what: format!("spawn shard {index}: {e}"),
+            })?;
+        txs.push(tx);
+        handles.push(handle);
+    }
+
+    // Admission: strict, non-blocking. Duplicates, table overflow, and a
+    // full shard queue all reject.
+    let mut owner: HashMap<u32, usize> = HashMap::new();
+    let mut rejected: u64 = 0;
+    let mut admitted: u64 = 0;
+    for spec in specs {
+        let raw = spec.id.raw();
+        if owner.contains_key(&raw) || owner.len() >= config.max_sessions {
+            rejected += 1;
+            continue;
+        }
+        let shard = raw as usize % shard_count;
+        match txs[shard].try_send(ShardMsg::Admit(*spec)) {
+            Ok(()) => {
+                owner.insert(raw, shard);
+                admitted += 1;
+            }
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => rejected += 1,
+        }
+    }
+
+    // The pump: drain → demux → route, B datagrams at a time.
+    let mut orphan_frames: u64 = 0;
+    let mut decode_errors: u64 = 0;
+    let mut overflow = vec![0u64; shard_count];
+    let mut batch: Vec<Vec<u8>> = Vec::with_capacity(config.batch.max(1));
+    // Nap briefly when the socket is dry — but never so long that a
+    // kernel receive buffer (a few hundred datagrams on most systems)
+    // could fill behind our back at coarse ticks.
+    let idle_nap = (config.tick / 2).clamp(Duration::from_micros(50), Duration::from_micros(500));
+    let pump_result = loop {
+        if completed.load(Ordering::Relaxed) >= admitted {
+            break Ok(());
+        }
+        if clock.epoch().elapsed() > config.max_wall {
+            break Ok(());
+        }
+        batch.clear();
+        let got = match transport.recv_batch(&mut batch, config.batch.max(1)) {
+            Ok(got) => got,
+            Err(e) => break Err(e),
+        };
+        if got == 0 {
+            thread::sleep(idle_nap);
+            continue;
+        }
+        for bytes in &batch {
+            // Full strict decode before routing: the frame crosses a
+            // thread boundary, so the checksum is verified exactly once,
+            // here, rather than trusting the cheap peek.
+            let frame = match decode_any(bytes) {
+                Ok(frame) => frame,
+                Err(_) => {
+                    decode_errors += 1;
+                    continue;
+                }
+            };
+            let Some(id) = frame.session else {
+                // A v1 single-session frame has no place in a
+                // multi-session table.
+                orphan_frames += 1;
+                continue;
+            };
+            let Some(&shard) = owner.get(&id.raw()) else {
+                orphan_frames += 1;
+                continue;
+            };
+            match txs[shard].try_send(ShardMsg::Frame(id, frame)) {
+                Ok(()) => {}
+                // Backpressure: drop the frame (a channel loss the
+                // protocol tolerates) instead of stalling the pump.
+                Err(TrySendError::Full(_)) => overflow[shard] += 1,
+                // The shard died; its error surfaces at join.
+                Err(TrySendError::Disconnected(_)) => {}
+            }
+        }
+    };
+
+    // Shutdown: best-effort message, then close the queues — a shard
+    // whose queue was full still sees the hangup.
+    for tx in &txs {
+        let _ = tx.try_send(ShardMsg::Shutdown);
+    }
+    drop(txs);
+
+    let mut shards: Vec<ShardReport> = Vec::with_capacity(shard_count);
+    let mut first_err: Option<NetError> = pump_result.err();
+    for (index, handle) in handles.into_iter().enumerate() {
+        match handle.join() {
+            Ok(Ok(mut report)) => {
+                report.ingress_overflow = overflow[index];
+                shards.push(report);
+            }
+            Ok(Err(e)) => first_err = first_err.or(Some(e)),
+            Err(_) => {
+                first_err = first_err.or(Some(NetError::Thread {
+                    what: format!("shard {index} panicked"),
+                }))
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+
+    Ok(ServeReport {
+        shards,
+        rejected_sessions: rejected,
+        orphan_frames,
+        decode_errors,
+        wall_elapsed: clock.epoch().elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hub::MemHub;
+    use std::time::Instant;
+
+    fn params() -> TimingParams {
+        TimingParams::from_ticks(1, 2, 4).expect("valid")
+    }
+
+    fn spec(id: u32, n: usize) -> SessionSpec {
+        SessionSpec {
+            id: SessionId::new(id),
+            kind: ProtocolKind::Beta { k: 4 },
+            n,
+        }
+    }
+
+    fn clock(tick: Duration) -> TickClock {
+        TickClock::with_epoch(Instant::now() + Duration::from_millis(2), tick)
+    }
+
+    #[test]
+    fn empty_sessions_complete_without_any_traffic() {
+        // n = 0 receivers are done as soon as their grace period drains:
+        // the full admit → pace → complete → join path with no clients.
+        let tick = Duration::from_micros(200);
+        let mut hub = MemHub::new();
+        let cfg = ServeConfig::new(params(), tick).with_shards(2);
+        let specs: Vec<_> = (1..=6).map(|i| spec(i, 0)).collect();
+        let report = run_server(&mut hub, clock(tick), &specs, &cfg).expect("serve");
+        assert_eq!(report.admitted(), 6);
+        assert_eq!(report.completed(), 6);
+        assert_eq!(report.rejected_sessions, 0);
+        // Sessions landed on both shards.
+        assert!(report.shards.iter().all(|s| s.admitted == 3));
+    }
+
+    #[test]
+    fn duplicates_and_table_overflow_are_rejected() {
+        let tick = Duration::from_micros(200);
+        let mut hub = MemHub::new();
+        let cfg = ServeConfig::new(params(), tick)
+            .with_shards(1)
+            .with_max_sessions(2);
+        let specs = vec![spec(1, 0), spec(1, 0), spec(2, 0), spec(3, 0)];
+        let report = run_server(&mut hub, clock(tick), &specs, &cfg).expect("serve");
+        assert_eq!(report.admitted(), 2);
+        assert_eq!(report.rejected_sessions, 2);
+        assert_eq!(report.completed(), 2);
+    }
+
+    #[test]
+    fn frames_for_unadmitted_sessions_count_as_orphans() {
+        let tick = Duration::from_micros(200);
+        let mut hub = MemHub::new();
+        // Two clients whose ids the server never admitted.
+        let codec = rstp_net::WireCodec::new(rstp_net::ProtocolId::Beta, 4).expect("codec");
+        use rstp_net::Transport as _;
+        let mut ghost_a = hub.client_transport(SessionId::new(99), codec);
+        let mut ghost_b = hub.client_transport(SessionId::new(98), codec);
+        ghost_a.send(rstp_core::Packet::Data(1), 0).expect("send");
+        ghost_b.send(rstp_core::Packet::Data(0), 0).expect("send");
+        let cfg = ServeConfig::new(params(), tick)
+            .with_shards(1)
+            .with_max_wall(Duration::from_millis(500));
+        let report = run_server(&mut hub, clock(tick), &[spec(1, 0)], &cfg).expect("serve");
+        assert_eq!(report.orphan_frames, 2);
+        assert_eq!(report.completed(), 1);
+    }
+}

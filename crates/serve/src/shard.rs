@@ -1,0 +1,276 @@
+//! The shard worker: one thread, one slice of the session table, one
+//! timer wheel.
+//!
+//! A shard owns every session hashed to it — no other thread touches
+//! their automata, so the data path takes no locks. Ingress arrives on a
+//! *bounded* channel (the server drops, never blocks, when it is full:
+//! an admitted session may lose a frame, which the protocols already
+//! tolerate, but it is never stalled past its `c2` window by a slow
+//! neighbour). Pacing uses the hierarchical [`TimerWheel`] instead of
+//! one sleeping thread per session; the miss/violation accounting
+//! mirrors `rstp_net`'s single-session driver exactly, deadline by
+//! deadline, so a 256-session swarm is held to the same `[c1, c2]`
+//! standard as a lone endpoint.
+
+use crate::endpoint::{receiver_endpoint, SessionEndpoint, StepEffect};
+use crate::metrics::{SessionStats, ShardReport};
+use crate::server::{EgressSink, SessionSpec};
+use crate::wheel::TimerWheel;
+use rstp_core::{SessionId, TimingParams};
+use rstp_net::{codec_for, Frame, NetError, Pace, TickClock, WireCodec};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What the server sends a shard over its bounded ingress queue.
+pub enum ShardMsg {
+    /// Take ownership of a new session.
+    Admit(SessionSpec),
+    /// A decoded frame for a session this shard owns.
+    Frame(SessionId, Frame),
+    /// Finish up: account remaining sessions as unfinished and return.
+    Shutdown,
+}
+
+/// Static configuration a shard runs under (crate-internal; the public
+/// surface is [`crate::ServeConfig`]).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ShardParams {
+    pub index: usize,
+    pub params: TimingParams,
+    pub tick: Duration,
+    pub pace: Pace,
+    pub slack: Duration,
+    pub grace_ticks: u64,
+    pub batch: usize,
+}
+
+/// One live session owned by a shard.
+struct Live {
+    spec: SessionSpec,
+    endpoint: Box<dyn SessionEndpoint>,
+    codec: WireCodec,
+    seq: u64,
+    /// Frames delivered but not yet applied — they become `recv` inputs
+    /// at the session's next paced step, mirroring the driver's
+    /// drain-before-step ordering.
+    pending: VecDeque<Frame>,
+    prev_wake: Option<Instant>,
+    idle_streak: u64,
+    steps: u64,
+    recvs: u64,
+    sends: u64,
+    last_write_tick: Option<u64>,
+}
+
+impl Live {
+    fn into_stats(self, completed: bool) -> SessionStats {
+        SessionStats {
+            id: self.spec.id,
+            protocol: self.spec.kind.name(),
+            n: self.spec.n,
+            written: self.endpoint.written().to_vec(),
+            steps: self.steps,
+            recvs: self.recvs,
+            sends: self.sends,
+            last_write_tick: self.last_write_tick,
+            completed,
+        }
+    }
+}
+
+/// Runs one shard until it is told to shut down (or the server side of
+/// its queue disappears). Returns the shard's full report.
+pub(crate) fn run_shard(
+    sp: ShardParams,
+    clock: TickClock,
+    rx: Receiver<ShardMsg>,
+    mut egress: Box<dyn EgressSink>,
+    completed_total: Arc<AtomicU64>,
+) -> Result<ShardReport, NetError> {
+    let gap_ticks = sp.pace.gap_ticks(sp.params).max(1);
+    let tick_micros = sp.tick.as_micros().max(1) as u64;
+    let lo = (sp.tick * u32::try_from(sp.params.c1().ticks()).unwrap_or(u32::MAX))
+        .saturating_sub(sp.slack);
+    let hi = sp.tick * u32::try_from(sp.params.c2().ticks()).unwrap_or(u32::MAX) + sp.slack;
+    let idle_steps_needed = sp.grace_ticks.div_ceil(gap_ticks).max(1);
+
+    let mut report = ShardReport::new(sp.index);
+    let mut wheel: TimerWheel<usize> = TimerWheel::new();
+    let mut sessions: Vec<Option<Live>> = Vec::new();
+    let mut by_id: HashMap<u32, usize> = HashMap::new();
+    let mut due: Vec<(u64, usize)> = Vec::new();
+    let mut out_buf: Vec<(u32, Vec<u8>)> = Vec::new();
+    let now_tick = |clock: &TickClock| clock.now_micros() / tick_micros;
+
+    'run: loop {
+        // Sleep until the next deadline (or new work arrives). The
+        // channel doubles as the wake-up: one blocking point serves both
+        // ingress and pacing.
+        let timeout = match wheel.next_due() {
+            Some(t) => clock
+                .instant_of_tick(t)
+                .saturating_duration_since(Instant::now()),
+            None => sp.tick * u32::try_from(gap_ticks).unwrap_or(u32::MAX),
+        };
+        let mut first = match rx.recv_timeout(timeout) {
+            Ok(msg) => Some(msg),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => break 'run,
+        };
+        while let Some(msg) = first.take() {
+            match msg {
+                ShardMsg::Admit(spec) => {
+                    let endpoint = receiver_endpoint(spec.kind, sp.params, spec.n)?;
+                    let codec = codec_for(spec.kind)?;
+                    let live = Live {
+                        spec,
+                        endpoint,
+                        codec,
+                        seq: 0,
+                        pending: VecDeque::new(),
+                        prev_wake: None,
+                        idle_streak: 0,
+                        steps: 0,
+                        recvs: 0,
+                        sends: 0,
+                        last_write_tick: None,
+                    };
+                    let idx = match sessions.iter().position(Option::is_none) {
+                        Some(free) => {
+                            sessions[free] = Some(live);
+                            free
+                        }
+                        None => {
+                            sessions.push(Some(live));
+                            sessions.len() - 1
+                        }
+                    };
+                    by_id.insert(spec.id.raw(), idx);
+                    // First step strictly in the future, like the
+                    // driver's epoch anchor — an overdue first deadline
+                    // would book a spurious miss at admission.
+                    wheel.schedule(now_tick(&clock) + 1, idx);
+                    report.admitted += 1;
+                }
+                ShardMsg::Frame(id, frame) => {
+                    if let Some(&idx) = by_id.get(&id.raw()) {
+                        if let Some(live) = sessions[idx].as_mut() {
+                            live.pending.push_back(frame);
+                        }
+                    }
+                    // Unknown id: trailing traffic for a session that
+                    // already completed. Dropped, like the driver
+                    // ignoring frames after its grace period.
+                }
+                ShardMsg::Shutdown => break 'run,
+            }
+            first = rx.try_recv().ok();
+        }
+
+        // Fire every deadline up to now.
+        wheel.advance(now_tick(&clock), &mut due);
+        for (due_tick, idx) in due.drain(..) {
+            let Some(live) = sessions[idx].as_mut() else {
+                continue;
+            };
+
+            // Accounting identical to the single-session driver: a late
+            // wake is one deadline miss and poisons the adjacent gap
+            // measurements; a punctual wake's distance from the previous
+            // punctual wake must sit inside [c1·tick − slack, c2·tick + slack].
+            let wake = Instant::now();
+            let overshoot = wake.saturating_duration_since(clock.instant_of_tick(due_tick));
+            let late = overshoot > sp.slack;
+            if late {
+                report.deadline_misses += 1;
+            } else if let Some(prev) = live.prev_wake {
+                let observed = wake.saturating_duration_since(prev);
+                if observed < lo || observed > hi {
+                    report.timing_violations += 1;
+                }
+            }
+            live.prev_wake = (!late).then_some(wake);
+
+            // Drain delivered frames as recv inputs before the local
+            // step (inputs are channel outputs, not clocked).
+            let received_any = !live.pending.is_empty();
+            while let Some(frame) = live.pending.pop_front() {
+                live.endpoint.apply_recv(frame.packet)?;
+                report
+                    .latency
+                    .record(clock.now_micros().saturating_sub(frame.sent_at_micros));
+                live.recvs += 1;
+                report.frames_received += 1;
+            }
+
+            // The unique enabled local action.
+            let effect = live.endpoint.step()?;
+            if effect != StepEffect::Quiescent {
+                live.steps += 1;
+                report.steps += 1;
+            }
+            let mut productive = received_any;
+            match effect {
+                StepEffect::Sent(p) => {
+                    let stamp = clock.now_micros();
+                    let bytes = live
+                        .codec
+                        .encode_with_session(p, live.seq, stamp, live.spec.id);
+                    live.seq += 1;
+                    out_buf.push((live.spec.id.raw(), bytes.to_vec()));
+                    live.sends += 1;
+                    productive = true;
+                }
+                StepEffect::Wrote(_) => {
+                    live.last_write_tick = Some(due_tick);
+                    productive = true;
+                }
+                StepEffect::Waited => productive = true,
+                StepEffect::Idled | StepEffect::Quiescent => {}
+            }
+
+            // Completion: all writes in and a full grace period of quiet.
+            let writes_done = live.endpoint.written().len() >= live.spec.n;
+            if productive || !writes_done {
+                live.idle_streak = 0;
+            } else {
+                live.idle_streak += 1;
+                if live.idle_streak >= idle_steps_needed {
+                    let done = sessions[idx].take().expect("session present");
+                    by_id.remove(&done.spec.id.raw());
+                    report.completed += 1;
+                    report.sessions.push(done.into_stats(true));
+                    completed_total.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
+
+            // Reschedule; after a stall longer than a whole gap,
+            // re-anchor from now rather than replaying missed deadlines
+            // back-to-back faster than c1.
+            let mut next = due_tick + gap_ticks;
+            let now = now_tick(&clock);
+            if now > next + gap_ticks {
+                next = now;
+                live.prev_wake = None;
+            }
+            wheel.schedule(next, idx);
+        }
+
+        // Flush egress in batches of B frames per call.
+        for chunk in out_buf.chunks(sp.batch.max(1)) {
+            report.frames_sent += egress.send_batch(chunk)? as u64;
+        }
+        out_buf.clear();
+    }
+
+    // Account whatever is still open.
+    for slot in sessions.into_iter().flatten() {
+        report.unfinished += 1;
+        report.sessions.push(slot.into_stats(false));
+    }
+    Ok(report)
+}

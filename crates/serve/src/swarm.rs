@@ -1,0 +1,488 @@
+//! The M-client loopback load harness behind `rstp swarm`.
+//!
+//! One server process (sharded, timer-wheel paced) runs the receiver of
+//! every session; M client threads each run the ordinary single-session
+//! transmitter driver over its own [`Transport`] endpoint, all sharing
+//! one clock epoch so latency stamps are comparable. After the run the
+//! harness verifies the paper's correctness obligation end to end —
+//! every receiver output `Y` must equal its session's input `X` — and
+//! cross-checks a sample of sessions against the simulator oracle
+//! (`rstp_sim::harness::expected_output`), so the wall-clock stack is
+//! held to the same answer as the discrete-time model.
+
+use crate::hub::MemHub;
+use crate::metrics::ServeReport;
+use crate::server::{run_server, ServeConfig, SessionSpec};
+use crate::udp::{UdpServerTransport, UdpSessionClient};
+use rstp_core::{Message, SessionId, TimingParams};
+use rstp_net::{
+    codec_for, run_transmitter, DriverConfig, DriverOutcome, DriverReport, NetError, Pace,
+    TickClock, Transport,
+};
+use rstp_sim::harness::{expected_output, random_input};
+use rstp_sim::ProtocolKind;
+use std::collections::HashMap;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Which fabric carries the swarm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SwarmTransport {
+    /// In-process loopback ([`MemHub`]): lossless, no syscalls.
+    Mem,
+    /// One shared UDP socket on 127.0.0.1: real datagrams, real drops.
+    Udp,
+}
+
+/// Configuration of a uniform swarm (same protocol and `n` everywhere;
+/// [`run_swarm_sessions`] takes an explicit mixed plan instead).
+#[derive(Clone, Copy, Debug)]
+pub struct SwarmConfig {
+    /// Server-side configuration (shards, batching, pacing, caps).
+    pub serve: ServeConfig,
+    /// Concurrent sessions `M`.
+    pub sessions: usize,
+    /// Protocol every session speaks.
+    pub kind: ProtocolKind,
+    /// Messages per session.
+    pub n: usize,
+    /// Seed for the per-session pseudorandom inputs.
+    pub seed: u64,
+    /// Fabric to run over.
+    pub transport: SwarmTransport,
+    /// How many sessions to cross-check against the simulator oracle.
+    pub oracle_sample: usize,
+}
+
+impl SwarmConfig {
+    /// A swarm of `sessions` × `kind` transfers of `n` messages each,
+    /// over the loopback hub, with server defaults sized to admit them
+    /// all.
+    #[must_use]
+    pub fn new(
+        kind: ProtocolKind,
+        n: usize,
+        sessions: usize,
+        params: TimingParams,
+        tick: Duration,
+    ) -> Self {
+        // Queue bound sized to the offered load: on an oversubscribed
+        // box the shards can lag the clients by entire bursts, and a
+        // drop kills an open-loop session (β sends each symbol exactly
+        // k times — lose all k and the receiver stalls forever). The
+        // bound still exists; the load harness just provisions it, as a
+        // deployment would. The dedicated backpressure tests shrink it
+        // on purpose.
+        let queue_cap = (sessions.saturating_mul(32)).max(256);
+        SwarmConfig {
+            serve: ServeConfig::new(params, tick)
+                .with_max_sessions(sessions.max(1))
+                .with_queue_cap(queue_cap),
+            sessions,
+            kind,
+            n,
+            seed: 1,
+            transport: SwarmTransport::Mem,
+            oracle_sample: 2,
+        }
+    }
+}
+
+/// Everything a swarm run observed, server and client side.
+#[derive(Clone, Debug)]
+pub struct SwarmReport {
+    /// The server's aggregate report.
+    pub serve: ServeReport,
+    /// Sessions the plan asked for.
+    pub planned: usize,
+    /// Deadline misses across all client drivers.
+    pub client_deadline_misses: u64,
+    /// Timing violations across all client drivers.
+    pub client_timing_violations: u64,
+    /// Ids of clients whose driver hit its wall-clock cap.
+    pub clients_timed_out: Vec<u32>,
+    /// Ids whose receiver output `Y` differs from the input `X` — any
+    /// entry here is a safety violation.
+    pub mismatched: Vec<u32>,
+    /// Ids admitted but not completed when the server stopped.
+    pub incomplete: Vec<u32>,
+    /// Sessions cross-checked against the simulator oracle.
+    pub oracle_checked: usize,
+    /// Ids where the wall-clock output diverged from the oracle's.
+    pub oracle_mismatched: Vec<u32>,
+}
+
+impl SwarmReport {
+    /// `true` iff every planned session was admitted, completed, matched
+    /// its input exactly, and agreed with the simulator oracle.
+    #[must_use]
+    pub fn all_good(&self) -> bool {
+        self.serve.rejected_sessions == 0
+            && self.mismatched.is_empty()
+            && self.incomplete.is_empty()
+            && self.clients_timed_out.is_empty()
+            && self.oracle_mismatched.is_empty()
+    }
+
+    /// The human-readable summary table `rstp swarm` prints.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let lat = self.serve.latency();
+        let q = |p: f64| {
+            lat.quantile_interp_micros(p)
+                .map_or_else(|| "-".into(), |v| format!("{v:.0}µs"))
+        };
+        let _ = writeln!(
+            out,
+            "sessions  : {} planned, {} admitted, {} completed, {} rejected",
+            self.planned,
+            self.serve.admitted(),
+            self.serve.completed(),
+            self.serve.rejected_sessions
+        );
+        let _ = writeln!(
+            out,
+            "wall      : {:.3}s, {:.0} msg/s aggregate",
+            self.serve.wall_elapsed.as_secs_f64(),
+            self.serve.throughput_msgs_per_sec()
+        );
+        let _ = writeln!(
+            out,
+            "latency   : p50 {} p99 {} max {} ({} samples)",
+            q(0.50),
+            q(0.99),
+            lat.max_micros()
+                .map_or_else(|| "-".into(), |v| format!("{v}µs")),
+            lat.count()
+        );
+        let _ = writeln!(
+            out,
+            "deadlines : misses {} server / {} clients, violations {} server / {} clients",
+            self.serve.deadline_misses(),
+            self.client_deadline_misses,
+            self.serve.timing_violations(),
+            self.client_timing_violations
+        );
+        let _ = writeln!(
+            out,
+            "drops     : {} ingress overflow, {} orphan frames, {} decode errors",
+            self.serve.ingress_overflow(),
+            self.serve.orphan_frames,
+            self.serve.decode_errors
+        );
+        for s in &self.serve.shards {
+            let _ = writeln!(
+                out,
+                "  shard {:>2}: {:>4} admitted, {:>4} completed, {:>8} steps, \
+                 {:>4} misses, {:>4} violations, {:>4} drops",
+                s.shard,
+                s.admitted,
+                s.completed,
+                s.steps,
+                s.deadline_misses,
+                s.timing_violations,
+                s.ingress_overflow
+            );
+        }
+        if self.oracle_checked > 0 {
+            let _ = writeln!(
+                out,
+                "oracle    : {} sessions cross-checked against the simulator, {} diverged",
+                self.oracle_checked,
+                self.oracle_mismatched.len()
+            );
+        }
+        if !self.mismatched.is_empty() {
+            let _ = writeln!(out, "MISMATCHED: {:?}", self.mismatched);
+        }
+        if !self.incomplete.is_empty() {
+            let _ = writeln!(out, "INCOMPLETE: {:?}", self.incomplete);
+        }
+        if !self.clients_timed_out.is_empty() {
+            let _ = writeln!(out, "TIMED OUT : {:?}", self.clients_timed_out);
+        }
+        out
+    }
+}
+
+/// Runs a uniform swarm per `config`, including the simulator-oracle
+/// cross-check on the first `oracle_sample` sessions.
+///
+/// # Errors
+///
+/// [`NetError`] on transport failure, a model violation on either side,
+/// or a panicked thread. (A session merely failing to complete or to
+/// match its input is a *finding*, reported in the [`SwarmReport`], not
+/// an `Err`.)
+pub fn run_swarm(config: &SwarmConfig) -> Result<SwarmReport, NetError> {
+    let sessions: Vec<(SessionSpec, Vec<Message>)> = (0..config.sessions)
+        .map(|i| {
+            let spec = SessionSpec {
+                id: SessionId::new(u32::try_from(i).unwrap_or(u32::MAX).wrapping_add(1)),
+                kind: config.kind,
+                n: config.n,
+            };
+            let input = random_input(config.n, config.seed.wrapping_add(i as u64));
+            (spec, input)
+        })
+        .collect();
+    let mut report = run_swarm_sessions(&sessions, &config.serve, config.transport)?;
+
+    // Independent oracle: the simulator (with its checker enabled) must
+    // produce the same output the wall-clock stack did.
+    let written: HashMap<u32, &[Message]> = report
+        .serve
+        .shards
+        .iter()
+        .flat_map(|s| s.sessions.iter())
+        .map(|s| (s.id.raw(), s.written.as_slice()))
+        .collect();
+    for (spec, input) in sessions.iter().take(config.oracle_sample) {
+        let expected = expected_output(config.kind, config.serve.params, input).map_err(|e| {
+            NetError::Automaton {
+                what: format!("sim oracle: {e}"),
+            }
+        })?;
+        report.oracle_checked += 1;
+        if written.get(&spec.id.raw()).copied() != Some(expected.as_slice()) {
+            report.oracle_mismatched.push(spec.id.raw());
+        }
+    }
+    Ok(report)
+}
+
+/// Runs an explicit (possibly mixed-protocol, mixed-`n`) session plan:
+/// each `(spec, input)` pair becomes one client thread transmitting
+/// `input` while the server runs the matching receiver.
+///
+/// # Errors
+///
+/// [`NetError`] as for [`run_swarm`].
+pub fn run_swarm_sessions(
+    sessions: &[(SessionSpec, Vec<Message>)],
+    serve: &ServeConfig,
+    transport: SwarmTransport,
+) -> Result<SwarmReport, NetError> {
+    // Anchor tick 0 far enough ahead that every client thread exists
+    // before its first deadline (spawning M threads takes real time).
+    let headroom = Duration::from_millis(20)
+        + Duration::from_micros(100) * u32::try_from(sessions.len()).unwrap_or(u32::MAX);
+    let clock = TickClock::with_epoch(Instant::now() + headroom, serve.tick);
+    let base = DriverConfig::new(serve.params, serve.tick)
+        .with_pace(serve.pace)
+        .with_max_wall(serve.max_wall);
+    let specs: Vec<SessionSpec> = sessions.iter().map(|(s, _)| *s).collect();
+
+    let (serve_report, clients) = match transport {
+        SwarmTransport::Mem => {
+            let mut hub = MemHub::new();
+            let mut ends = Vec::with_capacity(sessions.len());
+            for (spec, input) in sessions {
+                let end = hub.client_transport(spec.id, codec_for(spec.kind)?);
+                ends.push((*spec, input.clone(), end));
+            }
+            let spawner = spawn_clients_async(ends, clock, base)?;
+            let report = run_server(&mut hub, clock, &specs, serve)?;
+            (report, join_clients(join_spawner(spawner)?)?)
+        }
+        SwarmTransport::Udp => {
+            let mut server = UdpServerTransport::bind(("127.0.0.1", 0))?;
+            let addr = server.local_addr()?;
+            let mut ends = Vec::with_capacity(sessions.len());
+            for (spec, input) in sessions {
+                let end = UdpSessionClient::connect(addr, spec.id, codec_for(spec.kind)?)?;
+                ends.push((*spec, input.clone(), end));
+            }
+            let spawner = spawn_clients_async(ends, clock, base)?;
+            let report = run_server(&mut server, clock, &specs, serve)?;
+            (report, join_clients(join_spawner(spawner)?)?)
+        }
+    };
+
+    // Verify the safety obligation per session: Y == X exactly.
+    let inputs: HashMap<u32, &[Message]> = sessions
+        .iter()
+        .map(|(s, x)| (s.id.raw(), x.as_slice()))
+        .collect();
+    let mut mismatched = Vec::new();
+    let mut incomplete = Vec::new();
+    for stats in serve_report.shards.iter().flat_map(|s| s.sessions.iter()) {
+        if !stats.completed {
+            incomplete.push(stats.id.raw());
+        }
+        if inputs.get(&stats.id.raw()).copied() != Some(stats.written.as_slice()) {
+            mismatched.push(stats.id.raw());
+        }
+    }
+    mismatched.sort_unstable();
+    incomplete.sort_unstable();
+
+    let mut client_deadline_misses = 0;
+    let mut client_timing_violations = 0;
+    let mut clients_timed_out = Vec::new();
+    for (spec, report) in specs.iter().zip(&clients) {
+        client_deadline_misses += report.deadline_misses;
+        client_timing_violations += report.timing_violations;
+        if report.outcome == DriverOutcome::TimedOut {
+            clients_timed_out.push(spec.id.raw());
+        }
+    }
+
+    Ok(SwarmReport {
+        serve: serve_report,
+        planned: sessions.len(),
+        client_deadline_misses,
+        client_timing_violations,
+        clients_timed_out,
+        mismatched,
+        incomplete,
+        oracle_checked: 0,
+        oracle_mismatched: Vec::new(),
+    })
+}
+
+type ClientHandles = Vec<JoinHandle<Result<DriverReport, NetError>>>;
+
+/// Spawns the client threads from a helper thread so the caller can
+/// start the server pump *immediately*. Spawning hundreds of threads
+/// takes real time; if the clients were all spawned before the pump ran,
+/// their first sends could overrun a kernel socket buffer with nobody
+/// draining it — a correlated loss of every session's first symbol.
+fn spawn_clients_async<T: Transport + Send + 'static>(
+    ends: Vec<(SessionSpec, Vec<Message>, T)>,
+    clock: TickClock,
+    base: DriverConfig,
+) -> Result<JoinHandle<Result<ClientHandles, NetError>>, NetError> {
+    thread::Builder::new()
+        .name("rstp-swarm-spawner".into())
+        .spawn(move || spawn_clients(ends, clock, base))
+        .map_err(|e| NetError::Thread {
+            what: format!("spawn client spawner: {e}"),
+        })
+}
+
+fn join_spawner(
+    spawner: JoinHandle<Result<ClientHandles, NetError>>,
+) -> Result<ClientHandles, NetError> {
+    spawner.join().map_err(|_| NetError::Thread {
+        what: "swarm client spawner panicked".into(),
+    })?
+}
+
+/// At most this many clients are in their send phase at once; later
+/// clients start whole waves later (see [`spawn_clients`]).
+const WAVE: usize = 64;
+
+fn spawn_clients<T: Transport + Send + 'static>(
+    ends: Vec<(SessionSpec, Vec<Message>, T)>,
+    clock: TickClock,
+    base: DriverConfig,
+) -> Result<ClientHandles, NetError> {
+    // Client arrivals are ramped, in two tiers. Within a wave of WAVE
+    // clients, epochs spread across one step window: a shared epoch
+    // would send the whole wave's datagrams as one synchronized impulse
+    // per step. Successive waves start a conservatively overestimated
+    // transfer duration apart, so at most ~WAVE clients are in their
+    // send phase at once. Both tiers exist for the same reason: a
+    // default kernel UDP receive buffer holds only a few hundred
+    // datagrams, and on a small host the scheduler can hold the pump
+    // off for tens of milliseconds — 256 concurrent senders overrun the
+    // buffer in that gap, and losing all k copies of a symbol stalls an
+    // open-loop session forever. The ramp shapes client arrivals only;
+    // the server admits every session up front and paces all of their
+    // receivers on the wheel for the whole run.
+    let p = base.params;
+    let gap_ticks = match base.pace {
+        Pace::Fast => p.c1().ticks(),
+        Pace::Slow => p.c2().ticks(),
+    };
+    // One worst-case delivery + ack round, in ticks.
+    let round = p.c2().ticks() + p.d().ticks();
+    let n_max = ends
+        .iter()
+        .map(|(s, _, _)| u64::try_from(s.n).unwrap_or(u64::MAX))
+        .max()
+        .unwrap_or(0);
+    // Upper bound on one transfer: every message costs at most two send
+    // steps plus a round trip (covers ack-clocked gamma), plus the
+    // driver's terminal idle streak. A ramp estimate, not a correctness
+    // bound — overshooting only stretches the run.
+    let span_ticks = n_max
+        .saturating_mul(2 * gap_ticks + round)
+        .saturating_add(4 * round);
+    let wave_span = clock.tick() * u32::try_from(span_ticks).unwrap_or(u32::MAX);
+    let window = clock.tick() * u32::try_from(p.c2().ticks()).unwrap_or(u32::MAX);
+    let in_wave = u32::try_from(ends.len().min(WAVE))
+        .unwrap_or(u32::MAX)
+        .max(1);
+    let mut handles = Vec::with_capacity(ends.len());
+    for (i, (spec, input, mut end)) in ends.into_iter().enumerate() {
+        let wave = u32::try_from(i / WAVE).unwrap_or(u32::MAX);
+        let jitter = window * u32::try_from(i % WAVE).unwrap_or(u32::MAX) / in_wave;
+        let offset = wave_span * wave + jitter;
+        let clock = TickClock::with_epoch(clock.epoch() + offset, clock.tick());
+        let params = base.params;
+        let handle = thread::Builder::new()
+            .name(format!("rstp-swarm-client-{}", spec.id))
+            .spawn(move || run_transmitter(spec.kind, params, &input, &mut end, clock, &base))
+            .map_err(|e| NetError::Thread {
+                what: format!("spawn client {}: {e}", spec.id),
+            })?;
+        handles.push(handle);
+    }
+    Ok(handles)
+}
+
+fn join_clients(handles: ClientHandles) -> Result<Vec<DriverReport>, NetError> {
+    handles
+        .into_iter()
+        .map(|h| {
+            h.join().map_err(|_| NetError::Thread {
+                what: "swarm client panicked".into(),
+            })?
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_mem_swarm_reproduces_every_input() {
+        let params = TimingParams::from_ticks(1, 2, 4).expect("valid");
+        let config = SwarmConfig::new(
+            ProtocolKind::Beta { k: 4 },
+            16,
+            8,
+            params,
+            Duration::from_micros(200),
+        );
+        let report = run_swarm(&config).expect("swarm");
+        assert!(report.all_good(), "{}", report.summary());
+        assert_eq!(report.serve.completed(), 8);
+        assert_eq!(report.oracle_checked, 2);
+        assert!(report.serve.latency().count() > 0);
+    }
+
+    #[test]
+    fn summary_renders_every_section() {
+        let params = TimingParams::from_ticks(1, 2, 4).expect("valid");
+        let mut config = SwarmConfig::new(
+            ProtocolKind::Gamma { k: 4 },
+            8,
+            4,
+            params,
+            Duration::from_micros(200),
+        );
+        config.oracle_sample = 1;
+        let report = run_swarm(&config).expect("swarm");
+        let text = report.summary();
+        assert!(text.contains("sessions  :"), "{text}");
+        assert!(text.contains("latency   :"), "{text}");
+        assert!(text.contains("shard"), "{text}");
+        assert!(text.contains("oracle    :"), "{text}");
+    }
+}

@@ -348,6 +348,35 @@ pub fn random_input(n: usize, seed: u64) -> Vec<Message> {
     (0..n).map(|_| rng.gen_bool(0.5)).collect()
 }
 
+/// The simulator-oracle output for `kind` carrying `input`: the receiver's
+/// write sequence `Y` under the default all-slow / max-delay schedule,
+/// checker-verified. Real transports (`rstp-net`, `rstp-serve`) compare
+/// their outputs against this to indict the stack rather than the input —
+/// for a correct protocol it must equal `input` exactly.
+///
+/// # Errors
+///
+/// [`HarnessError`] on construction failure, model violation, or a trace
+/// the checker rejects.
+pub fn expected_output(
+    kind: ProtocolKind,
+    params: TimingParams,
+    input: &[Message],
+) -> Result<Vec<Message>, HarnessError> {
+    let cfg = RunConfig {
+        kind,
+        params,
+        ..RunConfig::default()
+    };
+    let out = run_configured(&cfg, input)?;
+    if !out.report.all_good() {
+        return Err(HarnessError::Sim(SimError::Channel {
+            what: format!("oracle trace failed checking: {}", out.report),
+        }));
+    }
+    Ok(out.trace.written())
+}
+
 /// The worst effort sample found over the full adversary sweep.
 #[derive(Clone, Copy, Debug)]
 pub struct EffortSample {

@@ -69,7 +69,9 @@ pub mod trace;
 
 pub use adversary::{DeliveryAdversary, DeliveryPolicy, StepAdversary, StepPolicy};
 pub use checker::{CheckReport, Violation};
-pub use harness::{run_configured, run_with_adversaries, ProtocolKind, RunConfig, RunOutput};
+pub use harness::{
+    expected_output, run_configured, run_with_adversaries, ProtocolKind, RunConfig, RunOutput,
+};
 pub use metrics::RunMetrics;
 pub use replay::{replay_trace, Replay, ReplayError};
 pub use runner::{Outcome, SimError, Simulation};
