@@ -1,0 +1,372 @@
+//! A lightweight Rust lexer: just enough token structure for invariant
+//! lints and lock-order extraction, with zero dependencies.
+//!
+//! The lexer's contract is *robustness before fidelity*: any byte
+//! sequence — malformed UTF-8 run through a lossy decode, truncated
+//! string literals, unbalanced comment markers — produces a token list
+//! without panicking. Comments (line, doc, nested block) are discarded;
+//! string/char literals become single opaque tokens so identifier scans
+//! can never match text inside them; lifetimes are distinguished from
+//! character literals the way rustc does (by looking one character
+//! past the quote).
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `Instant`, `unwrap`, ...).
+    Ident,
+    /// A lifetime such as `'a` (kept distinct so `'a` never reads as an
+    /// unterminated char literal).
+    Lifetime,
+    /// A numeric literal (integer or float, any base, suffix included).
+    Number,
+    /// A string, raw-string, byte-string, or char literal (opaque).
+    Literal,
+    /// Any other single non-whitespace character.
+    Punct(char),
+}
+
+/// One lexeme with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The kind of lexeme.
+    pub kind: TokenKind,
+    /// The lexeme text (empty for [`TokenKind::Literal`] bodies is fine;
+    /// literals keep their text only for diagnostics).
+    pub text: String,
+    /// 1-based line the lexeme starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when the token is the identifier `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True when the token is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// Lexes `src` into tokens. Never panics, for any input.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char, counting newlines.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(line),
+                'r' | 'b' if self.raw_or_byte_literal(line) => {}
+                '\'' => self.char_or_lifetime(line),
+                _ if is_ident_start(c) => self.ident(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct(c), c.to_string(), line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn line_comment(&mut self) {
+        while let Some(c) = self.bump() {
+            if c == '\n' {
+                break;
+            }
+        }
+    }
+
+    /// Nested block comment; an unterminated comment consumes to EOF.
+    fn block_comment(&mut self) {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => return,
+            }
+        }
+    }
+
+    /// An ordinary `"..."` string with `\` escapes; unterminated
+    /// consumes to EOF.
+    fn string_literal(&mut self, line: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Literal, String::new(), line);
+    }
+
+    /// Handles `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'`.
+    /// Returns false (consuming nothing) when the `r`/`b` is just the
+    /// start of an identifier.
+    fn raw_or_byte_literal(&mut self, line: u32) -> bool {
+        let mut ahead = 1; // past the leading r/b
+        if self.peek(0) == Some('b') && self.peek(1) == Some('r') {
+            ahead = 2;
+        }
+        if self.peek(0) == Some('b') && self.peek(ahead) == Some('\'') {
+            // Byte char literal b'x'.
+            self.bump(); // b
+            self.char_or_lifetime(line);
+            return true;
+        }
+        let mut hashes = 0usize;
+        while self.peek(ahead + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(ahead + hashes) != Some('"') {
+            return false; // an identifier like `recv` or `break_even`
+        }
+        if hashes > 0 || self.peek(ahead - 1) == Some('r') || ahead == 2 {
+            // Raw string: consume prefix, hashes, and opening quote, then
+            // scan for `"` followed by the same number of hashes.
+            for _ in 0..=(ahead + hashes) {
+                self.bump();
+            }
+            'scan: while let Some(c) = self.bump() {
+                if c == '"' {
+                    for h in 0..hashes {
+                        if self.peek(h) != Some('#') {
+                            continue 'scan;
+                        }
+                    }
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            self.push(TokenKind::Literal, String::new(), line);
+            return true;
+        }
+        // b"..." — ordinary escaping rules.
+        self.bump(); // b
+        self.string_literal(line);
+        true
+    }
+
+    /// Distinguishes `'a` (lifetime) from `'x'` / `'\n'` (char literal)
+    /// by looking one character past the quote, like rustc.
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // opening quote
+        match (self.peek(0), self.peek(1)) {
+            // `'a` not followed by a closing quote is a lifetime.
+            (Some(c), next) if is_ident_start(c) && next != Some('\'') => {
+                let mut name = String::from("'");
+                while let Some(c) = self.peek(0) {
+                    if is_ident_continue(c) {
+                        name.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Lifetime, name, line);
+            }
+            // A char literal; `\` starts an escape of arbitrary length
+            // (`'\u{1F600}'`), so scan to the closing quote with a cap.
+            _ => {
+                let mut escaped = false;
+                for _ in 0..16 {
+                    match self.bump() {
+                        Some('\\') if !escaped => escaped = true,
+                        Some('\'') if !escaped => break,
+                        Some(_) => escaped = false,
+                        None => break,
+                    }
+                }
+                self.push(TokenKind::Literal, String::new(), line);
+            }
+        }
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    /// Numeric literal: digits, `_`, base prefixes, exponent letters,
+    /// and type suffixes all roll into one token. `1.0` keeps its dot
+    /// only when the next char is a digit (so `x.0` field access and
+    /// `0..n` ranges stay punctuation).
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            let in_number = c.is_ascii_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()));
+            if in_number {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, text, line);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let src = "a // Instant::now()\n/* unwrap() /* nested */ still comment */ b";
+        assert_eq!(idents(src), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let src = r#"let x = "Instant::now() unwrap()"; y"#;
+        assert_eq!(idents(src), vec!["let", "x", "y"]);
+    }
+
+    #[test]
+    fn raw_strings_are_opaque() {
+        let src = r###"let x = r#"unwrap() " still "#; y"###;
+        assert_eq!(idents(src), vec!["let", "x", "y"]);
+        let src = "let z = r\"unwrap()\"; w";
+        assert_eq!(idents(src), vec!["let", "z", "w"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.text == "'a"));
+        let literals = toks.iter().filter(|t| t.kind == TokenKind::Literal).count();
+        assert_eq!(literals, 2);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_comments_and_strings() {
+        let src = "a\n/* two\nlines */\nb \"str\nwith newline\" c";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1); // a
+        assert_eq!(toks[1].line, 4); // b
+        assert_eq!(toks[3].line, 5); // c (string spans lines 4-5)
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_panic() {
+        for src in ["\"abc", "/* abc", "r#\"abc", "'", "'\\", "b\"x", "br##\"y"] {
+            let _ = lex(src);
+        }
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = lex("0..36 1_000u64 1.5e3 x.0");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["0", "36", "1_000u64", "1.5e3", "0"]);
+    }
+
+    #[test]
+    fn byte_literals() {
+        assert_eq!(
+            idents("let x = b'q'; let y = b\"bytes\"; z"),
+            vec!["let", "x", "let", "y", "z"]
+        );
+    }
+}

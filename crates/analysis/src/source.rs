@@ -1,0 +1,224 @@
+//! A lexed source file plus the classification lints need: which token
+//! ranges are test code (`#[cfg(test)]` modules, `#[test]` functions),
+//! so deny-by-default rules can exempt tests without a full parse.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// A lexed file with its workspace-relative path and test-region map.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// `in_test[i]` is true when token `i` lies inside test-only code.
+    pub in_test: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Lexes `text` and classifies test regions.
+    #[must_use]
+    pub fn new(path: &str, text: &str) -> Self {
+        let tokens = lex(text);
+        let in_test = mark_test_regions(&tokens);
+        SourceFile {
+            path: path.to_string(),
+            tokens,
+            in_test,
+        }
+    }
+
+    /// Iterator of `(index, token)` for non-test tokens.
+    pub fn code_tokens(&self) -> impl Iterator<Item = (usize, &Token)> {
+        self.tokens
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.in_test[*i])
+    }
+}
+
+/// Marks every token inside a `#[cfg(test)] mod { ... }` or a
+/// `#[test]`/`#[cfg(test)]`-attributed `fn { ... }` as test code.
+///
+/// The approximation is brace matching from the item's opening `{`; it
+/// does not understand macros that *generate* items, which is fine for
+/// the lint engine's deny-by-default posture (generated test code would
+/// at worst be linted, never silently exempted).
+fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct('#') && matches!(tokens.get(i + 1), Some(t) if t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute's bracket span and decide whether it gates
+        // test code: `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ...))]`.
+        // `#[cfg(not(test))]` and `#[cfg_attr(...)]` gate *non*-test code
+        // and must not mark anything.
+        let attr_start = i;
+        let mut depth = 0usize;
+        let mut saw_test = false;
+        let mut saw_not = false;
+        let mut j = i + 1;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct('[') || t.is_punct('(') {
+                depth += 1;
+            } else if t.is_punct(']') || t.is_punct(')') {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    break;
+                }
+            } else if t.is_ident("test") {
+                saw_test = true;
+            } else if t.is_ident("not") || t.is_ident("cfg_attr") {
+                saw_not = true;
+            }
+            j += 1;
+        }
+        let attr_end = j; // index of the closing `]` (or EOF)
+        let is_cfg_or_bare_test = tokens
+            .get(attr_start + 2)
+            .is_some_and(|t| t.is_ident("cfg") || t.is_ident("test"));
+        let saw_test = saw_test && !saw_not && is_cfg_or_bare_test;
+        if !saw_test {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes between this one and the item.
+        let mut k = attr_end + 1;
+        while k < tokens.len() && tokens[k].is_punct('#') {
+            let mut d = 0usize;
+            k += 1;
+            while k < tokens.len() {
+                let t = &tokens[k];
+                if t.is_punct('[') {
+                    d += 1;
+                } else if t.is_punct(']') {
+                    d -= 1;
+                    if d == 0 {
+                        k += 1;
+                        break;
+                    }
+                }
+                k += 1;
+            }
+        }
+        // The attributed item: mark from here to the end of its braced
+        // body (or its `;` for `mod name;` declarations).
+        let item_start = k;
+        let mut brace_depth = 0usize;
+        let mut entered = false;
+        while k < tokens.len() {
+            let t = &tokens[k];
+            if t.is_punct('{') {
+                brace_depth += 1;
+                entered = true;
+            } else if t.is_punct('}') {
+                brace_depth = brace_depth.saturating_sub(1);
+                if entered && brace_depth == 0 {
+                    break;
+                }
+            } else if t.is_punct(';') && !entered {
+                break;
+            }
+            k += 1;
+        }
+        for slot in in_test
+            .iter_mut()
+            .take((k + 1).min(tokens.len()))
+            .skip(attr_start)
+        {
+            *slot = true;
+        }
+        i = k.max(item_start) + 1;
+    }
+    in_test
+}
+
+/// Convenience for rules: true when `tokens[i..]` starts with the exact
+/// identifier/punct sequence in `pattern`, where each pattern element is
+/// either an identifier string or a single punctuation char.
+#[must_use]
+pub fn matches_seq(tokens: &[Token], i: usize, pattern: &[Pat<'_>]) -> bool {
+    pattern.iter().enumerate().all(|(off, p)| {
+        tokens.get(i + off).is_some_and(|t| match p {
+            Pat::Id(s) => t.is_ident(s),
+            Pat::P(c) => t.is_punct(*c),
+            Pat::AnyIdent => t.kind == TokenKind::Ident,
+        })
+    })
+}
+
+/// One element of a [`matches_seq`] pattern.
+pub enum Pat<'a> {
+    /// An exact identifier.
+    Id(&'a str),
+    /// A punctuation character.
+    P(char),
+    /// Any identifier at all.
+    AnyIdent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_idents(src: &str) -> (Vec<String>, Vec<String>) {
+        let f = SourceFile::new("x.rs", src);
+        let mut test = Vec::new();
+        let mut code = Vec::new();
+        for (i, t) in f.tokens.iter().enumerate() {
+            if t.kind == TokenKind::Ident {
+                if f.in_test[i] {
+                    test.push(t.text.clone());
+                } else {
+                    code.push(t.text.clone());
+                }
+            }
+        }
+        (code, test)
+    }
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n fn inner() { x.unwrap(); }\n}\nfn after() {}";
+        let (code, test) = test_idents(src);
+        assert!(code.contains(&"live".to_string()));
+        assert!(code.contains(&"after".to_string()));
+        assert!(test.contains(&"unwrap".to_string()));
+        assert!(!code.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn test_attribute_fn_is_marked() {
+        let src = "#[test]\nfn check() { y.expect(\"boom\"); }\nfn live() {}";
+        let (code, test) = test_idents(src);
+        assert!(test.contains(&"expect".to_string()));
+        assert!(code.contains(&"live".to_string()));
+    }
+
+    #[test]
+    fn non_test_cfg_is_not_marked() {
+        let src = "#[cfg(feature = \"x\")]\nfn gated() { z.unwrap(); }";
+        let (code, test) = test_idents(src);
+        assert!(code.contains(&"unwrap".to_string()));
+        assert!(test.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_mod_declaration_without_body() {
+        let src = "#[cfg(test)]\nmod tests;\nfn live() { a.unwrap(); }";
+        let (code, _test) = test_idents(src);
+        assert!(code.contains(&"unwrap".to_string()));
+        assert!(code.contains(&"live".to_string()));
+    }
+
+    #[test]
+    fn nested_braces_stay_inside_the_test_mod() {
+        let src = "#[cfg(test)]\nmod t { fn a() { if x { y() } } fn b() {} }\nfn live() {}";
+        let (code, test) = test_idents(src);
+        assert!(test.contains(&"b".to_string()));
+        assert!(code.contains(&"live".to_string()));
+    }
+}

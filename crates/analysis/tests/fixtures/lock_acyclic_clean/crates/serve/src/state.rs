@@ -1,0 +1,24 @@
+//! Fixture: both paths agree on the order table -> journal.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+pub struct State {
+    table: Mutex<HashMap<u32, u64>>,
+    journal: Mutex<Vec<u64>>,
+}
+
+impl State {
+    pub fn record(&self, id: u32, v: u64) {
+        let mut table = self.table.lock().unwrap_or_else(|e| e.into_inner());
+        let mut journal = self.journal.lock().unwrap_or_else(|e| e.into_inner());
+        table.insert(id, v);
+        journal.push(v);
+    }
+
+    pub fn replay(&self) -> usize {
+        let table = self.table.lock().unwrap_or_else(|e| e.into_inner());
+        let journal = self.journal.lock().unwrap_or_else(|e| e.into_inner());
+        journal.len() + table.len()
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: a panic on the protocol path.
+
+pub fn next_symbol(input: &[u64]) -> u64 {
+    *input.first().unwrap()
+}

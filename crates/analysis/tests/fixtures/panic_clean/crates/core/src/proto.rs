@@ -1,0 +1,13 @@
+//! Fixture: the same lookup with a typed error instead of a panic.
+
+pub fn next_symbol(input: &[u64]) -> Result<u64, &'static str> {
+    input.first().copied().ok_or("empty input")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_unwrap_is_exempt() {
+        assert_eq!(super::next_symbol(&[7]).unwrap(), 7);
+    }
+}

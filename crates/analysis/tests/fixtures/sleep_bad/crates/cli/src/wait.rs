@@ -1,0 +1,5 @@
+//! Fixture: an unaccounted blocking sleep.
+
+pub fn settle() {
+    std::thread::sleep(std::time::Duration::from_millis(5));
+}

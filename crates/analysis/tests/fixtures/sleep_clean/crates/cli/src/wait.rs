@@ -1,0 +1,10 @@
+//! Fixture: no blocking sleeps; callers poll against a deadline they own.
+
+pub fn settle(mut poll: impl FnMut() -> bool, budget: u64) -> bool {
+    for _ in 0..budget {
+        if poll() {
+            return true;
+        }
+    }
+    false
+}

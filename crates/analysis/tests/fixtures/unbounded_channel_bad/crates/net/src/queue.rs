@@ -1,0 +1,6 @@
+//! Fixture: an unbounded queue in a transport crate.
+use std::sync::mpsc;
+
+pub fn ingress() -> (mpsc::Sender<Vec<u8>>, mpsc::Receiver<Vec<u8>>) {
+    mpsc::channel()
+}

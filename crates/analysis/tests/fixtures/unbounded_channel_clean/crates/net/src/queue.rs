@@ -1,0 +1,6 @@
+//! Fixture: bounded ingress; overload becomes backpressure.
+use std::sync::mpsc;
+
+pub fn ingress(cap: usize) -> (mpsc::SyncSender<Vec<u8>>, mpsc::Receiver<Vec<u8>>) {
+    mpsc::sync_channel(cap)
+}

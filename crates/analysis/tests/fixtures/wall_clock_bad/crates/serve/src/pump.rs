@@ -1,0 +1,6 @@
+//! Fixture: a stray wall-clock read outside the driver/pacer modules.
+
+pub fn deadline_check() -> bool {
+    let started = std::time::Instant::now();
+    started.elapsed().as_micros() > 10
+}

@@ -1,0 +1,14 @@
+//! Fixture: timing routed through the sanctioned clock; wall-clock reads
+//! appear only inside test code.
+
+pub fn deadline_check(now_micros: u64, deadline_micros: u64) -> bool {
+    now_micros > deadline_micros
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_clock_reads_are_exempt() {
+        let _ = std::time::Instant::now();
+    }
+}

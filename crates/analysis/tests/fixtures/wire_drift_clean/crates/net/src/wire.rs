@@ -1,0 +1,6 @@
+//! Fixture: wire constants and prose in agreement.
+
+/// Total length of an encoded v1 frame.
+pub const FRAME_LEN: usize = 36;
+/// v2 appends the 4-byte session id extension.
+pub const FRAME_LEN_V2: usize = FRAME_LEN + 4;

@@ -1,0 +1,51 @@
+//! Lexer robustness properties: the lexer's contract is that *any*
+//! input produces a token list without panicking, since the analyzer
+//! must survive whatever bytes a workspace file throws at it.
+
+use proptest::prelude::*;
+use rstp_analyze::lexer::{lex, TokenKind};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Workspace files are read as UTF-8; lossy decoding is the
+        // harshest thing a file read can feed the lexer.
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = lex(&text);
+    }
+
+    #[test]
+    fn adversarial_delimiter_soup_never_panics(
+        pieces in proptest::collection::vec(0usize..12, 0..64),
+    ) {
+        // Chain the constructs with tricky terminator rules.
+        const ATOMS: [&str; 12] = [
+            "\"", "r#\"", "'", "b'", "/*", "*/", "//", "\\", "\n", "'a", "#\"", "br##\"",
+        ];
+        let text: String = pieces.iter().map(|i| ATOMS[*i]).collect();
+        let _ = lex(&text);
+    }
+
+    #[test]
+    fn idents_round_trip_through_noise(
+        letters in proptest::collection::vec(0usize..26, 1..10),
+        junk in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        // An identifier surrounded by arbitrary noise still comes out as
+        // an Ident token with its exact text. (The vendored proptest has
+        // no regex strategies, so the name is built from letter indices.)
+        let name: String = letters
+            .iter()
+            .map(|i| char::from(b'a' + u8::try_from(*i).unwrap_or(0)))
+            .collect();
+        let noise = String::from_utf8_lossy(&junk).replace(|c: char| c.is_alphanumeric() || c == '_' || c == '"' || c == '\'' || c == '/' || c == '#', "");
+        let text = format!("{noise} {name} {noise}");
+        let toks = lex(&text);
+        prop_assert!(
+            toks.iter().any(|t| t.kind == TokenKind::Ident && t.text == name),
+            "lost {name:?} in {text:?}"
+        );
+    }
+}

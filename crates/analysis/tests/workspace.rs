@@ -1,0 +1,72 @@
+//! The self-hosting regression test: the analyzer runs on the very
+//! workspace that ships it, and that workspace must stay clean.
+//!
+//! This is the test-suite twin of the CI `analyze` job: any new
+//! violation (or a baseline entry gone stale) fails `cargo test` before
+//! it ever reaches CI.
+
+use rstp_analyze::{analyze_workspace, lockorder, LOCK_ORDER_PATH};
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_has_no_unbaselined_findings() {
+    let report = analyze_workspace(&workspace_root()).expect("workspace analyzes");
+    assert!(
+        report.is_clean(),
+        "fix the finding or baseline it with a reason:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("  {}:{}: [{}] {}", f.path, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // The suite must actually be scanning the tree, not an empty dir.
+    assert!(report.files_scanned > 50, "{} files", report.files_scanned);
+}
+
+#[test]
+fn serve_lock_graph_is_acyclic_and_checked_in() {
+    let root = workspace_root();
+    let report = analyze_workspace(&root).expect("workspace analyzes");
+    assert!(
+        report.graph.cycles.is_empty(),
+        "serve lock graph has a cycle: {:?}",
+        report.graph.cycles
+    );
+    assert!(
+        !report.graph.nodes.is_empty(),
+        "serve must have observable locks — did the extractor lose them?"
+    );
+    let on_disk = std::fs::read_to_string(root.join(LOCK_ORDER_PATH))
+        .expect("analysis/lock-order.toml is checked in");
+    assert_eq!(
+        on_disk.trim_end(),
+        lockorder::render_toml(&report.graph).trim_end(),
+        "lock order drifted — regenerate with `rstp analyze --emit-lock-order {LOCK_ORDER_PATH}`"
+    );
+}
+
+#[test]
+fn hub_nesting_stays_out_of_the_edge_set() {
+    // serve::hub's egress resolves a client inbox under the map lock but
+    // releases the map guard (its match-arm block ends) before locking
+    // the inbox. The hold-span model must see that release: an edge
+    // clients -> inbox here would claim nesting that doesn't exist, and
+    // the day someone *does* hold both, this test plus the drift file
+    // will both move.
+    let report = analyze_workspace(&workspace_root()).expect("workspace analyzes");
+    assert!(
+        !report
+            .graph
+            .edges
+            .iter()
+            .any(|e| e.from == "hub::clients" && e.to == "hub::inbox"),
+        "hub map guard must drop before the inbox lock: {:?}",
+        report.graph.edges
+    );
+}

@@ -1,0 +1,100 @@
+//! `rstp analyze` — invariant lints and the static lock-order detector.
+//!
+//! ```text
+//! rstp analyze                                   # lint the current tree
+//! rstp analyze --root ../rstp                    # lint another checkout
+//! rstp analyze --json analyze.json               # machine-readable report
+//! rstp analyze --emit-lock-order analysis/lock-order.toml
+//! ```
+//!
+//! Exit status mirrors `rstp check`: zero when every finding is either
+//! fixed or baselined with a justification, nonzero (2) otherwise. The
+//! `--json` file is written *before* findings turn into a nonzero exit,
+//! so CI can always collect it as an artifact.
+
+use std::fs;
+use std::path::Path;
+
+use crate::args::{ArgError, Args};
+use rstp_analyze::{analyze_workspace, lockorder, report_json, report_text};
+
+const FLAGS: &[&str] = &["root", "json", "emit-lock-order"];
+
+/// `rstp analyze`
+pub fn cmd_analyze(args: &Args) -> Result<String, ArgError> {
+    args.ensure_known(FLAGS)?;
+    let root = Path::new(args.get("root").unwrap_or("."));
+    let mut report = analyze_workspace(root).map_err(ArgError)?;
+
+    if let Some(rel) = args.get("emit-lock-order") {
+        let target = root.join(rel);
+        if let Some(parent) = target.parent() {
+            fs::create_dir_all(parent)
+                .map_err(|e| ArgError(format!("create {}: {e}", parent.display())))?;
+        }
+        fs::write(&target, lockorder::render_toml(&report.graph))
+            .map_err(|e| ArgError(format!("write {}: {e}", target.display())))?;
+        // The file now matches the extracted graph by construction.
+        report.findings.retain(|f| f.rule != "lock-order-drift");
+    }
+
+    if let Some(path) = args.get("json") {
+        fs::write(path, report_json(&report))
+            .map_err(|e| ArgError(format!("write {path}: {e}")))?;
+    }
+
+    let text = report_text(&report);
+    if report.is_clean() {
+        Ok(text)
+    } else {
+        Err(ArgError(format!(
+            "invariant violations:\n{text}fix the finding or baseline it in \
+             analysis/baseline.toml with a reason (see docs/ANALYSIS.md)"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(argv: &[&str]) -> Result<String, ArgError> {
+        cmd_analyze(&Args::parse(argv.iter().copied()).unwrap())
+    }
+
+    fn workspace_root() -> std::path::PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+    }
+
+    #[test]
+    fn analyze_is_clean_on_this_workspace() {
+        let root = workspace_root();
+        let out = run(&["analyze", "--root", root.to_str().unwrap()]).unwrap_or_else(|e| {
+            panic!("workspace must analyze clean: {e}");
+        });
+        assert!(out.contains("acyclic"), "{out}");
+    }
+
+    #[test]
+    fn json_flag_writes_a_report() {
+        let root = workspace_root();
+        let path = std::env::temp_dir().join("rstp-analyze-cli-test.json");
+        let path_s = path.to_str().unwrap().to_string();
+        let _ = run(&[
+            "analyze",
+            "--root",
+            root.to_str().unwrap(),
+            "--json",
+            &path_s,
+        ]);
+        let text = fs::read_to_string(&path).expect("json written");
+        assert!(text.contains("\"tool\": \"rstp-analyze\""), "{text}");
+        assert!(text.contains("\"lock_order\""), "{text}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        assert!(run(&["analyze", "--bogus", "1"]).is_err());
+    }
+}

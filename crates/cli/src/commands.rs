@@ -36,6 +36,8 @@ COMMANDS:
                                            --c1 --c2 --d --max-input --differential
                                            --corpus DIR --minimize FILE [--out FILE]
                                            [--json FILE]
+  analyze       invariant lints + lock-order detector  [--root DIR]
+                                           [--json FILE] [--emit-lock-order FILE]
 
 PROTOCOLS: alpha | beta | gamma | altbit | stenning | framed | pipelined
 STEP:      fast | slow | alternate | random
@@ -393,6 +395,7 @@ pub fn dispatch(args: &Args) -> Result<String, ArgError> {
         Some("serve") => crate::serve::cmd_serve(args),
         Some("swarm") => crate::serve::cmd_swarm(args),
         Some("check") => crate::check::cmd_check(args),
+        Some("analyze") => crate::analyze::cmd_analyze(args),
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(ArgError(format!(
             "unknown command {other:?}; run `rstp help`"

@@ -11,6 +11,9 @@
 //! rstp swarm --sessions 256 --protocol beta --k 4
 //! ```
 
+#![forbid(unsafe_code)]
+
+mod analyze;
 mod args;
 mod check;
 mod commands;

@@ -30,6 +30,18 @@ impl TickClock {
         TickClock { epoch, tick }
     }
 
+    /// Starts a clock whose epoch lies `headroom` in the future, so every
+    /// participant handed a copy can finish setup before tick 0 fires.
+    /// This is the sanctioned way to anchor a transfer start; reading
+    /// `Instant::now()` at call sites would scatter unaccounted
+    /// wall-clock reads across the workspace (see `rstp analyze`).
+    pub fn start_after(headroom: Duration, tick: Duration) -> Self {
+        TickClock {
+            epoch: Instant::now() + headroom,
+            tick,
+        }
+    }
+
     /// The clock's epoch.
     pub fn epoch(&self) -> Instant {
         self.epoch

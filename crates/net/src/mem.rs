@@ -20,8 +20,8 @@ use rstp_sim::ScriptedDelivery;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{self, RecvTimeoutError};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{self, RecvTimeoutError, TrySendError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread;
 use std::time::Duration;
 use std::time::Instant;
@@ -37,7 +37,7 @@ struct FaultCounters {
 #[derive(Debug)]
 pub struct MemTransport {
     codec: WireCodec,
-    egress: mpsc::Sender<(Instant, Vec<u8>)>,
+    egress: mpsc::SyncSender<(Instant, Vec<u8>)>,
     inbox: Arc<Mutex<VecDeque<Vec<u8>>>>,
     faults: Arc<FaultCounters>,
     seq: u64,
@@ -111,13 +111,20 @@ impl MemTransport {
 type Inbox = Arc<Mutex<VecDeque<Vec<u8>>>>;
 
 /// The write side of a direction: `(send_instant, frame bytes)` pairs
-/// handed to the delivery thread.
-type Ingress = mpsc::Sender<(Instant, Vec<u8>)>;
+/// handed to the delivery thread. Bounded: a stalled delivery thread
+/// becomes frame loss at the sender (the channel model already permits
+/// loss), never unbounded memory growth.
+type Ingress = mpsc::SyncSender<(Instant, Vec<u8>)>;
+
+/// In-flight frames one direction buffers before `send` starts dropping.
+/// Far above anything the paced driver produces within a `d` window; only
+/// a wedged delivery thread can fill it.
+const INGRESS_CAP: usize = 1024;
 
 /// Spawns one delivery direction: returns the ingress sender, the inbox
 /// the peer endpoint reads from, and the fault counters of this direction.
 fn direction(verdicts: VerdictSource, stream: u64) -> (Ingress, Inbox, Arc<FaultCounters>) {
-    let (tx, rx) = mpsc::channel::<(Instant, Vec<u8>)>();
+    let (tx, rx) = mpsc::sync_channel::<(Instant, Vec<u8>)>(INGRESS_CAP);
     let inbox: Inbox = Arc::new(Mutex::new(VecDeque::new()));
     let faults = Arc::new(FaultCounters::default());
     let thread_inbox = Arc::clone(&inbox);
@@ -151,12 +158,15 @@ fn delivery_loop(
             return;
         }
         let now = Instant::now();
-        while let Some(Reverse((at, _, _))) = heap.peek() {
-            if *at > now {
-                break;
+        while heap.peek().is_some_and(|Reverse((at, _, _))| *at <= now) {
+            if let Some(Reverse((_, _, bytes))) = heap.pop() {
+                // A poisoned inbox means a reader panicked mid-pop; the
+                // queue itself is just bytes, so keep delivering.
+                inbox
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push_back(bytes);
             }
-            let Reverse((_, _, bytes)) = heap.pop().expect("peeked entry exists");
-            inbox.lock().expect("inbox lock").push_back(bytes);
         }
         if !open && heap.is_empty() {
             return;
@@ -209,15 +219,27 @@ impl Transport for MemTransport {
     fn send(&mut self, packet: Packet, sent_at_micros: u64) -> Result<(), NetError> {
         let buf = self.codec.encode(packet, self.seq, sent_at_micros);
         self.seq += 1;
-        self.egress
-            .send((Instant::now(), buf.to_vec()))
-            .map_err(|_| NetError::Disconnected)?;
+        match self.egress.try_send((Instant::now(), buf.to_vec())) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                // Backpressure surfaces as channel loss, which the
+                // protocols already tolerate; blocking here would stall
+                // the paced driver past its c2 deadline instead.
+                self.faults.losses.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Disconnected(_)) => return Err(NetError::Disconnected),
+        }
         self.frames_sent += 1;
         Ok(())
     }
 
     fn poll_recv(&mut self) -> Result<Option<Frame>, NetError> {
-        let bytes = match self.inbox.lock().expect("inbox lock").pop_front() {
+        let bytes = match self
+            .inbox
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front()
+        {
             Some(b) => b,
             None => return Ok(None),
         };

@@ -24,7 +24,7 @@ use rstp_core::{Message, TimingParams};
 use rstp_sim::harness::ProtocolKind;
 use rstp_sim::ScriptedDelivery;
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// The wire identity `(protocol id, k)` of a [`ProtocolKind`].
 ///
@@ -275,9 +275,8 @@ fn run_transfer_over(
 ) -> Result<TransferReport, NetError> {
     // Anchor tick 0 slightly in the future so both threads are running
     // before their first deadline.
-    let epoch = Instant::now() + Duration::from_millis(2);
-    let t_clock = TickClock::with_epoch(epoch, config.tick);
-    let r_clock = TickClock::with_epoch(epoch, config.tick);
+    let t_clock = TickClock::start_after(Duration::from_millis(2), config.tick);
+    let r_clock = TickClock::with_epoch(t_clock.epoch(), config.tick);
     let base = DriverConfig::new(config.params, config.tick)
         .with_pace(config.pace)
         .with_max_wall(config.max_wall);

@@ -12,7 +12,7 @@ use crate::server::{EgressSink, ServeTransport};
 use rstp_core::{Packet, SessionId};
 use rstp_net::{decode_any, Frame, NetError, Transport, TransportStats, WireCodec};
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 type Inbox = Arc<Mutex<VecDeque<Vec<u8>>>>;
 
@@ -41,7 +41,7 @@ impl MemHub {
         let inbox: Inbox = Arc::default();
         self.clients
             .lock()
-            .expect("hub client map poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(session.raw(), inbox.clone());
         HubClientTransport {
             session,
@@ -56,7 +56,13 @@ impl MemHub {
 
 impl ServeTransport for MemHub {
     fn recv_batch(&mut self, out: &mut Vec<Vec<u8>>, max: usize) -> Result<usize, NetError> {
-        let mut inbox = self.server_inbox.lock().expect("hub server inbox poisoned");
+        // A poisoned mutex means some peer thread panicked while holding
+        // it; the queues hold plain bytes, so recover the data and keep
+        // serving the surviving sessions instead of cascading the panic.
+        let mut inbox = self
+            .server_inbox
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let take = inbox.len().min(max);
         out.extend(inbox.drain(..take));
         Ok(take)
@@ -86,7 +92,7 @@ impl EgressSink for HubEgress {
             let inbox = match self.cached.get(session) {
                 Some(inbox) => inbox.clone(),
                 None => {
-                    let map = self.clients.lock().expect("hub client map poisoned");
+                    let map = self.clients.lock().unwrap_or_else(PoisonError::into_inner);
                     match map.get(session) {
                         Some(inbox) => {
                             let inbox = inbox.clone();
@@ -101,7 +107,7 @@ impl EgressSink for HubEgress {
             };
             inbox
                 .lock()
-                .expect("hub client inbox poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .push_back(bytes.clone());
             delivered += 1;
         }
@@ -127,7 +133,7 @@ impl Transport for HubClientTransport {
         self.seq += 1;
         self.server_inbox
             .lock()
-            .expect("hub server inbox poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .push_back(bytes.to_vec());
         self.stats.frames_sent += 1;
         Ok(())
@@ -136,7 +142,7 @@ impl Transport for HubClientTransport {
     fn poll_recv(&mut self) -> Result<Option<Frame>, NetError> {
         loop {
             let bytes = {
-                let mut inbox = self.inbox.lock().expect("hub client inbox poisoned");
+                let mut inbox = self.inbox.lock().unwrap_or_else(PoisonError::into_inner);
                 match inbox.pop_front() {
                     Some(bytes) => bytes,
                     None => return Ok(None),

@@ -239,7 +239,11 @@ pub(crate) fn run_shard(
             } else {
                 live.idle_streak += 1;
                 if live.idle_streak >= idle_steps_needed {
-                    let done = sessions[idx].take().expect("session present");
+                    // `live` borrows this same slot, so it is occupied;
+                    // a vacant slot just means nothing to retire.
+                    let Some(done) = sessions[idx].take() else {
+                        continue;
+                    };
                     by_id.remove(&done.spec.id.raw());
                     report.completed += 1;
                     report.sessions.push(done.into_stats(true));

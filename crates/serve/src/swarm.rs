@@ -23,7 +23,7 @@ use rstp_sim::harness::{expected_output, random_input};
 use rstp_sim::ProtocolKind;
 use std::collections::HashMap;
 use std::thread::{self, JoinHandle};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Which fabric carries the swarm.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -269,7 +269,7 @@ pub fn run_swarm_sessions(
     // before its first deadline (spawning M threads takes real time).
     let headroom = Duration::from_millis(20)
         + Duration::from_micros(100) * u32::try_from(sessions.len()).unwrap_or(u32::MAX);
-    let clock = TickClock::with_epoch(Instant::now() + headroom, serve.tick);
+    let clock = TickClock::start_after(headroom, serve.tick);
     let base = DriverConfig::new(serve.params, serve.tick)
         .with_pace(serve.pace)
         .with_max_wall(serve.max_wall);

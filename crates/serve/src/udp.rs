@@ -14,7 +14,7 @@ use rstp_net::{decode_any, peek_session, Frame, NetError, Transport, TransportSt
 use std::collections::HashMap;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Headroom over the largest legal frame so oversized datagrams surface
 /// as [`rstp_net::WireError::TrailingBytes`] instead of silent truncation.
@@ -67,9 +67,12 @@ impl ServeTransport for UdpServerTransport {
                     // — but it could redirect replies, which is exactly
                     // UDP's trust model for unauthenticated datagrams.
                     if let Some(session) = peek_session(&bytes) {
+                        // The map holds plain socket addresses: recover
+                        // from poisoning rather than cascading a panic
+                        // into the server pump.
                         self.addrs
                             .lock()
-                            .expect("udp addr map poisoned")
+                            .unwrap_or_else(PoisonError::into_inner)
                             .insert(session.raw(), from);
                     }
                     out.push(bytes);
@@ -101,7 +104,7 @@ impl EgressSink for UdpEgress {
         let mut sent = 0;
         for (session, bytes) in frames {
             let addr = {
-                let map = self.addrs.lock().expect("udp addr map poisoned");
+                let map = self.addrs.lock().unwrap_or_else(PoisonError::into_inner);
                 map.get(session).copied()
             };
             // No return address yet (the session has not sent anything):
