@@ -14,7 +14,8 @@
 //!   protocol path, stray sleeps, frame-size prose drifting from the
 //!   wire constants;
 //! * a **lock-order detector** ([`lockorder`]) that extracts the static
-//!   Mutex/RwLock acquisition graph of `crates/serve` and fails on
+//!   Mutex/RwLock acquisition graph of `crates/serve` and
+//!   `crates/record` and fails on
 //!   cycles, emitting the acyclic order as a checked-in TOML file so
 //!   regressions surface as diffs;
 //! * a **baseline** ([`baseline`]) that is the only way to suppress a
@@ -121,10 +122,13 @@ pub fn analyze_workspace(root: &Path) -> Result<Report, String> {
     }
     findings.extend(rules::wire_const_rule(&texts));
 
-    // Lock-order extraction over crates/serve.
+    // Lock-order extraction over the lock-holding crates: serve and
+    // the flight recorder it writes through.
     let serve: Vec<&SourceFile> = files
         .iter()
-        .filter(|f| f.path.starts_with("crates/serve/src/"))
+        .filter(|f| {
+            f.path.starts_with("crates/serve/src/") || f.path.starts_with("crates/record/src/")
+        })
         .collect();
     let graph = lockorder::extract(&serve);
     for cycle in &graph.cycles {

@@ -1,4 +1,5 @@
-//! Static lock-order extraction and cycle detection for `crates/serve`.
+//! Static lock-order extraction and cycle detection for the
+//! lock-holding crates (`crates/serve`, `crates/record`).
 //!
 //! The model: every `.lock()` (and, in files that mention `RwLock`,
 //! `.read()` / `.write()`) acquisition is named by the receiver field or
@@ -480,7 +481,7 @@ fn toposort(nodes: &[String], edges: &[LockEdge]) -> (Vec<String>, Vec<Vec<Strin
 pub fn render_toml(graph: &LockGraph) -> String {
     let mut s = String::new();
     s.push_str(
-        "# Lock acquisition order for crates/serve, extracted statically by rstp-analyze.\n\
+        "# Lock acquisition order for crates/serve + crates/record, extracted statically by rstp-analyze.\n\
          # Regenerate with: rstp analyze --emit-lock-order analysis/lock-order.toml\n\
          # A diff in this file means the locking discipline changed — review it like an\n\
          # API change. Cycles fail `rstp analyze` outright.\n\n",

@@ -102,10 +102,11 @@ const PANIC_SCOPE: &[&str] = &[
     "crates/automata/src/",
     "crates/codec/src/",
     "crates/sim/src/",
+    "crates/record/src/",
 ];
 
 /// Crates where channels must be bounded and sleeps scrutinised.
-const CHANNEL_SCOPE: &[&str] = &["crates/net/src/", "crates/serve/src/"];
+const CHANNEL_SCOPE: &[&str] = &["crates/net/src/", "crates/serve/src/", "crates/record/src/"];
 const SLEEP_SCOPE: &[&str] = &["crates/net/src/", "crates/serve/src/", "crates/cli/src/"];
 
 /// Everything the wall-clock rule patrols: all first-party crate

@@ -1,0 +1,353 @@
+//! `serve_perf` — the serve-path performance baseline.
+//!
+//! Three hot paths, three throughput numbers, one committed JSON file:
+//!
+//! * `swarm_msgs_per_sec` — aggregate message throughput of a paced
+//!   16-session mem-fabric swarm (the end-to-end serve path: hub, shard
+//!   step loop, timer wheel, codec, verdicts);
+//! * `wheel_ops_per_sec` — raw schedule+fire throughput of the
+//!   hierarchical [`TimerWheel`] under the shard's reschedule pattern;
+//! * `codec_frames_per_sec` — v2 session-frame encode+decode round
+//!   trips per second.
+//!
+//! ```text
+//! serve_perf --write BENCH_serve.json     # refresh the baseline
+//! serve_perf --check BENCH_serve.json     # CI: fail on >15% regression
+//! serve_perf --check BENCH_serve.json --tolerance 0.25
+//! ```
+//!
+//! `--check` fails only on *regressions* past the budget; a machine
+//! that got faster prints a refresh hint instead of failing CI. The
+//! harness is std-only and hand-rolled (criterion stays a
+//! dev-dependency of the effort benches); wall time is read through
+//! [`TickClock`], the workspace's one sanctioned clock.
+
+use rstp_bench::json::Json;
+use rstp_core::{Packet, SessionId, TimingParams};
+use rstp_net::{codec_for, decode_any, TickClock};
+use rstp_serve::{run_swarm, SwarmConfig, TimerWheel};
+use rstp_sim::ProtocolKind;
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Duration;
+
+/// Default regression budget: a measured value may fall at most 15%
+/// below the committed baseline.
+const DEFAULT_TOLERANCE: f64 = 0.15;
+
+/// Repetitions per microbenchmark; the best run is reported so a single
+/// scheduler hiccup cannot fake a regression.
+const REPS: usize = 3;
+
+struct Metric {
+    name: &'static str,
+    value: f64,
+    unit: &'static str,
+}
+
+/// A 1 µs-tick clock used purely as a stopwatch.
+fn stopwatch() -> TickClock {
+    TickClock::start(Duration::from_micros(1))
+}
+
+/// Best-of-[`REPS`] ops/sec for `ops` operations per run of `body`.
+fn best_rate(ops: f64, mut body: impl FnMut()) -> f64 {
+    let clock = stopwatch();
+    let mut best = 0.0f64;
+    for _ in 0..REPS {
+        let start = clock.now_micros();
+        body();
+        let elapsed = clock.now_micros().saturating_sub(start).max(1);
+        best = best.max(ops * 1e6 / elapsed as f64);
+    }
+    best
+}
+
+fn bench_swarm() -> Result<f64, String> {
+    let params = TimingParams::from_ticks(1, 2, 8).map_err(|e| e.to_string())?;
+    let mut config = SwarmConfig::new(
+        ProtocolKind::Beta { k: 4 },
+        64,
+        16,
+        params,
+        Duration::from_micros(200),
+    );
+    config.oracle_sample = 0;
+    let report = run_swarm(&config).map_err(|e| e.to_string())?;
+    if !report.all_good() {
+        return Err(format!("baseline swarm failed:\n{}", report.summary()));
+    }
+    Ok(report.serve.throughput_msgs_per_sec())
+}
+
+fn bench_wheel() -> f64 {
+    const ENTRIES: u64 = 200_000;
+    // One op = one schedule or one fired deadline; every entry does both.
+    best_rate((2 * ENTRIES) as f64, || {
+        let mut wheel = TimerWheel::new();
+        // Mixed horizons across wheel levels, like a shard with sessions
+        // at different gaps; then drain in shard-sized strides.
+        for i in 0..ENTRIES {
+            wheel.schedule(1 + i / 16 + (i % 64) * 3, i as u32);
+        }
+        let mut due = Vec::new();
+        let mut now = 0u64;
+        while !wheel.is_empty() {
+            now += 64;
+            wheel.advance(now, &mut due);
+            black_box(due.len());
+            due.clear();
+        }
+    })
+}
+
+fn bench_codec() -> Result<f64, String> {
+    const FRAMES: u64 = 200_000;
+    let codec = codec_for(ProtocolKind::Beta { k: 4 }).map_err(|e| e.to_string())?;
+    let session = SessionId::new(7);
+    Ok(best_rate(FRAMES as f64, || {
+        for i in 0..FRAMES {
+            let bytes = codec.encode_with_session(Packet::Data(i % 4), i, i * 200, session);
+            let frame = decode_any(black_box(&bytes)).expect("round trip");
+            black_box(frame.seq);
+        }
+    }))
+}
+
+fn measure() -> Result<Vec<Metric>, String> {
+    Ok(vec![
+        Metric {
+            name: "swarm_msgs_per_sec",
+            value: bench_swarm()?,
+            unit: "msgs/s",
+        },
+        Metric {
+            name: "wheel_ops_per_sec",
+            value: bench_wheel(),
+            unit: "ops/s",
+        },
+        Metric {
+            name: "codec_frames_per_sec",
+            value: bench_codec()?,
+            unit: "frames/s",
+        },
+    ])
+}
+
+fn render(metrics: &[Metric]) -> String {
+    let records = metrics
+        .iter()
+        .map(|m| {
+            Json::Obj(vec![
+                ("metric".into(), Json::Str(m.name.into())),
+                ("value".into(), Json::Num(m.value.round())),
+                ("unit".into(), Json::Str(m.unit.into())),
+            ])
+        })
+        .collect();
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("serve".into())),
+        ("schema_version".into(), Json::Num(1.0)),
+        ("records".into(), Json::Arr(records)),
+    ]);
+    let mut text = doc.render();
+    text.push('\n');
+    text
+}
+
+/// Extracts `(metric, value)` pairs from a rendered baseline document.
+/// A full JSON parser is overkill for a schema this bin also writes:
+/// every record renders as a `"metric": "name"` line followed by a
+/// `"value": N` line.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut metric: Option<String> = None;
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if let Some(rest) = line.strip_prefix("\"metric\": \"") {
+            metric = rest.strip_suffix('"').map(str::to_string);
+        } else if let Some(rest) = line.strip_prefix("\"value\": ") {
+            if let (Some(name), Ok(value)) = (metric.take(), rest.parse::<f64>()) {
+                out.push((name, value));
+            }
+        }
+    }
+    out
+}
+
+/// Compares measured metrics against a baseline. Returns human-readable
+/// lines and whether any metric regressed past the budget.
+fn compare(metrics: &[Metric], baseline: &[(String, f64)], tolerance: f64) -> (String, bool) {
+    let mut out = String::new();
+    let mut regressed = false;
+    for (name, base) in baseline {
+        let Some(m) = metrics.iter().find(|m| m.name == *name) else {
+            out.push_str(&format!(
+                "{name}: in baseline but not measured — REGRESSION\n"
+            ));
+            regressed = true;
+            continue;
+        };
+        let ratio = if *base > 0.0 {
+            m.value / base
+        } else {
+            f64::INFINITY
+        };
+        let verdict = if ratio < 1.0 - tolerance {
+            regressed = true;
+            "REGRESSION"
+        } else if ratio > 1.0 + tolerance {
+            "faster than baseline — consider --write to refresh"
+        } else {
+            "ok"
+        };
+        out.push_str(&format!(
+            "{name}: measured {measured:.0} vs baseline {base:.0} {unit} ({pct:+.1}%) {verdict}\n",
+            measured = m.value,
+            unit = m.unit,
+            pct = (ratio - 1.0) * 100.0,
+        ));
+    }
+    for m in metrics {
+        if !baseline.iter().any(|(n, _)| n == m.name) {
+            out.push_str(&format!(
+                "{}: measured {:.0} {} but missing from baseline — rerun with --write\n",
+                m.name, m.value, m.unit
+            ));
+            regressed = true;
+        }
+    }
+    (out, regressed)
+}
+
+fn run() -> Result<String, String> {
+    let mut args = std::env::args().skip(1);
+    let mut write: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut tolerance = DEFAULT_TOLERANCE;
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match flag.as_str() {
+            "--write" => write = Some(value("--write")?),
+            "--check" => check = Some(value("--check")?),
+            "--tolerance" => {
+                tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag {other}; usage: serve_perf [--write FILE] [--check FILE] \
+                     [--tolerance FRACTION]"
+                ))
+            }
+        }
+    }
+
+    let mut metrics = measure()?;
+    if write.is_some() {
+        // A baseline is a floor, not a trophy: keep the slowest of three
+        // full passes per metric so ordinary scheduler noise on the
+        // measuring machine does not get committed as the bar.
+        for _ in 0..2 {
+            for (m, again) in metrics.iter_mut().zip(measure()?) {
+                m.value = m.value.min(again.value);
+            }
+        }
+    }
+    let mut out = String::new();
+    for m in &metrics {
+        out.push_str(&format!("{}: {:.0} {}\n", m.name, m.value, m.unit));
+    }
+    if let Some(path) = write {
+        std::fs::write(&path, render(&metrics)).map_err(|e| format!("write {path}: {e}"))?;
+        out.push_str(&format!("baseline written to {path}\n"));
+    }
+    if let Some(path) = check {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("read baseline {path}: {e}"))?;
+        let baseline = parse_baseline(&text);
+        if baseline.is_empty() {
+            return Err(format!("no metrics parsed from baseline {path}"));
+        }
+        let (diff, regressed) = compare(&metrics, &baseline, tolerance);
+        out.push_str(&diff);
+        if regressed {
+            return Err(format!(
+                "{out}perf regression past the ±{:.0}% budget",
+                tolerance * 100.0
+            ));
+        }
+        out.push_str(&format!(
+            "within the ±{:.0}% regression budget\n",
+            tolerance * 100.0
+        ));
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve_perf: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metric(name: &'static str, value: f64) -> Metric {
+        Metric {
+            name,
+            value,
+            unit: "ops/s",
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips_through_render_and_parse() {
+        let metrics = vec![metric("wheel_ops_per_sec", 1_000_000.0)];
+        let parsed = parse_baseline(&render(&metrics));
+        assert_eq!(parsed, vec![("wheel_ops_per_sec".to_string(), 1_000_000.0)]);
+    }
+
+    #[test]
+    fn compare_flags_only_regressions() {
+        let base = vec![("m".to_string(), 100.0)];
+        // 10% down: within a 15% budget.
+        let (_, regressed) = compare(&[metric("m", 90.0)], &base, 0.15);
+        assert!(!regressed);
+        // 20% down: regression.
+        let (out, regressed) = compare(&[metric("m", 80.0)], &base, 0.15);
+        assert!(regressed, "{out}");
+        // 40% up: not a failure, just a refresh hint.
+        let (out, regressed) = compare(&[metric("m", 140.0)], &base, 0.15);
+        assert!(!regressed);
+        assert!(out.contains("refresh"), "{out}");
+    }
+
+    #[test]
+    fn missing_metrics_fail_in_both_directions() {
+        let base = vec![("gone".to_string(), 100.0)];
+        let (out, regressed) = compare(&[metric("new", 5.0)], &base, 0.15);
+        assert!(regressed);
+        assert!(out.contains("not measured"), "{out}");
+        assert!(out.contains("missing from baseline"), "{out}");
+    }
+
+    #[test]
+    fn wheel_and_codec_benches_produce_positive_rates() {
+        assert!(bench_wheel() > 0.0);
+        assert!(bench_codec().expect("codec") > 0.0);
+    }
+}

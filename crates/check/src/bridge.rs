@@ -1,0 +1,393 @@
+//! The recording → scenario bridge behind `rstp replay`.
+//!
+//! A flight recording (`rstp-record`) is a wall-clock artifact: wire
+//! bytes with microsecond stamps, wheel pops, and a final verdict per
+//! session. This module folds one recorded session back into the
+//! discrete-time [`Scenario`] language the fuzzer already speaks:
+//!
+//! - the session's wheel pops become the *receiver step script* (gap
+//!   deltas in ticks, clamped into `[c1, c2]`),
+//! - each applied data frame becomes a scripted [`PacketFate`] whose
+//!   delay is the frame's measured flight time in ticks (clamped into
+//!   `[0, d]`), indexed by the transmitter's monotone `seq` — so the
+//!   *relative delivery order* the server observed, including any
+//!   reordering the fabric produced, is replayed exactly,
+//! - a `seq` with no recorded arrival becomes [`PacketFate::Drop`].
+//!
+//! The reconstructed scenario is legal by construction, so the entire
+//! oracle stack applies: [`run_scenario`] gives a deterministic
+//! sim↔recording differential ([`replay_session`]), and a failing
+//! session feeds straight into the delta-debug shrinker
+//! ([`shrink_from_recording`]) to produce a committable repro.
+
+use crate::oracle::{run_scenario, Failure, ScenarioRun};
+use crate::scenario::Scenario;
+use crate::shrink::shrink;
+use rstp_core::{Message, TimingParams};
+use rstp_net::decode_any;
+use rstp_record::{SessionHistory, SessionIndex};
+use rstp_sim::harness::random_input;
+use rstp_sim::{PacketFate, ScriptedDelivery};
+use std::fmt;
+
+/// Event budget for bridged replays — matches the fuzzer's ceiling.
+pub const REPLAY_MAX_EVENTS: u64 = 500_000;
+
+/// Why a recorded session could not be bridged into a scenario.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BridgeError {
+    /// What was missing or malformed.
+    pub what: String,
+}
+
+impl fmt::Display for BridgeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bridge: {}", self.what)
+    }
+}
+
+impl std::error::Error for BridgeError {}
+
+fn err(what: impl Into<String>) -> BridgeError {
+    BridgeError { what: what.into() }
+}
+
+/// One recorded session lifted into scenario form, plus the recorded
+/// ground truth to differentiate against.
+#[derive(Clone, Debug)]
+pub struct BridgedSession {
+    /// Raw session id.
+    pub session: u32,
+    /// The reconstructed scenario.
+    pub scenario: Scenario,
+    /// The receiver output `Y` the recording's verdict carries, if the
+    /// session got that far.
+    pub recorded_written: Option<Vec<Message>>,
+    /// Whether the recorded session completed.
+    pub recorded_completed: Option<bool>,
+}
+
+/// The sim↔recording differential for one session.
+#[derive(Clone, Debug)]
+pub struct ReplayReport {
+    /// Raw session id.
+    pub session: u32,
+    /// What the simulator wrote when replaying the bridged scenario.
+    pub sim_written: Vec<Message>,
+    /// First oracle rejection of the bridged scenario, if any.
+    pub sim_failure: Option<Failure>,
+    /// Trace events the replay took.
+    pub events: u64,
+    /// The recorded `Y`, when the verdict was captured.
+    pub recorded_written: Option<Vec<Message>>,
+    /// `true` when a recorded verdict exists and the simulator's output
+    /// differs from it — the recording and the model disagree, which is
+    /// exactly what a postmortem needs to know first.
+    pub divergent: bool,
+}
+
+/// Reconstructs a [`Scenario`] from one session's history.
+///
+/// `tick_micros` converts recorded wall-clock stamps into ticks;
+/// `input` is the session's transmitted word `X` (the scenario replays
+/// it through the simulated transmitter).
+///
+/// # Errors
+///
+/// [`BridgeError`] when the history lacks an admit record or a frame
+/// fails strict wire decoding.
+pub fn scenario_from_history(
+    h: &SessionHistory,
+    params: TimingParams,
+    tick_micros: u64,
+    input: Vec<Message>,
+) -> Result<Scenario, BridgeError> {
+    let kind = h
+        .kind
+        .ok_or_else(|| err(format!("session {} has no admit record", h.session)))?;
+    let c1 = params.c1().ticks();
+    let c2 = params.c2().ticks();
+    let d = params.d().ticks();
+    let tick = tick_micros.max(1);
+
+    // Receiver step script: recorded pop-to-pop deltas, clamped legal.
+    let r_gaps: Vec<u64> = h
+        .pops
+        .windows(2)
+        .map(|w| (w[1].1.saturating_sub(w[0].1)).clamp(c1, c2))
+        .collect();
+
+    // Data fates by transmitter seq: measured flight time in ticks,
+    // rounded to nearest, clamped into the legal window. Unseen seqs
+    // below the highest observed one were lost in flight.
+    let mut arrivals: Vec<Option<u64>> = Vec::new();
+    for (at_micros, wire) in &h.rx {
+        let frame = decode_any(wire).map_err(|e| {
+            err(format!(
+                "session {}: recorded frame does not decode: {e}",
+                h.session
+            ))
+        })?;
+        if !frame.packet.is_data() {
+            continue;
+        }
+        let Ok(seq) = usize::try_from(frame.seq) else {
+            continue;
+        };
+        if arrivals.len() <= seq {
+            arrivals.resize(seq + 1, None);
+        }
+        let flight = at_micros.saturating_sub(frame.sent_at_micros);
+        let delay = ((flight + tick / 2) / tick).min(d);
+        // First arrival wins; the strict server applies each frame once.
+        arrivals[seq].get_or_insert(delay);
+    }
+    let data_fates: Vec<PacketFate> = arrivals
+        .into_iter()
+        .map(|a| a.map_or(PacketFate::Drop, PacketFate::Deliver))
+        .collect();
+
+    Ok(Scenario {
+        kind,
+        params,
+        input,
+        // The transmitter side was a driver thread the recording never
+        // saw; the scenario paces it at the legal fallback.
+        t_gaps: Vec::new(),
+        r_gaps,
+        gap_fallback: c2,
+        data: ScriptedDelivery::new(data_fates, 0),
+        // Acks flowed server → client, outside the recorded window;
+        // immediate delivery is the legal default.
+        ack: ScriptedDelivery::new(Vec::new(), 0),
+    })
+}
+
+/// Bridges `session` out of a run index. The input `X` is taken from
+/// `input_override`, or regenerated from the recorded swarm seed using
+/// the swarm's own derivation (`seed + (id − 1)`).
+///
+/// # Errors
+///
+/// [`BridgeError`] when the session, run metadata, or input source is
+/// missing, or the history is malformed.
+pub fn bridge_session(
+    index: &SessionIndex,
+    session: u32,
+    input_override: Option<Vec<Message>>,
+) -> Result<BridgedSession, BridgeError> {
+    let h = index
+        .get(session)
+        .ok_or_else(|| err(format!("session {session} not in recording")))?;
+    let (c1, c2, d) = index
+        .params
+        .ok_or_else(|| err("recording has no run metadata"))?;
+    let params = TimingParams::from_ticks(c1, c2, d)
+        .map_err(|e| err(format!("recorded params are invalid: {e}")))?;
+    let tick_micros = index
+        .tick_micros
+        .ok_or_else(|| err("recording has no tick length"))?;
+    let input = match input_override {
+        Some(x) => x,
+        None => {
+            let n =
+                h.n.ok_or_else(|| err(format!("session {session} has no admit record")))?;
+            let seed = index
+                .seed
+                .ok_or_else(|| err("recording carries no input seed; pass the input explicitly"))?;
+            random_input(
+                n as usize,
+                seed.wrapping_add(u64::from(session).wrapping_sub(1)),
+            )
+        }
+    };
+    let scenario = scenario_from_history(h, params, tick_micros, input)?;
+    Ok(BridgedSession {
+        session,
+        scenario,
+        recorded_written: h.verdict.as_ref().map(|(_, _, w)| w.clone()),
+        recorded_completed: h.verdict.as_ref().map(|(_, c, _)| *c),
+    })
+}
+
+/// Runs the deterministic sim↔recording differential for one bridged
+/// session: the scenario replays through the full oracle stack, and the
+/// simulator's output is compared against the recorded verdict.
+#[must_use]
+pub fn replay_session(bridged: &BridgedSession) -> ReplayReport {
+    let run: ScenarioRun = run_scenario(&bridged.scenario, REPLAY_MAX_EVENTS);
+    let sim_written = run.trace.written();
+    let divergent = bridged
+        .recorded_written
+        .as_ref()
+        .is_some_and(|rec| *rec != sim_written);
+    ReplayReport {
+        session: bridged.session,
+        sim_written,
+        sim_failure: run.failure,
+        events: run.events,
+        recorded_written: bridged.recorded_written.clone(),
+        divergent,
+    }
+}
+
+/// Shrinks a failing bridged session to a minimal scenario, preserving
+/// the failure kind. Returns `None` when the bridged scenario passes
+/// every oracle (nothing to shrink).
+#[must_use]
+pub fn shrink_from_recording(
+    bridged: &BridgedSession,
+    budget: u32,
+) -> Option<(Scenario, u64, Failure)> {
+    let origin = run_scenario(&bridged.scenario, REPLAY_MAX_EVENTS);
+    let failure = origin.failure?;
+    let kind = failure.kind;
+    let (min, events) = shrink(
+        &bridged.scenario,
+        origin.events,
+        |candidate| {
+            let run = run_scenario(candidate, REPLAY_MAX_EVENTS);
+            (run.failure.as_ref().map(|f| f.kind) == Some(kind)).then_some(run.events)
+        },
+        budget,
+    );
+    Some((min, events, failure))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstp_core::SessionId;
+    use rstp_net::codec_for;
+    use rstp_sim::ProtocolKind;
+
+    fn params() -> TimingParams {
+        TimingParams::from_ticks(1, 2, 4).unwrap()
+    }
+
+    /// Wire bytes for one data frame the way a swarm client sends them.
+    fn data_frame(kind: ProtocolKind, session: u32, sym: u64, seq: u64, sent: u64) -> Vec<u8> {
+        codec_for(kind)
+            .unwrap()
+            .encode_with_session(
+                rstp_core::Packet::Data(sym),
+                seq,
+                sent,
+                SessionId::new(session),
+            )
+            .to_vec()
+    }
+
+    /// A hand-built history: three in-order frames, one tick of flight
+    /// each, pops every c2 ticks.
+    fn history(kind: ProtocolKind, session: u32, n: u32) -> SessionHistory {
+        let tick = 200u64;
+        SessionHistory {
+            session,
+            shard: 0,
+            kind: Some(kind),
+            n: Some(n),
+            rx: (0..3)
+                .map(|i| {
+                    let sent = 1_000 + i * 2 * tick;
+                    (sent + tick, data_frame(kind, session, i % 2, i, sent))
+                })
+                .collect(),
+            tx: Vec::new(),
+            pops: (0..4)
+                .map(|i| (1_000 + i * 2 * tick, 5 + i * 2, false))
+                .collect(),
+            misses: Vec::new(),
+            verdict: None,
+        }
+    }
+
+    #[test]
+    fn reconstruction_maps_pops_and_flight_times() {
+        let kind = ProtocolKind::Beta { k: 4 };
+        let h = history(kind, 7, 4);
+        let s = scenario_from_history(&h, params(), 200, vec![true, false, true, false]).unwrap();
+        assert_eq!(s.kind, kind);
+        assert!(s.t_gaps.is_empty());
+        assert_eq!(s.r_gaps, vec![2, 2, 2]);
+        assert_eq!(s.gap_fallback, 2);
+        assert_eq!(
+            s.data.fates(),
+            &[
+                PacketFate::Deliver(1),
+                PacketFate::Deliver(1),
+                PacketFate::Deliver(1)
+            ]
+        );
+        assert!(s.ack.fates().is_empty());
+        assert!(s.is_fault_free());
+    }
+
+    #[test]
+    fn missing_seqs_become_drops_and_delays_clamp_to_d() {
+        let kind = ProtocolKind::Beta { k: 4 };
+        let mut h = history(kind, 7, 4);
+        // Keep seqs 0 and 2; make seq 2 arrive absurdly late.
+        h.rx.remove(1);
+        h.rx[1].0 += 100_000;
+        let s = scenario_from_history(&h, params(), 200, vec![true]).unwrap();
+        assert_eq!(
+            s.data.fates(),
+            &[
+                PacketFate::Deliver(1),
+                PacketFate::Drop,
+                PacketFate::Deliver(4)
+            ]
+        );
+    }
+
+    #[test]
+    fn bridge_errors_name_what_is_missing() {
+        let ix = SessionIndex::default();
+        let e = bridge_session(&ix, 3, None).unwrap_err();
+        assert!(e.to_string().contains("not in recording"), "{e}");
+
+        let mut h = history(ProtocolKind::Beta { k: 4 }, 7, 4);
+        h.kind = None;
+        let e = scenario_from_history(&h, params(), 200, vec![true]).unwrap_err();
+        assert!(e.to_string().contains("no admit record"), "{e}");
+
+        let mut h = history(ProtocolKind::Beta { k: 4 }, 7, 4);
+        h.rx[0].1 = vec![0xFF; 8];
+        let e = scenario_from_history(&h, params(), 200, vec![true]).unwrap_err();
+        assert!(e.to_string().contains("does not decode"), "{e}");
+    }
+
+    // The healthy-path differential only holds in a normal build: under
+    // the injected-bug cfg the sim's gamma transmitter is broken too.
+    #[cfg(not(rstp_check_inject_ack_bug))]
+    #[test]
+    fn faithful_recordings_replay_clean() {
+        // A recording whose delivery plan mirrors an untampered run must
+        // pass every oracle and agree with its own verdict.
+        let kind = ProtocolKind::Gamma { k: 4 };
+        let input = random_input(4, 9);
+        let mut h = history(kind, 1, 4);
+        // Enough in-order unit-delay frames for a full gamma transfer;
+        // the sim ignores surplus fates via the fallback.
+        h.rx = (0..16)
+            .map(|i| {
+                let sent = 1_000 + i * 2 * 200;
+                (sent + 200, data_frame(kind, 1, 0, i, sent))
+            })
+            .collect();
+        h.verdict = Some((0, true, input.clone()));
+        let s = scenario_from_history(&h, params(), 200, input.clone()).unwrap();
+        let bridged = BridgedSession {
+            session: 1,
+            scenario: s,
+            recorded_written: Some(input.clone()),
+            recorded_completed: Some(true),
+        };
+        let report = replay_session(&bridged);
+        assert!(report.sim_failure.is_none(), "{:?}", report.sim_failure);
+        assert_eq!(report.sim_written, input);
+        assert!(!report.divergent);
+        assert!(shrink_from_recording(&bridged, 50).is_none());
+    }
+}

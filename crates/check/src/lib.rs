@@ -22,6 +22,10 @@
 //! 4. [`shrink`] delta-debugs any failing scenario down to a minimal repro,
 //!    and [`corpus`] serializes it as a replayable text trace that is
 //!    committed under `tests/corpus/` and re-run as a cargo test.
+//! 5. [`bridge`] lifts a session out of an `rstp-record` flight recording
+//!    back into scenario form, so a swarm failure replays deterministically
+//!    through the same oracles and shrinker — the engine behind
+//!    `rstp replay`.
 //!
 //! Everything is deterministic: the same seed produces the same coverage
 //! counters, the same pool, and the same failures, run after run.
@@ -43,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bridge;
 pub mod corpus;
 pub mod coverage;
 pub mod engine;
@@ -50,6 +55,10 @@ pub mod oracle;
 pub mod scenario;
 pub mod shrink;
 
+pub use bridge::{
+    bridge_session, replay_session, scenario_from_history, shrink_from_recording, BridgeError,
+    BridgedSession, ReplayReport, REPLAY_MAX_EVENTS,
+};
 pub use corpus::{parse_repro, render_repro, Expectation, Repro, ReproError};
 pub use coverage::{coverage_keys, Coverage, CoverageStats};
 pub use engine::{fuzz, FoundFailure, FuzzConfig, FuzzReport};

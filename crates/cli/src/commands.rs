@@ -32,6 +32,9 @@ COMMANDS:
   swarm         M-client loopback load test --sessions --protocol --k --n --seed
                                            --transport mem|udp --shards --batch
                                            --queue-cap --tick-us --oracle-sample
+  replay        postmortem replay of a --record dir  --dir DIR [--session ID]
+                                           [--input BITS] [--shrink FILE]
+                                           [--budget N]
   check         coverage-guided schedule fuzzer  --protocol --k --seed --iters
                                            --c1 --c2 --d --max-input --differential
                                            --corpus DIR --minimize FILE [--out FILE]
@@ -43,6 +46,16 @@ PROTOCOLS: alpha | beta | gamma | altbit | stenning | framed | pipelined
 STEP:      fast | slow | alternate | random
 DELIVERY:  eager | max | reverse | batch | random
 ";
+
+/// Serializes the real-time swarm tests across this binary: several
+/// wall-clock-paced swarms thread-racing on an oversubscribed test
+/// runner can starve each other's clients past their transfer windows.
+#[cfg(test)]
+pub(crate) fn swarm_gate() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    GATE.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 pub(crate) fn timing(args: &Args) -> Result<TimingParams, ArgError> {
     let c1 = args.get_u64("c1", 1)?;
@@ -394,6 +407,7 @@ pub fn dispatch(args: &Args) -> Result<String, ArgError> {
         Some("net") => crate::net::cmd_net(args),
         Some("serve") => crate::serve::cmd_serve(args),
         Some("swarm") => crate::serve::cmd_swarm(args),
+        Some("replay") => crate::replay::cmd_replay(args),
         Some("check") => crate::check::cmd_check(args),
         Some("analyze") => crate::analyze::cmd_analyze(args),
         Some("help") | None => Ok(USAGE.to_string()),

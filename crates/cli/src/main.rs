@@ -18,6 +18,7 @@ mod args;
 mod check;
 mod commands;
 mod net;
+mod replay;
 mod serve;
 
 use std::process::ExitCode;

@@ -47,6 +47,7 @@ const SWARM_FLAGS: &[&str] = &[
     "transport",
     "max-wall-s",
     "oracle-sample",
+    "record",
 ];
 
 const SERVE_FLAGS: &[&str] = &[
@@ -65,6 +66,7 @@ const SERVE_FLAGS: &[&str] = &[
     "batch",
     "queue-cap",
     "max-wall-s",
+    "record",
 ];
 
 fn transport_of(args: &Args) -> Result<SwarmTransport, ArgError> {
@@ -77,13 +79,17 @@ fn transport_of(args: &Args) -> Result<SwarmTransport, ArgError> {
 
 /// Applies the shared server-shape flags on top of `serve`.
 fn configure(args: &Args, mut serve: ServeConfig) -> Result<ServeConfig, ArgError> {
+    let (shards, batch) = (serve.shards, serve.batch);
     serve = serve
-        .with_shards(args.get_usize("shards", serve.shards)?)
-        .with_batch(args.get_usize("batch", serve.batch)?)
+        .with_shards(args.get_usize("shards", shards)?)
+        .with_batch(args.get_usize("batch", batch)?)
         .with_pace(pace(args)?)
         .with_max_wall(Duration::from_secs(args.get_u64("max-wall-s", 60)?));
     if args.get("queue-cap").is_some() {
         serve = serve.with_queue_cap(args.get_usize("queue-cap", 0)?);
+    }
+    if let Some(dir) = args.get("record") {
+        serve = serve.with_record(dir);
     }
     Ok(serve)
 }
@@ -112,6 +118,11 @@ pub fn cmd_swarm(args: &Args) -> Result<String, ArgError> {
     config.transport = transport;
     config.oracle_sample = args.get_usize("oracle-sample", 2)?;
     config.serve = configure(args, config.serve)?;
+    if config.serve.record_dir.is_some() {
+        // Stamp the input seed so `rstp replay` can regenerate each
+        // session's X without the original command line.
+        config.serve.record_seed = Some(config.seed);
+    }
 
     let report = run_swarm(&config).map_err(|e| ArgError(e.to_string()))?;
 
@@ -260,6 +271,7 @@ mod tests {
 
     #[test]
     fn swarm_over_the_loopback_hub_delivers_every_session() {
+        let _gate = crate::commands::swarm_gate();
         let out = run(&[
             "swarm",
             "--sessions",
@@ -293,6 +305,7 @@ mod tests {
 
     #[test]
     fn serve_command_hosts_udp_clients() {
+        let _gate = crate::commands::swarm_gate();
         let params = TimingParams::from_ticks(1, 2, 4).expect("valid");
         let kind = ProtocolKind::Beta { k: 4 };
         let server = thread::spawn(|| {

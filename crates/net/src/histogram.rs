@@ -90,6 +90,16 @@ impl LatencyHistogram {
             return None;
         }
         let q = q.clamp(0.0, 1.0);
+        // The extreme quantiles are known exactly — interpolation inside
+        // a shared bucket would otherwise drift above the true minimum
+        // (e.g. observations 4 and 7 both land in the [4, 7] bucket, and
+        // rank-1 interpolation splits the bucket rather than returning 4).
+        if q <= 0.0 {
+            return Some(self.min_micros as f64);
+        }
+        if q >= 1.0 {
+            return Some(self.max_micros as f64);
+        }
         let rank = (q * self.total as f64).max(1.0).min(self.total as f64);
         let mut seen = 0u64;
         for (bucket, &n) in self.counts.iter().enumerate() {
@@ -267,6 +277,62 @@ mod tests {
         // q outside [0, 1] clamps rather than panicking.
         assert_eq!(h.quantile_interp_micros(-1.0), Some(3.0));
         assert_eq!(h.quantile_interp_micros(2.0), Some(1000.0));
+    }
+
+    #[test]
+    fn interpolated_quantile_extremes_are_exact() {
+        // 4 and 7 share the [4, 7] bucket: without the short-circuit,
+        // q = 0 would interpolate to the bucket interior, not min.
+        let mut h = LatencyHistogram::new();
+        h.record(4);
+        h.record(7);
+        assert_eq!(h.quantile_interp_micros(0.0), Some(4.0));
+        assert_eq!(h.quantile_interp_micros(1.0), Some(7.0));
+        for v in [1u64, 90, 3000] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_interp_micros(0.0), Some(1.0));
+        assert_eq!(h.quantile_interp_micros(1.0), Some(3000.0));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_in_both_directions() {
+        let mut a = LatencyHistogram::new();
+        a.record(12);
+        a.record(900);
+        let snapshot = a.clone();
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a, snapshot);
+
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
+        assert_eq!(empty.quantile_interp_micros(0.0), Some(12.0));
+
+        let mut both = LatencyHistogram::new();
+        both.merge(&LatencyHistogram::new());
+        assert_eq!(both.count(), 0);
+        assert_eq!(both.quantile_interp_micros(0.5), None);
+    }
+
+    #[test]
+    fn merged_quantiles_span_disjoint_shards() {
+        // Two shards with disjoint latency ranges: after the merge the
+        // extreme quantiles come from different shards and the median
+        // sits between them.
+        let mut fast = LatencyHistogram::new();
+        for v in 1..=100u64 {
+            fast.record(v);
+        }
+        let mut slow = LatencyHistogram::new();
+        for v in 10_000..=10_100u64 {
+            slow.record(v);
+        }
+        fast.merge(&slow);
+        assert_eq!(fast.quantile_interp_micros(0.0), Some(1.0));
+        assert_eq!(fast.quantile_interp_micros(1.0), Some(10_100.0));
+        let p50 = fast.quantile_interp_micros(0.5).expect("non-empty");
+        assert!((100.0..=10_000.0).contains(&p50), "p50={p50}");
     }
 
     #[test]

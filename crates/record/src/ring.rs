@@ -1,0 +1,201 @@
+//! The bounded, strictly nonblocking event ring between a shard and its
+//! writer thread.
+//!
+//! The data-path contract is absolute: recording must never pace the
+//! shard. The producer side therefore takes the buffer lock only with
+//! `try_lock` — if the writer happens to hold it, or the ring is at
+//! capacity, the event is *dropped and counted*, never queued against a
+//! blocked lock. The consumer (the writer thread) is the only side that
+//! blocks; it drains the whole buffer in one swap so the lock is held
+//! for O(1) pointer work, not per-record encoding.
+//!
+//! Lock discipline: `buf` is the ring's only lock and nests under
+//! nothing — see `analysis/lock-order.toml`, which tracks this file.
+
+use crate::format::Record;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Shared state between one producer ([`RingProducer`]) and one
+/// consumer ([`RingConsumer`]).
+struct Shared {
+    buf: Mutex<VecDeque<Record>>,
+    cap: usize,
+    recorded: AtomicU64,
+    dropped: AtomicU64,
+    closed: AtomicBool,
+}
+
+/// The shard-side handle: nonblocking push plus the counters.
+#[derive(Clone)]
+pub struct RingProducer {
+    shared: Arc<Shared>,
+}
+
+/// The writer-side handle: blocking drain plus shutdown observation.
+pub struct RingConsumer {
+    shared: Arc<Shared>,
+}
+
+/// Creates a ring bounded at `cap` records (at least 1).
+#[must_use]
+pub fn ring(cap: usize) -> (RingProducer, RingConsumer) {
+    let shared = Arc::new(Shared {
+        buf: Mutex::new(VecDeque::with_capacity(cap.clamp(1, 4096))),
+        cap: cap.max(1),
+        recorded: AtomicU64::new(0),
+        dropped: AtomicU64::new(0),
+        closed: AtomicBool::new(false),
+    });
+    (
+        RingProducer {
+            shared: shared.clone(),
+        },
+        RingConsumer { shared },
+    )
+}
+
+impl RingProducer {
+    /// Offers one record. Returns `true` if it was accepted; a full ring
+    /// or a contended lock drops the record (counted in [`dropped`]).
+    /// This never blocks and never allocates beyond the deque's growth
+    /// toward its fixed capacity.
+    ///
+    /// [`dropped`]: RingProducer::dropped
+    pub fn push(&self, rec: Record) -> bool {
+        if let Ok(mut q) = self.shared.buf.try_lock() {
+            if q.len() < self.shared.cap {
+                q.push_back(rec);
+                drop(q);
+                self.shared.recorded.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+        false
+    }
+
+    /// Events accepted into the ring so far.
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.shared.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Events dropped at the ring so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Signals the consumer that no further events will arrive.
+    pub fn close(&self) {
+        self.shared.closed.store(true, Ordering::Release);
+    }
+}
+
+impl RingConsumer {
+    /// Moves every buffered record into `out`. The lock is held only
+    /// for the swap. A poisoned lock (a panicked producer mid-push,
+    /// which cannot happen — push performs no fallible work under the
+    /// lock) degrades to draining whatever is there.
+    pub fn drain(&self, out: &mut Vec<Record>) {
+        let mut q = self
+            .shared
+            .buf
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        out.extend(q.drain(..));
+    }
+
+    /// True once the producer closed the ring; buffered records may
+    /// still need a final [`drain`](RingConsumer::drain).
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.shared.closed.load(Ordering::Acquire)
+    }
+
+    /// Counter snapshot `(recorded, dropped)`.
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.shared.recorded.load(Ordering::Relaxed),
+            self.shared.dropped.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{Event, RecStats};
+
+    fn ev(session: u32) -> Record {
+        Record::Event(Event::DeadlineMiss {
+            at_micros: 1,
+            session,
+            due_tick: 2,
+        })
+    }
+
+    #[test]
+    fn push_then_drain_preserves_order() {
+        let (tx, rx) = ring(8);
+        for i in 0..5 {
+            assert!(tx.push(ev(i)));
+        }
+        let mut out = Vec::new();
+        rx.drain(&mut out);
+        let ids: Vec<u32> = out
+            .iter()
+            .map(|r| match r {
+                Record::Event(Event::DeadlineMiss { session, .. }) => *session,
+                _ => u32::MAX,
+            })
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert_eq!(tx.recorded(), 5);
+        assert_eq!(tx.dropped(), 0);
+    }
+
+    #[test]
+    fn full_ring_drops_newest_and_counts() {
+        let (tx, rx) = ring(2);
+        assert!(tx.push(ev(0)));
+        assert!(tx.push(ev(1)));
+        assert!(!tx.push(ev(2)));
+        assert!(!tx.push(ev(3)));
+        assert_eq!(tx.recorded(), 2);
+        assert_eq!(tx.dropped(), 2);
+        let mut out = Vec::new();
+        rx.drain(&mut out);
+        assert_eq!(out.len(), 2);
+        // Room again after the drain.
+        assert!(tx.push(Record::Stats(RecStats::default())));
+    }
+
+    #[test]
+    fn contended_lock_drops_instead_of_blocking() {
+        let (tx, rx) = ring(64);
+        // Hold the consumer side of the lock across a push: the producer
+        // must fail fast, not wait.
+        let guard = rx.shared.buf.lock().unwrap_or_else(PoisonError::into_inner);
+        assert!(!tx.push(ev(0)));
+        drop(guard);
+        assert_eq!(tx.dropped(), 1);
+        assert!(tx.push(ev(1)));
+    }
+
+    #[test]
+    fn close_is_visible_to_the_consumer() {
+        let (tx, rx) = ring(4);
+        assert!(!rx.is_closed());
+        tx.push(ev(9));
+        tx.close();
+        assert!(rx.is_closed());
+        let mut out = Vec::new();
+        rx.drain(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(rx.counters(), (1, 0));
+    }
+}

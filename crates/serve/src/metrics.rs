@@ -69,6 +69,13 @@ pub struct ShardReport {
     pub frames_received: u64,
     /// Per-packet delivery latency across the shard's sessions.
     pub latency: LatencyHistogram,
+    /// Flight-recorder events this shard's ring accepted (0 when
+    /// recording is off).
+    pub events_recorded: u64,
+    /// Flight-recorder events shed because the ring was full or
+    /// contended — recording is strictly nonblocking, so saturation
+    /// drops events rather than pacing the data path.
+    pub events_dropped: u64,
     /// Per-session outcomes.
     pub sessions: Vec<SessionStats>,
 }
@@ -89,6 +96,8 @@ impl ShardReport {
             frames_sent: 0,
             frames_received: 0,
             latency: LatencyHistogram::new(),
+            events_recorded: 0,
+            events_dropped: 0,
             sessions: Vec::new(),
         }
     }
@@ -139,6 +148,18 @@ impl ServeReport {
     #[must_use]
     pub fn ingress_overflow(&self) -> u64 {
         self.shards.iter().map(|s| s.ingress_overflow).sum()
+    }
+
+    /// Total flight-recorder events accepted.
+    #[must_use]
+    pub fn events_recorded(&self) -> u64 {
+        self.shards.iter().map(|s| s.events_recorded).sum()
+    }
+
+    /// Total flight-recorder events shed under saturation.
+    #[must_use]
+    pub fn events_dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.events_dropped).sum()
     }
 
     /// All shards' latency histograms merged.

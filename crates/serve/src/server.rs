@@ -14,8 +14,10 @@ use crate::metrics::{ServeReport, ShardReport};
 use crate::shard::{run_shard, ShardMsg, ShardParams};
 use rstp_core::{SessionId, TimingParams};
 use rstp_net::{decode_any, NetError, Pace, TickClock};
+use rstp_record::{RecorderSet, RunMeta};
 use rstp_sim::ProtocolKind;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, TrySendError};
 use std::sync::Arc;
@@ -67,7 +69,7 @@ pub struct SessionSpec {
 }
 
 /// Configuration of a server run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Timing parameters `(c1, c2, d)` in ticks.
     pub params: TimingParams,
@@ -91,6 +93,12 @@ pub struct ServeConfig {
     pub grace_ticks: u64,
     /// Hard wall-clock cap on the whole run.
     pub max_wall: Duration,
+    /// Directory for the flight recording (one `shard-NN.rec` per
+    /// shard); `None` disables recording entirely.
+    pub record_dir: Option<PathBuf>,
+    /// Input seed stamped into each recording's metadata so a
+    /// postmortem can regenerate the swarm inputs (`rstp replay`).
+    pub record_seed: Option<u64>,
 }
 
 impl ServeConfig {
@@ -111,6 +119,8 @@ impl ServeConfig {
             slack: tick / 4,
             grace_ticks: 2 * (params.d().ticks() + params.c2().ticks()),
             max_wall: Duration::from_secs(60),
+            record_dir: None,
+            record_seed: None,
         }
     }
 
@@ -155,6 +165,26 @@ impl ServeConfig {
         self.max_wall = cap;
         self
     }
+
+    /// Enables the per-shard flight recorder, writing under `dir`.
+    #[must_use]
+    pub fn with_record(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.record_dir = Some(dir.into());
+        self
+    }
+
+    /// Stamps the swarm input seed into the recording metadata.
+    #[must_use]
+    pub fn with_record_seed(mut self, seed: u64) -> Self {
+        self.record_seed = Some(seed);
+        self
+    }
+}
+
+/// Recorder failures surface as I/O errors: recording is infrastructure
+/// around the protocol run, not part of the model.
+fn record_err(e: &rstp_record::RecordError) -> NetError {
+    NetError::Io(std::io::Error::other(e.to_string()))
 }
 
 /// Runs the receiver side of every admitted session in `specs` over
@@ -176,6 +206,27 @@ pub fn run_server<T: ServeTransport>(
     let shard_count = config.shards.max(1);
     let completed = Arc::new(AtomicU64::new(0));
 
+    // Flight recorder: one ring + writer thread per shard, created
+    // before the shards so each takes its nonblocking handle with it.
+    let (recorder_set, shard_recorders) = match &config.record_dir {
+        Some(dir) => {
+            let tick_micros = config.tick.as_micros().max(1) as u64;
+            let (params, seed) = (config.params, config.record_seed);
+            let (set, recorders) = RecorderSet::create(dir, shard_count, |shard| RunMeta {
+                shard,
+                c1: params.c1().ticks(),
+                c2: params.c2().ticks(),
+                d: params.d().ticks(),
+                tick_micros,
+                seed,
+            })
+            .map_err(|e| record_err(&e))?;
+            (Some(set), recorders)
+        }
+        None => (None, Vec::new()),
+    };
+    let mut shard_recorders = shard_recorders.into_iter();
+
     let mut txs = Vec::with_capacity(shard_count);
     let mut handles = Vec::with_capacity(shard_count);
     for index in 0..shard_count {
@@ -191,9 +242,10 @@ pub fn run_server<T: ServeTransport>(
         };
         let egress = transport.egress()?;
         let counter = completed.clone();
+        let recorder = shard_recorders.next();
         let handle = thread::Builder::new()
             .name(format!("rstp-serve-shard-{index}"))
-            .spawn(move || run_shard(sp, clock, rx, egress, counter))
+            .spawn(move || run_shard(sp, clock, rx, egress, counter, recorder))
             .map_err(|e| NetError::Thread {
                 what: format!("spawn shard {index}: {e}"),
             })?;
@@ -300,6 +352,13 @@ pub fn run_server<T: ServeTransport>(
                     what: format!("shard {index} panicked"),
                 }))
             }
+        }
+    }
+    // Seal the recording even on a failing run — a postmortem of the
+    // failure is exactly when the files matter.
+    if let Some(set) = recorder_set {
+        if let Err(e) = set.finish() {
+            first_err = first_err.or(Some(record_err(&e)));
         }
     }
     if let Some(e) = first_err {

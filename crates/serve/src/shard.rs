@@ -18,6 +18,7 @@ use crate::server::{EgressSink, SessionSpec};
 use crate::wheel::TimerWheel;
 use rstp_core::{SessionId, TimingParams};
 use rstp_net::{codec_for, Frame, NetError, Pace, TickClock, WireCodec};
+use rstp_record::{Event, ShardRecorder};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
@@ -63,6 +64,10 @@ struct Live {
     recvs: u64,
     sends: u64,
     last_write_tick: Option<u64>,
+    /// Injected-fault builds only: one in-flight frame held back to
+    /// overlap adjacent δ2 bursts (see [`inject_defer`]).
+    #[cfg(rstp_check_inject_ack_bug)]
+    defer: Option<(u8, Frame)>,
 }
 
 impl Live {
@@ -89,7 +94,10 @@ pub(crate) fn run_shard(
     rx: Receiver<ShardMsg>,
     mut egress: Box<dyn EgressSink>,
     completed_total: Arc<AtomicU64>,
+    recorder: Option<ShardRecorder>,
 ) -> Result<ShardReport, NetError> {
+    #[cfg(rstp_check_inject_ack_bug)]
+    let inject_delta2 = sp.params.delta2();
     let gap_ticks = sp.pace.gap_ticks(sp.params).max(1);
     let tick_micros = sp.tick.as_micros().max(1) as u64;
     let lo = (sp.tick * u32::try_from(sp.params.c1().ticks()).unwrap_or(u32::MAX))
@@ -137,6 +145,8 @@ pub(crate) fn run_shard(
                         recvs: 0,
                         sends: 0,
                         last_write_tick: None,
+                        #[cfg(rstp_check_inject_ack_bug)]
+                        defer: None,
                     };
                     let idx = match sessions.iter().position(Option::is_none) {
                         Some(free) => {
@@ -154,6 +164,14 @@ pub(crate) fn run_shard(
                     // would book a spurious miss at admission.
                     wheel.schedule(now_tick(&clock) + 1, idx);
                     report.admitted += 1;
+                    if let Some(r) = &recorder {
+                        r.record(Event::Admit {
+                            at_micros: clock.now_micros(),
+                            session: spec.id.raw(),
+                            kind: spec.kind,
+                            n: u32::try_from(spec.n).unwrap_or(u32::MAX),
+                        });
+                    }
                 }
                 ShardMsg::Frame(id, frame) => {
                     if let Some(&idx) = by_id.get(&id.raw()) {
@@ -193,11 +211,44 @@ pub(crate) fn run_shard(
                 }
             }
             live.prev_wake = (!late).then_some(wake);
+            if let Some(r) = &recorder {
+                r.record(Event::WheelPop {
+                    at_micros: clock.now_micros(),
+                    session: live.spec.id.raw(),
+                    due_tick,
+                    late,
+                });
+                if late {
+                    r.record(Event::DeadlineMiss {
+                        at_micros: clock.now_micros(),
+                        session: live.spec.id.raw(),
+                        due_tick,
+                    });
+                }
+            }
+
+            #[cfg(rstp_check_inject_ack_bug)]
+            inject_defer(live, inject_delta2);
 
             // Drain delivered frames as recv inputs before the local
             // step (inputs are channel outputs, not clocked).
             let received_any = !live.pending.is_empty();
             while let Some(frame) = live.pending.pop_front() {
+                if let Some(r) = &recorder {
+                    // Re-encode canonically: byte-identical to the wire,
+                    // so the recording carries full frames, not summaries.
+                    let wire = live.codec.encode_with_session(
+                        frame.packet,
+                        frame.seq,
+                        frame.sent_at_micros,
+                        live.spec.id,
+                    );
+                    r.record(Event::Rx {
+                        at_micros: clock.now_micros(),
+                        session: live.spec.id.raw(),
+                        wire: wire.to_vec(),
+                    });
+                }
                 live.endpoint.apply_recv(frame.packet)?;
                 report
                     .latency
@@ -219,6 +270,13 @@ pub(crate) fn run_shard(
                     let bytes = live
                         .codec
                         .encode_with_session(p, live.seq, stamp, live.spec.id);
+                    if let Some(r) = &recorder {
+                        r.record(Event::Tx {
+                            at_micros: stamp,
+                            session: live.spec.id.raw(),
+                            wire: bytes.to_vec(),
+                        });
+                    }
                     live.seq += 1;
                     out_buf.push((live.spec.id.raw(), bytes.to_vec()));
                     live.sends += 1;
@@ -246,7 +304,16 @@ pub(crate) fn run_shard(
                     };
                     by_id.remove(&done.spec.id.raw());
                     report.completed += 1;
-                    report.sessions.push(done.into_stats(true));
+                    let stats = done.into_stats(true);
+                    if let Some(r) = &recorder {
+                        r.record(Event::Verdict {
+                            at_micros: clock.now_micros(),
+                            session: stats.id.raw(),
+                            completed: true,
+                            written: stats.written.clone(),
+                        });
+                    }
+                    report.sessions.push(stats);
                     completed_total.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
@@ -274,7 +341,55 @@ pub(crate) fn run_shard(
     // Account whatever is still open.
     for slot in sessions.into_iter().flatten() {
         report.unfinished += 1;
-        report.sessions.push(slot.into_stats(false));
+        let stats = slot.into_stats(false);
+        if let Some(r) = &recorder {
+            r.record(Event::Verdict {
+                at_micros: clock.now_micros(),
+                session: stats.id.raw(),
+                completed: false,
+                written: stats.written.clone(),
+            });
+        }
+        report.sessions.push(stats);
+    }
+    if let Some(r) = &recorder {
+        report.events_recorded = r.recorded();
+        report.events_dropped = r.dropped();
     }
     Ok(report)
+}
+
+/// Injected-fault builds only: a channel adversary living in the shard.
+///
+/// Holds back the *last* data frame of a δ2 burst for up to two pops or
+/// until newer traffic arrives, then re-queues it *behind* that traffic.
+/// The detour stays within one `[0, d]` delivery window (≤ 2·c2 ticks),
+/// so it is a legal reordering of the bounded-delay channel: a correct
+/// `A^γ` transmitter waits for all δ2 acks before opening the next
+/// burst, and the receiver's multiset decoding is order-insensitive
+/// within a burst, so correct builds are unaffected. The seeded
+/// early-ack transmitter bug advances one ack short, letting the next
+/// burst's frames overtake the held one — a cross-burst misgrouping the
+/// count-based receiver decodes into the wrong symbols.
+#[cfg(rstp_check_inject_ack_bug)]
+fn inject_defer(live: &mut Live, delta2: u64) {
+    if let Some((pops, frame)) = live.defer.take() {
+        if !live.pending.is_empty() || pops >= 1 {
+            live.pending.push_back(frame);
+            // Released this pop: no fresh capture until the next one,
+            // or the frame just re-queued would be captured again.
+            return;
+        }
+        live.defer = Some((pops + 1, frame));
+        return;
+    }
+    if delta2 <= 1 {
+        return;
+    }
+    if let Some(pos) = live.pending.iter().position(|f| {
+        matches!(f.packet, rstp_core::Packet::Data(_)) && f.seq % delta2 == delta2 - 1
+    }) {
+        let frame = live.pending.remove(pos).expect("position exists");
+        live.defer = Some((0, frame));
+    }
 }

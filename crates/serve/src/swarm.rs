@@ -36,7 +36,7 @@ pub enum SwarmTransport {
 
 /// Configuration of a uniform swarm (same protocol and `n` everywhere;
 /// [`run_swarm_sessions`] takes an explicit mixed plan instead).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SwarmConfig {
     /// Server-side configuration (shards, batching, pacing, caps).
     pub serve: ServeConfig,
@@ -172,6 +172,14 @@ impl SwarmReport {
             self.serve.orphan_frames,
             self.serve.decode_errors
         );
+        if self.serve.events_recorded() > 0 || self.serve.events_dropped() > 0 {
+            let _ = writeln!(
+                out,
+                "recorder  : {} events recorded, {} shed",
+                self.serve.events_recorded(),
+                self.serve.events_dropped()
+            );
+        }
         for s in &self.serve.shards {
             let _ = writeln!(
                 out,
@@ -465,6 +473,43 @@ mod tests {
         assert_eq!(report.serve.completed(), 8);
         assert_eq!(report.oracle_checked, 2);
         assert!(report.serve.latency().count() > 0);
+    }
+
+    #[test]
+    fn recorded_mem_swarm_stays_clean_and_indexable() {
+        let params = TimingParams::from_ticks(1, 2, 4).expect("valid");
+        let dir = std::env::temp_dir().join(format!("rstp-swarm-rec-{}", std::process::id()));
+        let mut config = SwarmConfig::new(
+            ProtocolKind::Gamma { k: 4 },
+            8,
+            6,
+            params,
+            Duration::from_micros(200),
+        );
+        config.serve = config.serve.with_record(&dir).with_record_seed(config.seed);
+        let report = run_swarm(&config).expect("swarm");
+        assert!(report.all_good(), "{}", report.summary());
+        assert!(report.serve.events_recorded() > 0);
+        assert_eq!(report.serve.events_dropped(), 0);
+        assert!(report.summary().contains("recorder  :"));
+
+        // The recording is complete: every session has its admit,
+        // frames, and a completed verdict matching its input.
+        let ix = rstp_record::SessionIndex::from_dir(&dir).expect("index");
+        assert_eq!(ix.len(), 6);
+        assert_eq!(ix.params, Some((1, 2, 4)));
+        assert_eq!(ix.seed, Some(config.seed));
+        assert!(!ix.truncated);
+        for h in ix.sessions() {
+            assert_eq!(h.kind, Some(ProtocolKind::Gamma { k: 4 }));
+            assert!(!h.rx.is_empty(), "session {} recorded no frames", h.session);
+            assert!(!h.pops.is_empty());
+            let (_, completed, written) = h.verdict.clone().expect("verdict");
+            assert!(completed);
+            let expect = random_input(8, config.seed.wrapping_add(u64::from(h.session) - 1));
+            assert_eq!(written, expect, "recorded Y != X for session {}", h.session);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

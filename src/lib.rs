@@ -18,6 +18,7 @@
 //! | [`codec`] | `rstp-codec` | bit-block ↔ multiset ↔ packet-burst codec |
 //! | [`core`] | `rstp-core` | problem, channel, protocols `A^α`/`A^β(k)`/`A^γ(k)`, bounds |
 //! | [`net`] | `rstp-net` | wire codec, real transports (memory/UDP), real-time driver |
+//! | [`record`] | `rstp-record` | per-shard flight recorder: nonblocking ring, binary format, postmortem reader |
 //! | [`serve`] | `rstp-serve` | sharded multi-session server: timer wheel, batched I/O, swarm harness |
 //! | [`sim`] | `rstp-sim` | adversaries, event engine, checkers, effort harness |
 //!
@@ -64,5 +65,6 @@ pub use rstp_codec as codec;
 pub use rstp_combinatorics as combinatorics;
 pub use rstp_core as core;
 pub use rstp_net as net;
+pub use rstp_record as record;
 pub use rstp_serve as serve;
 pub use rstp_sim as sim;
