@@ -29,6 +29,7 @@
 //! | [`action`] | [`ActionClass`], action-set signatures |
 //! | [`automaton`] | the [`Automaton`] trait and determinism checks |
 //! | [`composition`] | binary composition [`Compose`] and compatibility checks |
+//! | [`corrupt`] | [`Corruptible`] register view for state-corruption adversaries |
 //! | [`execution`] | untimed executions, validation, behaviors, restriction |
 //! | [`timed`] | timings, timed executions, the timing axioms |
 //! | [`fairness`] | fairness of finite executions |
@@ -72,6 +73,7 @@ pub mod action;
 pub mod automaton;
 pub mod boundmap;
 pub mod composition;
+pub mod corrupt;
 pub mod execution;
 pub mod explore;
 pub mod fairness;
@@ -82,6 +84,7 @@ pub use action::ActionClass;
 pub use automaton::{Automaton, DeterminismError, StepError};
 pub use boundmap::{check_class_spacing, BoundMap, BoundMapError};
 pub use composition::{CompatibilityError, Compose, Side};
+pub use corrupt::{enumerate_register_vectors, Corruptible, RegisterSpec};
 pub use execution::{Execution, ExecutionError};
 pub use explore::{explore, Exploration, ExploreError};
 pub use fairness::{finite_fairness, FairnessVerdict};

@@ -41,7 +41,7 @@ fn main() {
             .iter()
             .map(|a| {
                 ExperimentId::parse(a).unwrap_or_else(|| {
-                    eprintln!("unknown experiment {a:?}; expected e1..e12 or all");
+                    eprintln!("unknown experiment {a:?}; expected e1..e13 or all");
                     std::process::exit(2);
                 })
             })

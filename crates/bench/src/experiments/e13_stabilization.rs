@@ -1,0 +1,235 @@
+//! E13 — the price of self-stabilization: effort overhead of the
+//! stabilizing variants on clean runs versus their non-stabilizing
+//! baselines, and observed stabilization time after a seeded transient
+//! fault versus the documented bound.
+//!
+//! The stabilizing Stenning pays for its tagged alphabet and flush phase;
+//! the stabilizing β pays for its silence-resync gaps. Both must converge
+//! within the closed-form bounds `stab_stenning_bound` /
+//! `stab_beta_bound` — this experiment measures how much of that budget
+//! real corrupted runs actually use.
+
+use super::{ExperimentId, ExperimentOutput};
+use crate::table::Table;
+use rstp_core::protocols::stabilizing::{stab_beta_bound, stab_stenning_bound};
+use rstp_core::{Message, TimingParams};
+use rstp_sim::adversary::{DeliveryPolicy, StepPolicy};
+use rstp_sim::harness::{random_input, run_configured, ProtocolKind, RunConfig};
+use rstp_sim::{run_corrupted, CorruptionSpec};
+
+/// One stabilizing-vs-baseline comparison.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Stabilizing protocol label.
+    pub protocol: String,
+    /// Non-stabilizing baseline label.
+    pub baseline: String,
+    /// Clean-run effort (packets per message) of the stabilizing variant.
+    pub effort: f64,
+    /// Clean-run effort of the baseline.
+    pub baseline_effort: f64,
+    /// Corrupted runs attempted.
+    pub runs: usize,
+    /// Corrupted runs in which the fault fired.
+    pub faults_fired: usize,
+    /// Largest observed stabilization time (ticks from fault to last
+    /// divergent write; 0 when no run wrote garbage).
+    pub max_stab_ticks: u64,
+    /// The documented stabilization-time bound in ticks.
+    pub bound_ticks: u64,
+}
+
+impl Row {
+    /// Clean-run effort overhead of stabilizing over the baseline.
+    #[must_use]
+    pub fn overhead(&self) -> f64 {
+        if self.baseline_effort > 0.0 {
+            self.effort / self.baseline_effort
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+fn clean_effort(kind: ProtocolKind, params: TimingParams, input: &[Message]) -> f64 {
+    let run = run_configured(
+        &RunConfig {
+            kind,
+            params,
+            step: StepPolicy::AllSlow,
+            delivery: DeliveryPolicy::MaxDelay,
+            max_events: 3_000_000,
+            ..RunConfig::default()
+        },
+        input,
+    )
+    .expect("clean run");
+    run.metrics.packets_per_message().unwrap_or(f64::NAN)
+}
+
+/// Longest tail of `input` appearing contiguously anywhere in `written`
+/// (mirrors the rstp-check convergence matcher).
+fn tail_occurrence(written: &[Message], input: &[Message]) -> (usize, usize) {
+    let max = written.len().min(input.len());
+    for l in (1..=max).rev() {
+        let tail = &input[input.len() - l..];
+        if let Some(start) = written.windows(l).position(|w| w == tail) {
+            return (l, start);
+        }
+    }
+    (0, 0)
+}
+
+fn corrupted_stats(
+    kind: ProtocolKind,
+    params: TimingParams,
+    input: &[Message],
+    seeds: u64,
+) -> (usize, usize, u64) {
+    let mut fired = 0usize;
+    let mut max_ticks = 0u64;
+    for seed in 0..seeds {
+        let cfg = RunConfig {
+            kind,
+            params,
+            step: StepPolicy::AllSlow,
+            delivery: DeliveryPolicy::MaxDelay,
+            max_events: 3_000_000,
+            ..RunConfig::default()
+        };
+        let mut step = cfg.step.build(params);
+        let mut delivery = cfg
+            .delivery
+            .build(rstp_automata::TimeDelta::ZERO, params.d());
+        let spec = CorruptionSpec {
+            at_event: 20 + seed * 7,
+            seed: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        };
+        let (run, report) = run_corrupted(&cfg, input, step.as_mut(), delivery.as_mut(), spec)
+            .expect("corrupted run");
+        let Some(applied_at) = report.applied_at else {
+            continue;
+        };
+        fired += 1;
+        let written = run.trace.written();
+        let (_, tail_start) = tail_occurrence(&written, input);
+        if tail_start > 0 {
+            let last_garbage = run
+                .trace
+                .events()
+                .iter()
+                .filter(|e| matches!(e.action, rstp_core::RstpAction::Write(_)))
+                .nth(tail_start - 1)
+                .expect("trace contains every counted write");
+            if last_garbage.time > applied_at {
+                max_ticks = max_ticks.max((last_garbage.time - applied_at).ticks());
+            }
+        }
+    }
+    (seeds as usize, fired, max_ticks)
+}
+
+/// Runs both stabilizing-vs-baseline comparisons.
+#[must_use]
+pub fn rows() -> Vec<Row> {
+    let params = TimingParams::from_ticks(1, 2, 6).expect("valid parameters");
+    let n = 48;
+    let input = random_input(n, 0xE13);
+    let seeds = 20u64;
+    let pairs = [
+        (
+            ProtocolKind::StabStenning {
+                timeout_steps: None,
+            },
+            ProtocolKind::Stenning {
+                timeout_steps: None,
+            },
+            stab_stenning_bound(params, None),
+        ),
+        (
+            ProtocolKind::StabBeta { k: 4 },
+            ProtocolKind::Beta { k: 4 },
+            stab_beta_bound(params, 4),
+        ),
+    ];
+    pairs
+        .into_iter()
+        .map(|(stab, base, bound)| {
+            let (runs, fired, max_ticks) = corrupted_stats(stab, params, &input, seeds);
+            Row {
+                protocol: stab.name(),
+                baseline: base.name(),
+                effort: clean_effort(stab, params, &input),
+                baseline_effort: clean_effort(base, params, &input),
+                runs,
+                faults_fired: fired,
+                max_stab_ticks: max_ticks,
+                bound_ticks: bound,
+            }
+        })
+        .collect()
+}
+
+/// Renders the experiment.
+#[must_use]
+pub fn output() -> ExperimentOutput {
+    let rows = rows();
+    let mut table = Table::new([
+        "protocol",
+        "baseline",
+        "effort",
+        "base effort",
+        "overhead",
+        "faults",
+        "max stab (ticks)",
+        "bound (ticks)",
+    ]);
+    for r in &rows {
+        table.push([
+            r.protocol.clone(),
+            r.baseline.clone(),
+            format!("{:.2}", r.effort),
+            format!("{:.2}", r.baseline_effort),
+            format!("{:.2}x", r.overhead()),
+            format!("{}/{}", r.faults_fired, r.runs),
+            r.max_stab_ticks.to_string(),
+            r.bound_ticks.to_string(),
+        ]);
+    }
+    ExperimentOutput {
+        id: ExperimentId::E13,
+        title: "self-stabilization: effort overhead and stabilization time vs bound".into(),
+        table,
+        notes: vec![
+            "overhead = clean-run packets/message of the stabilizing variant over its baseline"
+                .into(),
+            "max stab = worst observed fault-to-last-divergent-write gap across seeded corruptions"
+                .into(),
+            "every observed stabilization time must sit under the documented bound".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stabilization_stays_inside_the_documented_bound() {
+        for r in rows() {
+            assert!(r.faults_fired > 0, "{}: no fault ever fired", r.protocol);
+            assert!(
+                r.max_stab_ticks <= r.bound_ticks,
+                "{}: observed {} ticks, bound {}",
+                r.protocol,
+                r.max_stab_ticks,
+                r.bound_ticks
+            );
+            assert!(
+                r.overhead().is_finite() && r.overhead() > 0.0,
+                "{}: unusable overhead",
+                r.protocol
+            );
+        }
+    }
+}

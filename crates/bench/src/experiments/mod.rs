@@ -3,6 +3,7 @@
 pub mod e10_distribution;
 pub mod e11_pipeline;
 pub mod e12_ablation;
+pub mod e13_stabilization;
 pub mod e1_alpha;
 pub mod e2_passive;
 pub mod e3_active;
@@ -43,6 +44,8 @@ pub enum ExperimentId {
     E11,
     /// E12: design-choice ablations (multiset coding, wait phase).
     E12,
+    /// E13: self-stabilization effort overhead and stabilization time.
+    E13,
 }
 
 impl ExperimentId {
@@ -62,6 +65,7 @@ impl ExperimentId {
             "e10" => ExperimentId::E10,
             "e11" => ExperimentId::E11,
             "e12" => ExperimentId::E12,
+            "e13" => ExperimentId::E13,
             _ => return None,
         })
     }
@@ -114,6 +118,7 @@ pub fn all_experiments() -> Vec<ExperimentId> {
         ExperimentId::E10,
         ExperimentId::E11,
         ExperimentId::E12,
+        ExperimentId::E13,
     ]
 }
 
@@ -133,6 +138,7 @@ pub fn run_experiment(id: ExperimentId) -> ExperimentOutput {
         ExperimentId::E10 => e10_distribution::output(),
         ExperimentId::E11 => e11_pipeline::output(),
         ExperimentId::E12 => e12_ablation::output(),
+        ExperimentId::E13 => e13_stabilization::output(),
     }
 }
 
@@ -147,14 +153,15 @@ mod tests {
         assert_eq!(ExperimentId::parse("e10"), Some(ExperimentId::E10));
         assert_eq!(ExperimentId::parse("e11"), Some(ExperimentId::E11));
         assert_eq!(ExperimentId::parse("e12"), Some(ExperimentId::E12));
-        assert_eq!(ExperimentId::parse("e13"), None);
+        assert_eq!(ExperimentId::parse("e13"), Some(ExperimentId::E13));
+        assert_eq!(ExperimentId::parse("e14"), None);
         assert_eq!(ExperimentId::parse(""), None);
     }
 
     #[test]
     fn all_experiments_listed_once() {
         let ids = all_experiments();
-        assert_eq!(ids.len(), 12);
+        assert_eq!(ids.len(), 13);
         for (i, id) in ids.iter().enumerate() {
             assert_eq!(
                 ExperimentId::parse(&format!("e{}", i + 1)),

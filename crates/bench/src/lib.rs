@@ -20,6 +20,7 @@
 //! | E10 | (extension) | typical vs worst-case effort distribution |
 //! | E11 | (extension) | pipelining vs alphabet-spending (`A^δ(k, w)`) |
 //! | E12 | (ablations) | positional coding; wait-phase shrink |
+//! | E13 | (extension) | self-stabilization: effort overhead, stabilization time vs bound |
 
 #![forbid(unsafe_code)]
 

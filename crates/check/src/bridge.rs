@@ -160,6 +160,8 @@ pub fn scenario_from_history(
         // Acks flowed server → client, outside the recorded window;
         // immediate delivery is the legal default.
         ack: ScriptedDelivery::new(Vec::new(), 0),
+        // Recorded live sessions never include a state-corruption fault.
+        corruption: None,
     })
 }
 

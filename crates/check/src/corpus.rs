@@ -24,11 +24,21 @@
 //!
 //! Fate tokens: a bare integer delivers after that many ticks, `drop`
 //! loses the packet, `dup:a,b` delivers two copies after `a` and `b`.
+//!
+//! Scenarios for the self-stabilizing protocols may carry one extra,
+//! optional line scripting the seeded mid-run state corruption:
+//!
+//! ```text
+//! corruption = at=37 seed=12345
+//! ```
+//!
+//! Files without it (everything predating the stabilizing family) parse
+//! unchanged.
 
 use std::fmt;
 
 use rstp_core::TimingParams;
-use rstp_sim::{PacketFate, ProtocolKind, ScriptedDelivery};
+use rstp_sim::{CorruptionSpec, PacketFate, ProtocolKind, ScriptedDelivery};
 
 use crate::scenario::Scenario;
 
@@ -88,6 +98,11 @@ fn kind_token(kind: ProtocolKind) -> String {
             None => "stenning timeout=none".into(),
         },
         ProtocolKind::Pipelined { k, window } => format!("pipelined k={k} w={window}"),
+        ProtocolKind::StabStenning { timeout_steps } => match timeout_steps {
+            Some(t) => format!("stab-stenning timeout={t}"),
+            None => "stab-stenning timeout=none".into(),
+        },
+        ProtocolKind::StabBeta { k } => format!("stab-beta k={k}"),
     }
 }
 
@@ -115,6 +130,11 @@ pub fn render_repro(repro: &Repro) -> String {
     let ticks = |v: &[u64]| join(v.iter().map(u64::to_string).collect());
     let fates = |p: &ScriptedDelivery| join(p.fates().iter().map(|&f| fate_token(f)).collect());
     let input: String = s.input.iter().map(|&b| if b { '1' } else { '0' }).collect();
+    // The corruption line is optional (absent = no fault), so pre-Issue-7
+    // corpus files parse unchanged.
+    let corruption = s.corruption.map_or(String::new(), |c| {
+        format!("corruption = at={} seed={}\n", c.at_event, c.seed)
+    });
     format!(
         "{HEADER}\n\
          protocol = {}\n\
@@ -128,7 +148,8 @@ pub fn render_repro(repro: &Repro) -> String {
          data_fates ={}\n\
          ack_fates ={}\n\
          data_fallback = {}\n\
-         ack_fallback = {}\n",
+         ack_fallback = {}\n\
+         {corruption}",
         kind_token(s.kind),
         s.params.c1().ticks(),
         s.params.c2().ticks(),
@@ -154,14 +175,18 @@ struct Fields<'a> {
 
 impl<'a> Fields<'a> {
     fn get(&self, key: &str) -> Result<(usize, &'a str), ReproError> {
+        self.get_opt(key).ok_or_else(|| ReproError {
+            line: 0,
+            message: format!("missing field `{key}`"),
+        })
+    }
+
+    /// Optional fields (like `corruption`) are simply absent in older files.
+    fn get_opt(&self, key: &str) -> Option<(usize, &'a str)> {
         self.entries
             .iter()
             .find(|(_, k, _)| *k == key)
             .map(|&(line, _, v)| (line, v))
-            .ok_or_else(|| ReproError {
-                line: 0,
-                message: format!("missing field `{key}`"),
-            })
     }
 }
 
@@ -223,6 +248,10 @@ fn parse_kind(line: usize, value: &str) -> Result<ProtocolKind, ReproError> {
             k: need_k()?,
             window: window.unwrap_or(2),
         }),
+        "stab-stenning" => Ok(ProtocolKind::StabStenning {
+            timeout_steps: timeout.unwrap_or(None),
+        }),
+        "stab-beta" => Ok(ProtocolKind::StabBeta { k: need_k()? }),
         other => Err(ReproError {
             line,
             message: format!("unknown protocol `{other}`"),
@@ -354,6 +383,11 @@ pub fn parse_repro(text: &str) -> Result<Repro, ReproError> {
     let (line, value) = fields.get("ack_fallback")?;
     let ack_fallback = parse_u64(line, "ack_fallback", value)?;
 
+    let corruption = match fields.get_opt("corruption") {
+        None => None,
+        Some((line, value)) => Some(parse_corruption(line, value)?),
+    };
+
     Ok(Repro {
         scenario: Scenario {
             kind,
@@ -364,10 +398,39 @@ pub fn parse_repro(text: &str) -> Result<Repro, ReproError> {
             gap_fallback,
             data: ScriptedDelivery::new(data_fates, data_fallback),
             ack: ScriptedDelivery::new(ack_fates, ack_fallback),
+            corruption,
         },
         expect,
         reason,
     })
+}
+
+fn parse_corruption(line: usize, value: &str) -> Result<CorruptionSpec, ReproError> {
+    let mut at_event = None;
+    let mut seed = None;
+    for word in value.split_whitespace() {
+        let (key, v) = word.split_once('=').ok_or_else(|| ReproError {
+            line,
+            message: format!("corruption argument `{word}` is not key=value"),
+        })?;
+        match key {
+            "at" => at_event = Some(parse_u64(line, "corruption at", v)?),
+            "seed" => seed = Some(parse_u64(line, "corruption seed", v)?),
+            _ => {
+                return Err(ReproError {
+                    line,
+                    message: format!("unknown corruption argument `{key}`"),
+                })
+            }
+        }
+    }
+    match (at_event, seed) {
+        (Some(at_event), Some(seed)) => Ok(CorruptionSpec { at_event, seed }),
+        _ => Err(ReproError {
+            line,
+            message: "corruption needs both at=<n> and seed=<n>".into(),
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -396,6 +459,13 @@ mod tests {
                 timeout_steps: None,
             },
             ProtocolKind::Pipelined { k: 4, window: 3 },
+            ProtocolKind::StabStenning {
+                timeout_steps: Some(9),
+            },
+            ProtocolKind::StabStenning {
+                timeout_steps: None,
+            },
+            ProtocolKind::StabBeta { k: 4 },
         ];
         for kind in kinds {
             let repro = Repro {
@@ -409,6 +479,41 @@ mod tests {
             // Canonical form is a fixpoint.
             assert_eq!(render_repro(&back), text);
         }
+    }
+
+    #[test]
+    fn corruption_line_round_trips_and_stays_optional() {
+        let params = TimingParams::from_ticks(1, 2, 6).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        // Draw until the generator scripts a corruption (p = 0.7 per draw).
+        let scenario = std::iter::repeat_with(|| {
+            Scenario::generate(ProtocolKind::StabBeta { k: 3 }, params, &mut rng, 8)
+        })
+        .find(|s| s.corruption.is_some())
+        .unwrap();
+        let repro = Repro {
+            scenario,
+            expect: Expectation::Violation,
+            reason: "corruption round-trip".into(),
+        };
+        let text = render_repro(&repro);
+        assert!(text.contains("corruption = at="), "{text}");
+        let back = parse_repro(&text).unwrap();
+        assert_eq!(back, repro);
+        assert_eq!(render_repro(&back), text);
+
+        // Dropping the line parses to the same scenario without a fault.
+        let without: String = text
+            .lines()
+            .filter(|l| !l.starts_with("corruption"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let clean = parse_repro(&without).unwrap();
+        assert_eq!(clean.scenario.corruption, None);
+
+        // A half-specified line is a parse error, not a silent default.
+        let bad = without + "corruption = at=3\n";
+        assert!(parse_repro(&bad).is_err());
     }
 
     #[test]

@@ -274,6 +274,83 @@ mod tests {
         }
     }
 
+    // The stabilizing family is deliberately broken under the injected
+    // stab-bug cfg; its acceptance test below covers that build.
+    #[cfg(not(rstp_check_inject_stab_bug))]
+    #[test]
+    fn stabilizing_protocols_survive_a_corruption_campaign() {
+        for kind in [
+            ProtocolKind::StabStenning {
+                timeout_steps: None,
+            },
+            ProtocolKind::StabBeta { k: 4 },
+        ] {
+            let report = fuzz(&quick(kind, 40));
+            assert!(
+                report.failures.is_empty(),
+                "{}: {}",
+                report.protocol,
+                report.failures[0].failure
+            );
+            assert_eq!(report.iterations, 40);
+            assert!(report.coverage.total > 0);
+        }
+    }
+
+    /// The corruption-adversary acceptance run: compiled with
+    /// `RUSTFLAGS="--cfg rstp_check_inject_stab_bug"`, the stabilizing
+    /// Stenning receiver negates every bit written after it accepted a
+    /// sync — a convergence bug only reachable through a corrupted run
+    /// that enters the recovery ladder. The fuzzer must find it via the
+    /// convergence oracle and shrink it to a replayable corpus repro that
+    /// keeps its corruption line.
+    #[cfg(rstp_check_inject_stab_bug)]
+    #[test]
+    fn injected_stab_bug_is_caught_and_shrunk() {
+        let params = TimingParams::from_ticks(1, 2, 4).unwrap();
+        let mut cfg = FuzzConfig::new(
+            ProtocolKind::StabStenning {
+                timeout_steps: None,
+            },
+            params,
+        );
+        cfg.iters = 2_000;
+        cfg.differential_every = 0;
+        cfg.max_failures = 1;
+        let report = fuzz(&cfg);
+        assert!(
+            !report.failures.is_empty(),
+            "the injected stab bug must be found within {} iterations",
+            cfg.iters
+        );
+        let found = &report.failures[0];
+        assert_eq!(
+            found.failure.kind,
+            FailureKind::Convergence,
+            "expected a convergence failure, got {}",
+            found.failure
+        );
+        assert!(
+            found.scenario.corruption.is_some(),
+            "the shrunk repro must keep its corruption — the bug is unreachable without it"
+        );
+        // The repro replays byte-for-byte through the corpus format,
+        // corruption line included.
+        let text = crate::corpus::render_repro(&crate::corpus::Repro {
+            scenario: found.scenario.clone(),
+            expect: crate::corpus::Expectation::Violation,
+            reason: found.failure.to_string(),
+        });
+        assert!(text.contains("corruption = at="), "{text}");
+        let back = crate::corpus::parse_repro(&text).unwrap();
+        let replayed = crate::oracle::run_scenario(&back.scenario, cfg.max_events);
+        assert_eq!(
+            replayed.failure.map(|f| f.kind),
+            Some(FailureKind::Convergence),
+            "committed repro must reproduce the same failure"
+        );
+    }
+
     /// The acceptance run for the whole tentpole: compiled with
     /// `RUSTFLAGS="--cfg rstp_check_inject_ack_bug"`, `A^γ`'s transmitter
     /// advances one ack early, which corrupts the receiver's multiset

@@ -24,15 +24,16 @@ use std::time::Duration;
 
 use rstp_core::bounds;
 use rstp_core::protocols::{
-    AlphaReceiver, AlphaTransmitter, AltBitReceiver, AltBitTransmitter, BetaReceiver,
-    BetaTransmitter, FramedReceiver, FramedTransmitter, GammaReceiver, GammaTransmitter,
-    PipelinedReceiver, PipelinedTransmitter, StenningReceiver, StenningTransmitter,
+    stab_beta_transmitter, AlphaReceiver, AlphaTransmitter, AltBitReceiver, AltBitTransmitter,
+    BetaReceiver, BetaTransmitter, FramedReceiver, FramedTransmitter, GammaReceiver,
+    GammaTransmitter, PipelinedReceiver, PipelinedTransmitter, StabBetaReceiver,
+    StabStenningReceiver, StabStenningTransmitter, StenningReceiver, StenningTransmitter,
 };
 use rstp_net::{run_transfer_mem_scripted, DriverOutcome, Pace, TransferConfig};
 use rstp_sim::checker::{check_trace, CheckConfig};
 use rstp_sim::harness::RunConfig;
 use rstp_sim::replay::replay_trace;
-use rstp_sim::{run_with_adversaries, Outcome, ProtocolKind, SimTrace};
+use rstp_sim::{run_corrupted, run_with_adversaries, Outcome, ProtocolKind, SimTrace};
 
 use crate::scenario::Scenario;
 
@@ -54,6 +55,12 @@ pub enum FailureKind {
     Replay,
     /// Simulated and wall-clock runs of the same scenario disagree.
     Differential,
+    /// After a scripted state corruption, the written suffix never
+    /// converged back to the input (stabilizing protocols only).
+    Convergence,
+    /// The run converged, but later than the documented stabilization-time
+    /// bound allows.
+    StabilizationTime,
 }
 
 impl fmt::Display for FailureKind {
@@ -66,6 +73,8 @@ impl fmt::Display for FailureKind {
             FailureKind::Effort => "effort",
             FailureKind::Replay => "replay",
             FailureKind::Differential => "differential",
+            FailureKind::Convergence => "convergence",
+            FailureKind::StabilizationTime => "stab-time",
         };
         f.write_str(name)
     }
@@ -102,6 +111,12 @@ pub struct ScenarioRun {
 /// Runs `scenario` through the simulator and all simulation-side oracles
 /// (1–6 above). The differential oracle is separate — see
 /// [`differential_failure`].
+///
+/// Scenarios scripting a state corruption run under [`run_corrupted`] and
+/// are judged by the convergence and stabilization-time oracles instead of
+/// the clean-run ones: a corrupted run legitimately writes garbage during
+/// its stabilization window, so the prefix/output/effort/replay oracles do
+/// not apply to it.
 #[must_use]
 pub fn run_scenario(scenario: &Scenario, max_events: u64) -> ScenarioRun {
     let cfg = RunConfig {
@@ -114,19 +129,43 @@ pub fn run_scenario(scenario: &Scenario, max_events: u64) -> ScenarioRun {
     };
     let mut step = scenario.step_adversary();
     let mut delivery = scenario.delivery_adversary();
+
+    let model_failure = |e: String| ScenarioRun {
+        trace: SimTrace::default(),
+        quiescent: false,
+        events: 0,
+        failure: Some(Failure {
+            kind: FailureKind::Model,
+            detail: e,
+        }),
+    };
+
+    if let Some(spec) = scenario.corruption {
+        let (run, report) =
+            match run_corrupted(&cfg, &scenario.input, &mut step, &mut delivery, spec) {
+                Ok(pair) => pair,
+                Err(e) => return model_failure(e.to_string()),
+            };
+        let quiescent = run.outcome == Outcome::Quiescent;
+        let events = run.trace.events().len() as u64;
+        let failure = if report.applied() {
+            corruption_failure(scenario, &run.trace, quiescent, &report)
+        } else {
+            // The run finished before the fault fired: an ordinary clean
+            // run, judged by the clean-run oracles.
+            first_failure(scenario, &run.trace, quiescent, &run.metrics)
+        };
+        return ScenarioRun {
+            trace: run.trace,
+            quiescent,
+            events,
+            failure,
+        };
+    }
+
     let run = match run_with_adversaries(&cfg, &scenario.input, &mut step, &mut delivery) {
         Ok(run) => run,
-        Err(e) => {
-            return ScenarioRun {
-                trace: SimTrace::default(),
-                quiescent: false,
-                events: 0,
-                failure: Some(Failure {
-                    kind: FailureKind::Model,
-                    detail: e.to_string(),
-                }),
-            }
-        }
+        Err(e) => return model_failure(e.to_string()),
     };
     let quiescent = run.outcome == Outcome::Quiescent;
     let events = run.trace.events().len() as u64;
@@ -137,6 +176,151 @@ pub fn run_scenario(scenario: &Scenario, max_events: u64) -> ScenarioRun {
         events,
         failure,
     }
+}
+
+/// The corrupted-run oracles: **convergence** (the written suffix must
+/// settle back onto `X`, up to a completeness floor derived from where the
+/// corruption landed) and **stabilization time** (the last divergent write
+/// must fall within the documented bound after the fault struck).
+fn corruption_failure(
+    scenario: &Scenario,
+    trace: &SimTrace,
+    quiescent: bool,
+    report: &rstp_sim::CorruptionReport,
+) -> Option<Failure> {
+    use rstp_core::protocols::stabilizing::{
+        stab_beta_bits_per_block, stab_beta_bound, stab_stenning_ack_alphabet, stab_stenning_bound,
+        REG_BETA_R_PENDING_LEN, REG_BETA_T_BLOCK, REG_STAB_R_PENDING_ACK, REG_STAB_T_NEXT,
+    };
+
+    if !quiescent {
+        return Some(Failure {
+            kind: FailureKind::Termination,
+            detail: format!(
+                "corrupted run never quiesced within the budget ({} events; {report})",
+                trace.events().len()
+            ),
+        });
+    }
+
+    let input = &scenario.input;
+    let n = input.len();
+    let written = trace.written();
+
+    // Per-kind: the completeness floor (how many final messages of `X`
+    // must provably survive the fault), the matched tail length, the
+    // number of stabilization-window garbage writes *preceding* that
+    // tail, and the stabilization-time bound in ticks.
+    let (floor, matched, garbage_writes, bound) = match scenario.kind {
+        ProtocolKind::StabStenning { timeout_steps } => {
+            // Every message from the corrupted `next` on must be delivered,
+            // minus one slot per in-flight packet (a stale or rewritten ack
+            // can fake one advance each), one slot if the corrupted receiver
+            // was loaded with a pending ack (it is sent on its next step and
+            // can tag-alias into a fake advance exactly like a stale one),
+            // and a two-message allowance for the seam itself (one tag-alias
+            // re-ack, one boundary loss).
+            let next_c = report.t_regs[REG_STAB_T_NEXT] as usize;
+            let pending =
+                usize::from(report.r_regs[REG_STAB_R_PENDING_ACK] != stab_stenning_ack_alphabet());
+            let floor = n.saturating_sub(next_c + report.in_flight as usize + pending + 2);
+            let matched = longest_end_aligned_suffix(&written, input);
+            (
+                floor,
+                matched,
+                written.len() - matched,
+                stab_stenning_bound(scenario.params, timeout_steps),
+            )
+        }
+        ProtocolKind::StabBeta { k } => {
+            // The transmitter resumes at block `j0`; its first block may
+            // straddle the corrupted partial burst, stale in-flight symbols
+            // shift the framing, and the receiver's decoded cap can
+            // truncate the tail by the injected garbage — hence the wider
+            // slack. The surviving tail of `X` is contiguous in `written`
+            // but not necessarily at its end: the receiver may flush
+            // bounded leftovers (misframed cap overrun, end-of-run pending
+            // bits) *after* it, so the tail is searched anywhere in the
+            // written word and only the writes before it count as
+            // stabilization-window garbage.
+            let b = stab_beta_bits_per_block(scenario.params, k) as usize;
+            let j0 = report.t_regs[REG_BETA_T_BLOCK] as usize;
+            let pending = report.r_regs[REG_BETA_R_PENDING_LEN] as usize;
+            let floor =
+                n.saturating_sub((j0 + 1) * b + pending + report.in_flight as usize + 2 * b);
+            let (matched, tail_start) = longest_input_tail_occurrence(&written, input);
+            (
+                floor,
+                matched,
+                tail_start,
+                stab_beta_bound(scenario.params, k),
+            )
+        }
+        // `run_corrupted` already rejected every other kind as a model
+        // failure before this oracle runs.
+        _ => return None,
+    };
+
+    if matched < floor {
+        return Some(Failure {
+            kind: FailureKind::Convergence,
+            detail: format!(
+                "converged tail has {matched} messages, completeness floor is {floor} \
+                 (wrote {} of {n}; {report})",
+                written.len()
+            ),
+        });
+    }
+
+    // Everything written before the converged tail is stabilization-window
+    // garbage; the last such write must land within the bound.
+    let applied_at = report
+        .applied_at
+        .expect("oracle runs only on applied faults");
+    let deadline = applied_at + rstp_automata::TimeDelta::from_ticks(bound);
+    if garbage_writes > 0 {
+        let last_garbage = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.action, rstp_core::RstpAction::Write(_)))
+            .nth(garbage_writes - 1)
+            .expect("trace contains every counted write");
+        if last_garbage.time > deadline {
+            return Some(Failure {
+                kind: FailureKind::StabilizationTime,
+                detail: format!(
+                    "last divergent write at {}, bound allows {} ticks after the fault at {} \
+                     ({report})",
+                    last_garbage.time, bound, applied_at
+                ),
+            });
+        }
+    }
+    None
+}
+
+/// Length of the longest suffix of `written` that is an *end-aligned*
+/// suffix of `input`.
+fn longest_end_aligned_suffix(written: &[bool], input: &[bool]) -> usize {
+    let max = written.len().min(input.len());
+    (0..=max)
+        .rev()
+        .find(|&l| written[written.len() - l..] == input[input.len() - l..])
+        .unwrap_or(0)
+}
+
+/// The longest tail of `input` appearing as a contiguous substring
+/// anywhere in `written`, with the earliest start index of that
+/// occurrence. `(0, 0)` when no tail occurs at all.
+fn longest_input_tail_occurrence(written: &[bool], input: &[bool]) -> (usize, usize) {
+    let max = written.len().min(input.len());
+    for l in (1..=max).rev() {
+        let tail = &input[input.len() - l..];
+        if let Some(start) = written.windows(l).position(|w| w == tail) {
+            return (l, start);
+        }
+    }
+    (0, 0)
 }
 
 fn first_failure(
@@ -270,6 +454,19 @@ fn replay_failure(scenario: &Scenario, trace: &SimTrace) -> Option<Failure> {
                 PipelinedReceiver::with_window(p, k, window, input.len())?,
             ))
         }),
+        ProtocolKind::StabStenning { timeout_steps } => replay_trace(
+            StabStenningTransmitter::new(p, input, timeout_steps),
+            StabStenningReceiver::new(),
+            trace,
+        )
+        .map(|_| ())
+        .map_err(|e| e.to_string()),
+        ProtocolKind::StabBeta { k } => build_and_replay(trace, || {
+            Ok((
+                stab_beta_transmitter(p, k, &input)?,
+                StabBetaReceiver::new(p, k, input.len())?,
+            ))
+        }),
         // BetaWindow needs a d_lo > 0 regime the fuzzer does not target.
         ProtocolKind::BetaWindow { .. } => Ok(()),
     };
@@ -303,7 +500,12 @@ pub fn differential_failure(
     tick: Duration,
     max_wall: Duration,
 ) -> Option<Failure> {
-    if !scenario.is_fault_free() || matches!(scenario.kind, ProtocolKind::BetaWindow { .. }) {
+    // Corrupted runs have no wall-clock counterpart: the net transport
+    // cannot script a mid-run register overwrite.
+    if !scenario.is_fault_free()
+        || scenario.corruption.is_some()
+        || matches!(scenario.kind, ProtocolKind::BetaWindow { .. })
+    {
         return None;
     }
     let mut config = TransferConfig::new(scenario.params, tick, 0).with_pace(Pace::Slow);
@@ -379,6 +581,54 @@ mod tests {
                 assert!(run.quiescent);
             }
         }
+    }
+
+    // The stabilizing family is deliberately broken under the injected
+    // stab-bug cfg; the engine's acceptance test covers that build.
+    #[cfg(not(rstp_check_inject_stab_bug))]
+    #[test]
+    fn stabilizing_scenarios_pass_every_oracle_clean_and_corrupted() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for kind in [
+            ProtocolKind::StabStenning {
+                timeout_steps: None,
+            },
+            ProtocolKind::StabBeta { k: 4 },
+        ] {
+            let mut corrupted = 0;
+            for _ in 0..30 {
+                let s = Scenario::generate(kind, params(), &mut rng, 12);
+                corrupted += usize::from(s.corruption.is_some());
+                let run = run_scenario(&s, 500_000);
+                assert!(
+                    run.failure.is_none(),
+                    "{}: {}",
+                    kind.name(),
+                    run.failure.unwrap()
+                );
+                assert!(run.quiescent);
+            }
+            assert!(
+                corrupted > 0,
+                "{}: no corrupted scenarios drawn",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn suffix_matchers_measure_what_the_floors_need() {
+        let x = [true, false, false, true, true, false];
+        // End-aligned: garbage prefix, converged tail.
+        let w = [true, false, true, true, false];
+        assert_eq!(longest_end_aligned_suffix(&w, &x), 4);
+        // Occurrence: one garbage write before X's 4-long tail, and the
+        // receiver's end-of-run flush appends garbage after it — the tail
+        // is still found, anchored at write index 1.
+        let w = [true, false, true, true, false, false];
+        assert_eq!(longest_input_tail_occurrence(&w, &x), (4, 1));
+        assert_eq!(longest_end_aligned_suffix(&[], &x), 0);
+        assert_eq!(longest_input_tail_occurrence(&[], &x), (0, 0));
     }
 
     #[cfg(not(rstp_check_inject_ack_bug))]

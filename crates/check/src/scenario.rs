@@ -11,11 +11,12 @@
 //! as a model failure.
 
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, RngCore};
 use rstp_automata::TimeDelta;
 use rstp_core::{Message, TimingParams};
 use rstp_sim::{
-    PacketFate, ProtocolKind, ScriptedDelivery, ScriptedDeliveryAdversary, ScriptedSteps,
+    CorruptionSpec, PacketFate, ProtocolKind, ScriptedDelivery, ScriptedDeliveryAdversary,
+    ScriptedSteps,
 };
 
 /// One fully scripted adversarial run: protocol, timing, input, step
@@ -38,12 +39,24 @@ pub struct Scenario {
     pub data: ScriptedDelivery,
     /// Fate plan for ack packets (receiver → transmitter).
     pub ack: ScriptedDelivery,
+    /// Seeded mid-run state corruption — only ever `Some` for the
+    /// self-stabilizing kinds, whose convergence the oracles then check.
+    pub corruption: Option<CorruptionSpec>,
 }
 
 /// Whether the protocol tolerates injected loss and duplication, so the
 /// generator may script faulty fates for it.
 fn tolerates_faults(kind: ProtocolKind) -> bool {
     matches!(kind, ProtocolKind::Stenning { .. })
+}
+
+/// Whether the protocol recovers from arbitrary state corruption, so the
+/// generator may script a mid-run corruption for it.
+fn stabilizes(kind: ProtocolKind) -> bool {
+    matches!(
+        kind,
+        ProtocolKind::StabStenning { .. } | ProtocolKind::StabBeta { .. }
+    )
 }
 
 fn random_fate(rng: &mut StdRng, d: u64, faults: bool) -> PacketFate {
@@ -87,6 +100,15 @@ impl Scenario {
         let ack_fates: Vec<PacketFate> =
             (0..ack_len).map(|_| random_fate(rng, d, faults)).collect();
 
+        let corruption = if stabilizes(kind) && rng.gen_bool(0.7) {
+            Some(CorruptionSpec {
+                at_event: rng.gen_range(0..=(20 * n as u64)),
+                seed: rng.next_u64(),
+            })
+        } else {
+            None
+        };
+
         Scenario {
             kind,
             params,
@@ -96,6 +118,7 @@ impl Scenario {
             gap_fallback,
             data: ScriptedDelivery::new(data_fates, rng.gen_range(0..=d)),
             ack: ScriptedDelivery::new(ack_fates, rng.gen_range(0..=d)),
+            corruption,
         }
     }
 
@@ -110,7 +133,8 @@ impl Scenario {
         let mut s = self.clone();
         let edits = rng.gen_range(1..=3u32);
         for _ in 0..edits {
-            match rng.gen_range(0..8u32) {
+            let arms = if stabilizes(self.kind) { 9u32 } else { 8u32 };
+            match rng.gen_range(0..arms) {
                 0 => {
                     let i = rng.gen_range(0..s.input.len());
                     s.input[i] = !s.input[i];
@@ -127,12 +151,31 @@ impl Scenario {
                 4 => s.gap_fallback = rng.gen_range(c1..=c2),
                 5 => mutate_script(s.data.fates_mut(), rng, |r| random_fate(r, d, faults)),
                 6 => mutate_script(s.ack.fates_mut(), rng, |r| random_fate(r, d, faults)),
-                _ => {
+                7 => {
                     if rng.gen_bool(0.5) {
                         s.data.set_fallback(rng.gen_range(0..=d));
                     } else {
                         s.ack.set_fallback(rng.gen_range(0..=d));
                     }
+                }
+                _ => {
+                    // Corruption edit (stabilizing kinds only): move the
+                    // strike point, reroll the seed, or toggle it off/on.
+                    s.corruption = match (s.corruption, rng.gen_range(0..3u32)) {
+                        (Some(c), 0) => Some(CorruptionSpec {
+                            at_event: rng.gen_range(0..=(20 * s.input.len() as u64)),
+                            ..c
+                        }),
+                        (Some(c), 1) => Some(CorruptionSpec {
+                            seed: rng.next_u64(),
+                            ..c
+                        }),
+                        (Some(_), _) => None,
+                        (None, _) => Some(CorruptionSpec {
+                            at_event: rng.gen_range(0..=(20 * s.input.len() as u64)),
+                            seed: rng.next_u64(),
+                        }),
+                    };
                 }
             }
         }
@@ -233,6 +276,30 @@ mod tests {
             let s = s.mutate(&mut rng).mutate(&mut rng);
             assert!(s.is_fault_free());
         }
+    }
+
+    #[test]
+    fn corruption_is_only_scripted_for_stabilizing_kinds() {
+        let p = params();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut saw_corruption = false;
+        for _ in 0..50 {
+            let clean = Scenario::generate(ProtocolKind::Gamma { k: 4 }, p, &mut rng, 16);
+            assert!(clean.mutate(&mut rng).corruption.is_none());
+            let stab = Scenario::generate(
+                ProtocolKind::StabStenning {
+                    timeout_steps: None,
+                },
+                p,
+                &mut rng,
+                16,
+            );
+            saw_corruption |= stab.corruption.is_some();
+            // Stabilizing scenarios stay fault-free: convergence oracles
+            // assume every packet is delivered (possibly corrupted) once.
+            assert!(stab.is_fault_free());
+        }
+        assert!(saw_corruption, "generator never scripted a corruption");
     }
 
     #[test]

@@ -125,6 +125,23 @@ fn candidates(s: &Scenario) -> Vec<Scenario> {
         }
     }
 
+    // Corruption reduction: strike earlier (halve, decrement) so the
+    // pre-fault prefix shrinks, or drop the fault entirely — kept only
+    // when the failure does not need it. The seed never changes: the
+    // schedule must replay byte-for-byte.
+    if let Some(c) = s.corruption {
+        for at_event in [c.at_event / 2, c.at_event.saturating_sub(1)] {
+            if at_event != c.at_event {
+                let mut cand = s.clone();
+                cand.corruption = Some(rstp_sim::CorruptionSpec { at_event, ..c });
+                out.push(cand);
+            }
+        }
+        let mut cand = s.clone();
+        cand.corruption = None;
+        out.push(cand);
+    }
+
     // Normalization toward the canonical worst case: gaps at c2, delays at
     // the deadline d. These do not reduce the weight on their own, so pair
     // each with a tail pop to stay strictly decreasing.

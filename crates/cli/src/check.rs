@@ -187,8 +187,13 @@ fn fuzz_targets(args: &Args) -> Result<Vec<ProtocolKind>, ArgError> {
             timeout_steps: timeout,
         }]),
         Some("pipelined") => Ok(vec![ProtocolKind::Pipelined { k, window }]),
+        Some("stab-stenning") => Ok(vec![ProtocolKind::StabStenning {
+            timeout_steps: timeout,
+        }]),
+        Some("stab-beta") => Ok(vec![ProtocolKind::StabBeta { k }]),
         Some(other) => Err(ArgError(format!(
-            "unknown protocol {other:?} (alpha|beta|gamma|altbit|stenning|framed|pipelined)"
+            "unknown protocol {other:?} \
+             (alpha|beta|gamma|altbit|stenning|framed|pipelined|stab-stenning|stab-beta)"
         ))),
     }
 }

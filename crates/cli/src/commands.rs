@@ -43,6 +43,7 @@ COMMANDS:
                                            [--json FILE] [--emit-lock-order FILE]
 
 PROTOCOLS: alpha | beta | gamma | altbit | stenning | framed | pipelined
+           | stab-stenning | stab-beta
 STEP:      fast | slow | alternate | random
 DELIVERY:  eager | max | reverse | batch | random
 ";
@@ -79,8 +80,12 @@ pub(crate) fn protocol(args: &Args) -> Result<ProtocolKind, ArgError> {
             timeout_steps: None,
         }),
         "pipelined" => Ok(ProtocolKind::Pipelined { k, window }),
+        "stab-stenning" => Ok(ProtocolKind::StabStenning {
+            timeout_steps: None,
+        }),
+        "stab-beta" => Ok(ProtocolKind::StabBeta { k }),
         other => Err(ArgError(format!(
-            "unknown protocol {other:?} (alpha|beta|gamma|altbit|stenning|framed|pipelined)"
+            "unknown protocol {other:?} (alpha|beta|gamma|altbit|stenning|framed|pipelined|stab-stenning|stab-beta)"
         ))),
     }
 }

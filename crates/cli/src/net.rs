@@ -58,8 +58,12 @@ fn protocol(args: &Args) -> Result<ProtocolKind, ArgError> {
             timeout_steps: None,
         }),
         "pipelined" => Ok(ProtocolKind::Pipelined { k, window }),
+        "stab-stenning" => Ok(ProtocolKind::StabStenning {
+            timeout_steps: None,
+        }),
+        "stab-beta" => Ok(ProtocolKind::StabBeta { k }),
         other => Err(ArgError(format!(
-            "unknown protocol {other:?} (alpha|beta|gamma|altbit|stenning|framed|pipelined)"
+            "unknown protocol {other:?} (alpha|beta|gamma|altbit|stenning|framed|pipelined|stab-stenning|stab-beta)"
         ))),
     }
 }
@@ -121,7 +125,12 @@ fn family_lower_bound(
             Some((bounds::active_lower(params, k), "Thm 5.6"))
         }
         ProtocolKind::Alpha => Some((bounds::alpha_effort(params), "Fig 1 closed form")),
-        ProtocolKind::AltBit { .. } | ProtocolKind::Stenning { .. } => None,
+        // The stabilizing variants trade effort for convergence; the
+        // paper's lower bounds do not apply to their tagged alphabets.
+        ProtocolKind::AltBit { .. }
+        | ProtocolKind::Stenning { .. }
+        | ProtocolKind::StabStenning { .. }
+        | ProtocolKind::StabBeta { .. } => None,
     }
 }
 

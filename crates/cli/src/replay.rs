@@ -325,6 +325,7 @@ mod tests {
             gap_fallback: 2,
             data: ScriptedDelivery::new(fates, 0),
             ack: ScriptedDelivery::new(Vec::new(), 0),
+            corruption: None,
         };
         assert!(
             rstp_check::run_scenario(&scenario, 500_000)

@@ -48,6 +48,7 @@ const SWARM_FLAGS: &[&str] = &[
     "max-wall-s",
     "oracle-sample",
     "record",
+    "force",
 ];
 
 const SERVE_FLAGS: &[&str] = &[
@@ -122,6 +123,18 @@ pub fn cmd_swarm(args: &Args) -> Result<String, ArgError> {
         // Stamp the input seed so `rstp replay` can regenerate each
         // session's X without the original command line.
         config.serve.record_seed = Some(config.seed);
+    }
+
+    // A shape the step-rate model predicts will stall (ROADMAP's 64×γ
+    // mem swarm) fails deterministically with the diagnosis instead of
+    // hanging until the wall clock; `--force true` runs it anyway.
+    let force = matches!(args.get("force"), Some("1" | "true" | "yes"));
+    if let Some(diagnosis) = rstp_serve::overload_diagnosis(&config) {
+        if !force {
+            return Err(ArgError(format!(
+                "{diagnosis}\n(or pass --force true to run the shape anyway)"
+            )));
+        }
     }
 
     let report = run_swarm(&config).map_err(|e| ArgError(e.to_string()))?;
@@ -291,6 +304,37 @@ mod tests {
         assert!(out.contains("6 planned, 6 admitted, 6 completed"), "{out}");
         assert!(out.contains("Y = X exactly"), "{out}");
         assert!(out.contains("oracle    :"), "{out}");
+    }
+
+    #[test]
+    fn swarm_refuses_predicted_overload_shapes_deterministically() {
+        // The ROADMAP 64×γ(4) mem shape used to stall until the wall
+        // clock; now it fails instantly with the diagnosis and the
+        // escape hatch, with no threads spawned.
+        let err = run(&["swarm", "--protocol", "gamma", "--sessions", "64"])
+            .expect_err("overload shape must be refused");
+        let msg = err.to_string();
+        assert!(msg.contains("predicted overload"), "{msg}");
+        assert!(msg.contains("--force true"), "{msg}");
+    }
+
+    #[test]
+    fn swarm_runs_the_stabilizing_family() {
+        let _gate = crate::commands::swarm_gate();
+        let out = run(&[
+            "swarm",
+            "--sessions",
+            "4",
+            "--protocol",
+            "stab-stenning",
+            "--n",
+            "8",
+            "--tick-us",
+            "200",
+        ])
+        .expect("swarm");
+        assert!(out.contains("4 planned, 4 admitted, 4 completed"), "{out}");
+        assert!(out.contains("Y = X exactly"), "{out}");
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod beta;
 pub mod framed;
 pub mod gamma;
 pub mod pipelined;
+pub mod stabilizing;
 pub mod stenning;
 
 use core::fmt;
@@ -70,6 +71,11 @@ pub use framed::{FramedReceiver, FramedReceiverState, FramedTransmitter};
 pub use gamma::{GammaReceiver, GammaReceiverState, GammaTransmitter, GammaTransmitterState};
 pub use pipelined::{
     PipelinedReceiver, PipelinedReceiverState, PipelinedTransmitter, PipelinedTransmitterState,
+};
+pub use stabilizing::{
+    stab_beta_bound, stab_beta_transmitter, stab_stenning_bound, StabBetaReceiver,
+    StabBetaReceiverState, StabPhase, StabStenningReceiver, StabStenningReceiverState,
+    StabStenningTransmitter, StabStenningTransmitterState,
 };
 pub use stenning::{
     StenningReceiver, StenningReceiverState, StenningTransmitter, StenningTransmitterState,

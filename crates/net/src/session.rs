@@ -16,9 +16,10 @@ use crate::mem::MemTransport;
 use crate::transport::Transport;
 use crate::wire::{ProtocolId, WireCodec};
 use rstp_core::protocols::{
-    AlphaReceiver, AlphaTransmitter, AltBitReceiver, AltBitTransmitter, BetaReceiver,
-    BetaTransmitter, FramedReceiver, FramedTransmitter, GammaReceiver, GammaTransmitter,
-    PipelinedReceiver, PipelinedTransmitter, StenningReceiver, StenningTransmitter,
+    stab_beta_transmitter, AlphaReceiver, AlphaTransmitter, AltBitReceiver, AltBitTransmitter,
+    BetaReceiver, BetaTransmitter, FramedReceiver, FramedTransmitter, GammaReceiver,
+    GammaTransmitter, PipelinedReceiver, PipelinedTransmitter, StabBetaReceiver,
+    StabStenningReceiver, StabStenningTransmitter, StenningReceiver, StenningTransmitter,
 };
 use rstp_core::{Message, TimingParams};
 use rstp_sim::harness::ProtocolKind;
@@ -42,6 +43,8 @@ pub fn wire_identity(kind: ProtocolKind) -> Result<(ProtocolId, u64), NetError> 
         ProtocolKind::Framed { k } => Ok((ProtocolId::Framed, k)),
         ProtocolKind::Stenning { .. } => Ok((ProtocolId::Stenning, 0)),
         ProtocolKind::Pipelined { k, .. } => Ok((ProtocolId::Pipelined, k)),
+        ProtocolKind::StabStenning { .. } => Ok((ProtocolId::StabStenning, 0)),
+        ProtocolKind::StabBeta { k } => Ok((ProtocolId::StabBeta, k)),
         ProtocolKind::BetaWindow { .. } => Err(NetError::Unsupported {
             what: "beta-window needs an out-of-band d_lo agreement; \
                    run it in the simulator instead"
@@ -119,6 +122,18 @@ pub fn run_transmitter<T: Transport>(
             clock,
             config,
         ),
+        ProtocolKind::StabStenning { timeout_steps } => run_endpoint(
+            &StabStenningTransmitter::new(params, input.to_vec(), timeout_steps),
+            transport,
+            clock,
+            config,
+        ),
+        ProtocolKind::StabBeta { k } => run_endpoint(
+            &stab_beta_transmitter(params, k, input)?,
+            transport,
+            clock,
+            config,
+        ),
         ProtocolKind::BetaWindow { .. } => Err(wire_identity(kind).expect_err("unsupported")),
     }
 }
@@ -161,6 +176,15 @@ pub fn run_receiver<T: Transport>(
         }
         ProtocolKind::Pipelined { k, window } => run_endpoint(
             &PipelinedReceiver::with_window(params, k, window, n)?,
+            transport,
+            clock,
+            config,
+        ),
+        ProtocolKind::StabStenning { .. } => {
+            run_endpoint(&StabStenningReceiver::new(), transport, clock, config)
+        }
+        ProtocolKind::StabBeta { k } => run_endpoint(
+            &StabBetaReceiver::new(params, k, n)?,
             transport,
             clock,
             config,

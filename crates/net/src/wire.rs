@@ -88,11 +88,15 @@ pub enum ProtocolId {
     Stenning = 6,
     /// Pipelined windowed variant.
     Pipelined = 7,
+    /// Self-stabilizing Stenning (tags mod 4, flush/sync recovery).
+    StabStenning = 8,
+    /// Self-stabilizing A^beta(k) (lengthened silence, gap-reset framing).
+    StabBeta = 9,
 }
 
 impl ProtocolId {
     /// All defined protocol identifiers.
-    pub const ALL: [ProtocolId; 7] = [
+    pub const ALL: [ProtocolId; 9] = [
         ProtocolId::Alpha,
         ProtocolId::Beta,
         ProtocolId::Gamma,
@@ -100,6 +104,8 @@ impl ProtocolId {
         ProtocolId::Framed,
         ProtocolId::Stenning,
         ProtocolId::Pipelined,
+        ProtocolId::StabStenning,
+        ProtocolId::StabBeta,
     ];
 
     fn from_byte(b: u8) -> Option<ProtocolId> {
@@ -117,6 +123,8 @@ impl fmt::Display for ProtocolId {
             ProtocolId::Framed => "framed",
             ProtocolId::Stenning => "stenning",
             ProtocolId::Pipelined => "pipelined",
+            ProtocolId::StabStenning => "stab-stenning",
+            ProtocolId::StabBeta => "stab-beta",
         };
         f.write_str(name)
     }

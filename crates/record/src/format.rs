@@ -227,6 +227,8 @@ const TAG_FRAMED: u8 = 5;
 const TAG_BETA_WINDOW: u8 = 6;
 const TAG_STENNING: u8 = 7;
 const TAG_PIPELINED: u8 = 8;
+const TAG_STAB_STENNING: u8 = 9;
+const TAG_STAB_BETA: u8 = 10;
 
 /// Appends the 9-byte file header.
 pub fn write_header(out: &mut Vec<u8>) {
@@ -279,6 +281,8 @@ fn put_kind(out: &mut Vec<u8>, kind: ProtocolKind) {
         ProtocolKind::BetaWindow { k } => (TAG_BETA_WINDOW, k, 0, None),
         ProtocolKind::Stenning { timeout_steps } => (TAG_STENNING, 0, 0, timeout_steps),
         ProtocolKind::Pipelined { k, window } => (TAG_PIPELINED, k, window, None),
+        ProtocolKind::StabStenning { timeout_steps } => (TAG_STAB_STENNING, 0, 0, timeout_steps),
+        ProtocolKind::StabBeta { k } => (TAG_STAB_BETA, k, 0, None),
     };
     out.push(tag);
     put_u64(out, k);
@@ -474,6 +478,8 @@ fn take_kind(b: &mut Body<'_>) -> Result<ProtocolKind, RecordError> {
         TAG_BETA_WINDOW => Ok(ProtocolKind::BetaWindow { k }),
         TAG_STENNING => Ok(ProtocolKind::Stenning { timeout_steps }),
         TAG_PIPELINED => Ok(ProtocolKind::Pipelined { k, window }),
+        TAG_STAB_STENNING => Ok(ProtocolKind::StabStenning { timeout_steps }),
+        TAG_STAB_BETA => Ok(ProtocolKind::StabBeta { k }),
         _ => Err(RecordError::Malformed {
             what: "unknown protocol tag",
         }),

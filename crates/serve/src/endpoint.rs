@@ -12,7 +12,7 @@
 use rstp_automata::Automaton;
 use rstp_core::protocols::{
     AlphaReceiver, AltBitReceiver, BetaReceiver, FramedReceiver, GammaReceiver, PipelinedReceiver,
-    StenningReceiver,
+    StabBetaReceiver, StabStenningReceiver, StenningReceiver,
 };
 use rstp_core::{InternalKind, Message, Packet, RstpAction, TimingParams};
 use rstp_net::NetError;
@@ -148,6 +148,8 @@ pub fn receiver_endpoint(
         ProtocolKind::AltBit { .. } => boxed(AltBitReceiver::new()),
         ProtocolKind::Framed { k } => boxed(FramedReceiver::new(params, k)?),
         ProtocolKind::Stenning { .. } => boxed(StenningReceiver::new()),
+        ProtocolKind::StabStenning { .. } => boxed(StabStenningReceiver::new()),
+        ProtocolKind::StabBeta { k } => boxed(StabBetaReceiver::new(params, k, n)?),
         ProtocolKind::Pipelined { k, window } => {
             boxed(PipelinedReceiver::with_window(params, k, window, n)?)
         }

@@ -48,6 +48,8 @@ pub use hub::{HubClientTransport, MemHub};
 pub use metrics::{ServeReport, SessionStats, ShardReport};
 pub use server::{run_server, EgressSink, ServeConfig, ServeTransport, SessionSpec};
 pub use shard::ShardMsg;
-pub use swarm::{run_swarm, run_swarm_sessions, SwarmConfig, SwarmReport, SwarmTransport};
+pub use swarm::{
+    overload_diagnosis, run_swarm, run_swarm_sessions, SwarmConfig, SwarmReport, SwarmTransport,
+};
 pub use udp::{UdpServerTransport, UdpSessionClient};
 pub use wheel::TimerWheel;

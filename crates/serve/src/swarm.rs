@@ -215,6 +215,57 @@ impl SwarmReport {
     }
 }
 
+/// Per-shard step budget (steps per second) a commodity CI box sustains
+/// before the timer wheel lags the clock and deadline misses cascade.
+/// Calibrated against the γ(4) stall in ROADMAP item 5: 64 active
+/// sessions at a 200 µs tick offer 80k steps/s/shard on 4 shards and
+/// reliably starve the wall clock, while β at 256 sessions (passive,
+/// demand-driven) is fine.
+const SHARD_STEP_BUDGET_PER_SEC: u64 = 50_000;
+
+/// Deterministic pre-flight overload check for a swarm shape.
+///
+/// An *active* receiver (γ, pipelined) takes a local step — and sends an
+/// ack — every `[c1, c2]` window for the whole transfer, whether or not
+/// data arrived. Each session therefore offers about `1 / (c1 · tick)`
+/// server steps per second regardless of progress, and past the shard
+/// budget the wheel lags, misses cascade, and transfers stall past any
+/// wall clock instead of failing. Rather than flake, the harness
+/// predicts that load from the shape alone and refuses up front: the
+/// returned diagnosis names the offered and budgeted rates and the
+/// knobs that bring the shape back inside them. Passive receivers
+/// (α, β and the framed/windowed/stabilizing variants) step on demand,
+/// so their load is bounded by the client send rate and they pass.
+#[must_use]
+pub fn overload_diagnosis(config: &SwarmConfig) -> Option<String> {
+    let active = matches!(
+        config.kind,
+        ProtocolKind::Gamma { .. } | ProtocolKind::Pipelined { .. }
+    );
+    if !active {
+        return None;
+    }
+    let tick_us = config.serve.tick.as_micros().max(1) as u64;
+    let c1 = config.serve.params.c1().ticks().max(1);
+    let per_session = 1_000_000 / (c1 * tick_us).max(1);
+    let shards = config.serve.shards.max(1) as u64;
+    let offered = (config.sessions as u64) * per_session / shards;
+    if offered <= SHARD_STEP_BUDGET_PER_SEC {
+        return None;
+    }
+    Some(format!(
+        "predicted overload: {} active {} sessions at a {} µs tick offer \
+         ~{offered} steps/s per shard ({} shards), over the {} steps/s \
+         budget; transfers would stall, not fail. Raise --tick-us, add \
+         --shards, or lower --sessions.",
+        config.sessions,
+        config.kind.name(),
+        tick_us,
+        shards,
+        SHARD_STEP_BUDGET_PER_SEC
+    ))
+}
+
 /// Runs a uniform swarm per `config`, including the simulator-oracle
 /// cross-check on the first `oracle_sample` sessions.
 ///
@@ -457,6 +508,60 @@ fn join_clients(handles: ClientHandles) -> Result<Vec<DriverReport>, NetError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn overload_model_flags_the_roadmap_gamma_shape_and_nothing_passive() {
+        let params = TimingParams::from_ticks(1, 2, 8).expect("valid");
+        let tick = Duration::from_micros(200);
+        // The documented stall: 64 γ(4) sessions on the mem hub.
+        let gamma = SwarmConfig::new(ProtocolKind::Gamma { k: 4 }, 32, 64, params, tick);
+        let diag = overload_diagnosis(&gamma).expect("the 64×γ shape must be flagged");
+        assert!(diag.contains("predicted overload"), "{diag}");
+        assert!(diag.contains("gamma"), "{diag}");
+        // Passive β is fine even at 4× the sessions.
+        let beta = SwarmConfig::new(ProtocolKind::Beta { k: 4 }, 32, 256, params, tick);
+        assert!(overload_diagnosis(&beta).is_none());
+        // So are the stabilizing kinds — demand-driven receivers.
+        let stab = SwarmConfig::new(
+            ProtocolKind::StabStenning {
+                timeout_steps: None,
+            },
+            32,
+            64,
+            params,
+            tick,
+        );
+        assert!(overload_diagnosis(&stab).is_none());
+        // And γ itself passes once the tick is coarse enough.
+        let coarse = SwarmConfig::new(
+            ProtocolKind::Gamma { k: 4 },
+            32,
+            64,
+            params,
+            Duration::from_micros(2000),
+        );
+        assert!(overload_diagnosis(&coarse).is_none());
+    }
+
+    #[test]
+    fn stabilizing_swarm_holds_y_equals_x_at_64_sessions() {
+        // The CI swarm shape pinning the stabilizing family at scale:
+        // 64 concurrent stop-and-wait stabilizing sessions on the mem
+        // hub, each held to Y = X and the simulator oracle.
+        let params = TimingParams::from_ticks(1, 2, 4).expect("valid");
+        let config = SwarmConfig::new(
+            ProtocolKind::StabStenning {
+                timeout_steps: None,
+            },
+            8,
+            64,
+            params,
+            Duration::from_micros(200),
+        );
+        let report = run_swarm(&config).expect("swarm");
+        assert!(report.all_good(), "{}", report.summary());
+        assert_eq!(report.serve.completed(), 64);
+    }
 
     #[test]
     fn small_mem_swarm_reproduces_every_input() {

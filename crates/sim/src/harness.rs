@@ -9,9 +9,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rstp_automata::{Automaton, TimeDelta};
 use rstp_core::protocols::{
-    AlphaReceiver, AlphaTransmitter, AltBitReceiver, AltBitTransmitter, BetaReceiver,
-    BetaTransmitter, FramedReceiver, FramedTransmitter, GammaReceiver, GammaTransmitter,
-    PipelinedReceiver, PipelinedTransmitter, ProtocolError, StenningReceiver, StenningTransmitter,
+    stab_beta_transmitter, AlphaReceiver, AlphaTransmitter, AltBitReceiver, AltBitTransmitter,
+    BetaReceiver, BetaTransmitter, FramedReceiver, FramedTransmitter, GammaReceiver,
+    GammaTransmitter, PipelinedReceiver, PipelinedTransmitter, ProtocolError, StabBetaReceiver,
+    StabStenningReceiver, StabStenningTransmitter, StenningReceiver, StenningTransmitter,
 };
 use rstp_core::{Message, RstpAction, TimingParams, TimingParamsExt};
 
@@ -60,6 +61,18 @@ pub enum ProtocolKind {
         /// Window size (`2` is the default configuration).
         window: u64,
     },
+    /// Self-stabilizing Stenning: tags mod 4 plus a flush/sync recovery
+    /// ladder; converges from arbitrary corrupted state.
+    StabStenning {
+        /// Retransmission period in steps; `None` = safe default.
+        timeout_steps: Option<u64>,
+    },
+    /// Self-stabilizing `A^β(k)`: lengthened inter-burst silence plus
+    /// gap-reset framing at the receiver.
+    StabBeta {
+        /// Packet alphabet size.
+        k: u64,
+    },
 }
 
 impl ProtocolKind {
@@ -68,10 +81,14 @@ impl ProtocolKind {
     #[must_use]
     pub fn burst_size(self, params: TimingParams) -> u64 {
         match self {
-            ProtocolKind::Alpha | ProtocolKind::AltBit { .. } | ProtocolKind::Stenning { .. } => 1,
+            ProtocolKind::Alpha
+            | ProtocolKind::AltBit { .. }
+            | ProtocolKind::Stenning { .. }
+            | ProtocolKind::StabStenning { .. } => 1,
             ProtocolKind::Beta { .. }
             | ProtocolKind::Framed { .. }
-            | ProtocolKind::BetaWindow { .. } => params.delta1(),
+            | ProtocolKind::BetaWindow { .. }
+            | ProtocolKind::StabBeta { .. } => params.delta1(),
             ProtocolKind::Gamma { .. } | ProtocolKind::Pipelined { .. } => params.delta2(),
         }
     }
@@ -88,6 +105,8 @@ impl ProtocolKind {
             ProtocolKind::BetaWindow { k } => format!("beta-window(k={k})"),
             ProtocolKind::Stenning { .. } => "stenning".into(),
             ProtocolKind::Pipelined { k, window } => format!("pipelined(k={k},w={window})"),
+            ProtocolKind::StabStenning { .. } => "stab-stenning".into(),
+            ProtocolKind::StabBeta { k } => format!("stab-beta(k={k})"),
         }
     }
 }
@@ -133,6 +152,11 @@ pub enum HarnessError {
     Protocol(ProtocolError),
     /// The simulation hit a model violation.
     Sim(SimError),
+    /// The requested operation does not apply to this protocol kind.
+    Unsupported {
+        /// Human-readable reason.
+        what: String,
+    },
 }
 
 impl fmt::Display for HarnessError {
@@ -140,6 +164,7 @@ impl fmt::Display for HarnessError {
         match self {
             HarnessError::Protocol(e) => write!(f, "protocol construction: {e}"),
             HarnessError::Sim(e) => write!(f, "simulation: {e}"),
+            HarnessError::Unsupported { what } => write!(f, "unsupported: {what}"),
         }
     }
 }
@@ -171,7 +196,7 @@ pub struct RunOutput {
     pub report: CheckReport,
 }
 
-fn settings_of(cfg: &RunConfig) -> SimSettings {
+pub(crate) fn settings_of(cfg: &RunConfig) -> SimSettings {
     SimSettings {
         d_lo: TimeDelta::from_ticks(cfg.d_lo_ticks),
         max_events: cfg.max_events,
@@ -270,6 +295,22 @@ pub fn run_with_adversaries(
         ProtocolKind::Stenning { timeout_steps } => run_pair(
             StenningTransmitter::new(cfg.params, input.to_vec(), timeout_steps),
             StenningReceiver::new(),
+            input,
+            cfg,
+            step,
+            delivery,
+        ),
+        ProtocolKind::StabStenning { timeout_steps } => run_pair(
+            StabStenningTransmitter::new(cfg.params, input.to_vec(), timeout_steps),
+            StabStenningReceiver::new(),
+            input,
+            cfg,
+            step,
+            delivery,
+        ),
+        ProtocolKind::StabBeta { k } => run_pair(
+            stab_beta_transmitter(cfg.params, k, input)?,
+            StabBetaReceiver::new(cfg.params, k, input.len())?,
             input,
             cfg,
             step,
@@ -480,6 +521,10 @@ mod tests {
                 timeout_steps: None,
             },
             ProtocolKind::Pipelined { k: 4, window: 2 },
+            ProtocolKind::StabStenning {
+                timeout_steps: None,
+            },
+            ProtocolKind::StabBeta { k: 4 },
         ] {
             let cfg = RunConfig {
                 kind,
@@ -665,5 +710,21 @@ mod tests {
             .name(),
             "altbit"
         );
+        assert_eq!(
+            ProtocolKind::StabStenning {
+                timeout_steps: None
+            }
+            .burst_size(p),
+            1
+        );
+        assert_eq!(ProtocolKind::StabBeta { k: 4 }.burst_size(p), 6);
+        assert_eq!(
+            ProtocolKind::StabStenning {
+                timeout_steps: None
+            }
+            .name(),
+            "stab-stenning"
+        );
+        assert_eq!(ProtocolKind::StabBeta { k: 4 }.name(), "stab-beta(k=4)");
     }
 }

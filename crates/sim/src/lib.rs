@@ -57,6 +57,7 @@
 
 pub mod adversary;
 pub mod checker;
+pub mod corrupt;
 pub mod distinguish;
 pub mod harness;
 pub mod metrics;
@@ -69,6 +70,7 @@ pub mod trace;
 
 pub use adversary::{DeliveryAdversary, DeliveryPolicy, StepAdversary, StepPolicy};
 pub use checker::{CheckReport, Violation};
+pub use corrupt::{run_corrupted, CorruptionReport, CorruptionSpec};
 pub use harness::{
     expected_output, run_configured, run_with_adversaries, ProtocolKind, RunConfig, RunOutput,
 };

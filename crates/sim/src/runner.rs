@@ -208,6 +208,15 @@ pub struct Simulation<T, R> {
     settings: SimSettings,
 }
 
+/// The state-corruption hook passed to [`Simulation::run_hooked`]: given
+/// the current time, exclusive access to both process states, and the
+/// in-flight packets (ordered by delivery time), it applies an arbitrary
+/// transient fault.
+pub type CorruptionHook<'a, TS, RS> = &'a mut dyn FnMut(Time, &mut TS, &mut RS, &mut [Packet]);
+
+/// A [`CorruptionHook`] scheduled to fire just before a given event index.
+pub type ScheduledCorruption<'a, TS, RS> = (u64, CorruptionHook<'a, TS, RS>);
+
 impl<T, R> Simulation<T, R>
 where
     T: Automaton<Action = RstpAction>,
@@ -236,6 +245,36 @@ where
         step_adv: &mut dyn StepAdversary,
         delivery_adv: &mut dyn DeliveryAdversary,
     ) -> Result<SimRun, SimError> {
+        self.run_hooked(input, step_adv, delivery_adv, None)
+    }
+
+    /// [`Simulation::run`] with an optional state-corruption hook.
+    ///
+    /// When `hook` is `Some((at_event, mutate))`, `mutate` is invoked
+    /// exactly once, just before the `at_event`-th processed event (0 =
+    /// before anything runs), with exclusive access to both process states
+    /// and the in-flight packets (one slot per scheduled delivery, ordered
+    /// by delivery time). The hook may overwrite states arbitrarily and
+    /// rewrite each packet **in place**; delivery times are preserved and
+    /// a packet must keep its direction (data stays data, ack stays ack —
+    /// a channel cannot turn one into the other). If the run finishes
+    /// before `at_event`, the hook never fires.
+    ///
+    /// This is the engine half of the self-stabilization story: the hook
+    /// models an arbitrary transient fault, and the stabilizing protocols'
+    /// convergence oracle checks the suffix that follows.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] on any model violation, including a hook that changes
+    /// a packet's direction.
+    pub fn run_hooked(
+        &self,
+        input: &[Message],
+        step_adv: &mut dyn StepAdversary,
+        delivery_adv: &mut dyn DeliveryAdversary,
+        mut hook: Option<ScheduledCorruption<'_, T::State, R::State>>,
+    ) -> Result<SimRun, SimError> {
         let s = &self.settings;
         let channel = Channel::new();
         let mut engine = Engine {
@@ -261,6 +300,20 @@ where
 
         let mut processed: u64 = 0;
         while let Some(ev) = engine.heap.pop() {
+            if hook.as_ref().is_some_and(|(at, _)| processed >= *at) {
+                if let Some((_, mutate)) = hook.take() {
+                    Self::apply_corruption(&mut engine, ev.time, &mut ts, &mut rs, mutate)?;
+                    // Corruption can wake a parked (descheduled) process.
+                    if !scheduled[0] && !self.transmitter.enabled(&ts).is_empty() {
+                        engine.schedule(ev.time, EventKind::Step(Owner::Transmitter));
+                        scheduled[0] = true;
+                    }
+                    if !scheduled[1] && !self.receiver.enabled(&rs).is_empty() {
+                        engine.schedule(ev.time, EventKind::Step(Owner::Receiver));
+                        scheduled[1] = true;
+                    }
+                }
+            }
             if processed >= s.max_events {
                 engine.metrics.end_time = ev.time;
                 return Ok(SimRun {
@@ -369,6 +422,62 @@ where
             metrics: engine.metrics,
             trace: engine.trace,
         })
+    }
+
+    /// Fires the corruption hook: exposes both process states and the
+    /// in-flight packets for mutation, then reconciles the channel
+    /// multiset and the delivery queue with the rewritten packets.
+    fn apply_corruption(
+        engine: &mut Engine,
+        now: Time,
+        ts: &mut T::State,
+        rs: &mut R::State,
+        mutate: CorruptionHook<'_, T::State, R::State>,
+    ) -> Result<(), SimError> {
+        // Drain the queue into a deterministic order (delivery time, then
+        // scheduling seq) so the packet slots the hook sees are stable.
+        let mut queued = std::mem::take(&mut engine.heap).into_vec();
+        queued.sort_by(|a, b| a.time.cmp(&b.time).then(a.seq.cmp(&b.seq)));
+        let mut packets: Vec<Packet> = queued
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Deliver(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        let originals = packets.clone();
+        mutate(now, ts, rs, &mut packets);
+
+        let mut slot = 0usize;
+        for ev in &mut queued {
+            if let EventKind::Deliver(ref mut p) = ev.kind {
+                let (old, new) = (originals[slot], packets[slot]);
+                slot += 1;
+                if new == old {
+                    continue;
+                }
+                if new.is_data() != old.is_data() {
+                    return Err(SimError::AdversaryOutOfBounds {
+                        what: format!(
+                            "corruption rewrote {old} into {new}, changing its direction"
+                        ),
+                    });
+                }
+                // Swap the packet inside the channel automaton too, so the
+                // channel's multiset stays consistent with the queue.
+                for action in [RstpAction::Recv(old), RstpAction::Send(new)] {
+                    engine.channel_state = engine
+                        .channel
+                        .step(&engine.channel_state, &action)
+                        .map_err(|e| SimError::Channel {
+                            what: e.to_string(),
+                        })?;
+                }
+                *p = new;
+            }
+        }
+        engine.heap = queued.into_iter().collect();
+        Ok(())
     }
 
     fn sole_action(owner: Owner, enabled: &[RstpAction]) -> Result<Option<RstpAction>, SimError> {

@@ -45,6 +45,7 @@ fn pinned(kind: ProtocolKind, gap: u64, delay: u64) -> Scenario {
         gap_fallback: gap,
         data: ScriptedDelivery::new(Vec::new(), delay),
         ack: ScriptedDelivery::new(Vec::new(), delay),
+        corruption: None,
     }
 }
 

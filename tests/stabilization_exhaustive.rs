@@ -1,0 +1,234 @@
+//! Exhaustive self-stabilization verification — bounded model checking of
+//! the corrupted-state space rather than sampling it:
+//!
+//! * every register vector a transient fault can force into either process
+//!   of the stabilizing protocols, injected before the first event via
+//!   [`rstp::sim::Simulation::run_hooked`], with convergence floors
+//!   asserted on each run;
+//! * fifty seeded arbitrary-corruption runs of both stabilizing variants
+//!   judged by the real `rstp-check` oracles (convergence *and* the
+//!   documented stabilization-time bound).
+//!
+//! See `docs/STABILIZATION.md` for the floors and bounds these tests pin.
+
+use rstp::automata::{enumerate_register_vectors, Corruptible, TimeDelta};
+use rstp::check::{run_scenario, Scenario};
+use rstp::core::protocols::stabilizing::{
+    stab_beta_bits_per_block, stab_beta_transmitter, stab_stenning_ack_alphabet, StabBetaReceiver,
+    StabStenningReceiver, StabStenningTransmitter, GARBAGE_MAX, REG_BETA_R_PENDING_LEN,
+    REG_BETA_T_BLOCK, REG_STAB_R_PENDING_ACK, REG_STAB_T_NEXT,
+};
+use rstp::core::{Message, TimingParams};
+use rstp::sim::runner::{Outcome, SimSettings};
+use rstp::sim::{
+    CorruptionSpec, DeliveryPolicy, ProtocolKind, ScriptedDelivery, Simulation, StepPolicy,
+};
+
+fn params() -> TimingParams {
+    TimingParams::from_ticks(1, 2, 2).unwrap()
+}
+
+/// Longest suffix of `written` that is also a suffix of `x`.
+fn end_aligned_suffix(written: &[Message], x: &[Message]) -> usize {
+    (0..=written.len().min(x.len()))
+        .rev()
+        .find(|&s| written[written.len() - s..] == x[x.len() - s..])
+        .unwrap_or(0)
+}
+
+/// Longest tail of `x` appearing contiguously anywhere in `written` (the
+/// stabilizing β receiver can flush bounded leftovers after the converged
+/// tail, so the tail is not necessarily at the end of the written word).
+fn input_tail_occurrence(written: &[Message], x: &[Message]) -> usize {
+    (0..=written.len().min(x.len()))
+        .rev()
+        .find(|&s| s == 0 || written.windows(s).any(|w| *w == x[x.len() - s..]))
+        .unwrap_or(0)
+}
+
+/// Runs one corrupted-from-the-start simulation: both processes are forced
+/// to the given register vectors before the first event fires (at event 0
+/// nothing is in flight, so the fault is exactly "start from an arbitrary
+/// state" — the textbook self-stabilization obligation).
+fn run_from_corrupted_state<T, R>(
+    transmitter: T,
+    receiver: R,
+    input: &[Message],
+    t_regs: &[u64],
+    r_regs: &[u64],
+) -> Vec<Message>
+where
+    T: Corruptible + Clone,
+    R: Corruptible + Clone,
+    T: rstp::automata::Automaton<Action = rstp::core::RstpAction>,
+    R: rstp::automata::Automaton<Action = rstp::core::RstpAction>,
+{
+    let p = params();
+    let t_probe = transmitter.clone();
+    let r_probe = receiver.clone();
+    let mut settings = SimSettings::from_params(p);
+    settings.max_events = 100_000;
+    let sim = Simulation::new(transmitter, receiver, settings);
+    let mut step = StepPolicy::AllSlow.build(p);
+    let mut delivery = DeliveryPolicy::MaxDelay.build(TimeDelta::ZERO, p.d());
+    let mut mutate = |_now: rstp::automata::Time,
+                      ts: &mut T::State,
+                      rs: &mut R::State,
+                      _packets: &mut [rstp::core::Packet]| {
+        *ts = t_probe.state_from_registers(t_regs);
+        *rs = r_probe.state_from_registers(r_regs);
+    };
+    let run = sim
+        .run_hooked(
+            input,
+            step.as_mut(),
+            delivery.as_mut(),
+            Some((0, &mut mutate)),
+        )
+        .unwrap_or_else(|e| panic!("T={t_regs:?} R={r_regs:?}: model violation: {e}"));
+    assert_eq!(
+        run.outcome,
+        Outcome::Quiescent,
+        "T={t_regs:?} R={r_regs:?}: never quiesced"
+    );
+    run.trace.written()
+}
+
+/// Cycles two enumerations against each other so every register vector of
+/// each side is exercised at least once while both sides are corrupted in
+/// every run.
+fn paired<'a>(
+    t_vecs: &'a [Vec<u64>],
+    r_vecs: &'a [Vec<u64>],
+) -> impl Iterator<Item = (&'a Vec<u64>, &'a Vec<u64>)> {
+    (0..t_vecs.len().max(r_vecs.len()))
+        .map(move |i| (&t_vecs[i % t_vecs.len()], &r_vecs[i % r_vecs.len()]))
+}
+
+#[test]
+fn stab_stenning_converges_from_every_corrupted_register_state() {
+    let p = params();
+    let input: Vec<Message> = vec![true, false, true, true];
+    let n = input.len();
+    let timeout = Some(2);
+    let t_probe = StabStenningTransmitter::new(p, input.clone(), timeout);
+    let r_probe = StabStenningReceiver::new();
+    let t_vecs = enumerate_register_vectors(&t_probe.registers());
+    let r_vecs = enumerate_register_vectors(&r_probe.registers());
+    let mut positive_floors = 0usize;
+    for (t_regs, r_regs) in paired(&t_vecs, &r_vecs) {
+        let written = run_from_corrupted_state(
+            StabStenningTransmitter::new(p, input.clone(), timeout),
+            StabStenningReceiver::new(),
+            &input,
+            t_regs,
+            r_regs,
+        );
+        // Completeness floor: everything from the corrupted `next` on,
+        // minus one slot for a corrupted-in pending ack and the two-slot
+        // seam allowance (nothing is in flight at event 0).
+        let next_c = t_regs[REG_STAB_T_NEXT] as usize;
+        let pending = usize::from(r_regs[REG_STAB_R_PENDING_ACK] != stab_stenning_ack_alphabet());
+        let floor = n.saturating_sub(next_c + pending + 2);
+        let matched = end_aligned_suffix(&written, &input);
+        assert!(
+            matched >= floor,
+            "T={t_regs:?} R={r_regs:?}: converged tail {matched} < floor {floor} \
+             (wrote {written:?})"
+        );
+        // Stabilization effort: garbage is bounded by the preloaded buffer
+        // plus one aliased duplicate per 4-message tag cycle.
+        assert!(
+            written.len() <= n + GARBAGE_MAX as usize + n / 4 + 1,
+            "T={t_regs:?} R={r_regs:?}: {} writes for n={n}",
+            written.len()
+        );
+        positive_floors += usize::from(floor > 0);
+    }
+    assert!(
+        positive_floors > 0,
+        "test is vacuous: no corrupted state had a positive floor"
+    );
+}
+
+#[test]
+fn stab_beta_converges_from_every_corrupted_register_state() {
+    let p = params();
+    let k = 2u64;
+    let input: Vec<Message> = vec![true, false, false, true];
+    let n = input.len();
+    let t_probe = stab_beta_transmitter(p, k, &input).unwrap();
+    let r_probe = StabBetaReceiver::new(p, k, n).unwrap();
+    let t_vecs = enumerate_register_vectors(&t_probe.registers());
+    let r_vecs = enumerate_register_vectors(&r_probe.registers());
+    let b = stab_beta_bits_per_block(p, k) as usize;
+    let mut positive_floors = 0usize;
+    for (t_regs, r_regs) in paired(&t_vecs, &r_vecs) {
+        let written = run_from_corrupted_state(
+            stab_beta_transmitter(p, k, &input).unwrap(),
+            StabBetaReceiver::new(p, k, n).unwrap(),
+            &input,
+            t_regs,
+            r_regs,
+        );
+        // Same floor the rstp-check oracle enforces, with in-flight = 0.
+        let j0 = t_regs[REG_BETA_T_BLOCK] as usize;
+        let pending = r_regs[REG_BETA_R_PENDING_LEN] as usize;
+        let floor = n.saturating_sub((j0 + 1) * b + pending + 2 * b);
+        let matched = input_tail_occurrence(&written, &input);
+        assert!(
+            matched >= floor,
+            "T={t_regs:?} R={r_regs:?}: converged tail {matched} < floor {floor} \
+             (wrote {written:?})"
+        );
+        positive_floors += usize::from(floor > 0);
+    }
+    assert!(
+        positive_floors > 0,
+        "test is vacuous: no corrupted state had a positive floor"
+    );
+}
+
+/// The acceptance gate from the issue: fifty seeded arbitrary-corruption
+/// runs of each stabilizing variant, each judged by the full rstp-check
+/// oracle suite — convergence floor *and* the documented
+/// stabilization-time bound.
+#[test]
+fn fifty_seeded_corruptions_converge_within_the_documented_bound() {
+    let p = TimingParams::from_ticks(1, 2, 4).unwrap();
+    let input: Vec<Message> = vec![true, false, true, true, false, false, true, false];
+    for kind in [
+        ProtocolKind::StabStenning {
+            timeout_steps: None,
+        },
+        ProtocolKind::StabBeta { k: 4 },
+    ] {
+        let mut applied = 0usize;
+        for seed in 0..50u64 {
+            let scenario = Scenario {
+                kind,
+                params: p,
+                input: input.clone(),
+                t_gaps: Vec::new(),
+                r_gaps: Vec::new(),
+                gap_fallback: p.c1().ticks(),
+                data: ScriptedDelivery::new(Vec::new(), seed % (p.d().ticks() + 1)),
+                ack: ScriptedDelivery::new(Vec::new(), 0),
+                corruption: Some(CorruptionSpec {
+                    at_event: 5 + seed,
+                    seed: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                }),
+            };
+            let run = run_scenario(&scenario, 500_000);
+            assert!(
+                run.failure.is_none(),
+                "{} seed {seed}: {}",
+                kind.name(),
+                run.failure.unwrap()
+            );
+            assert!(run.quiescent, "{} seed {seed}: not quiescent", kind.name());
+            applied += 1;
+        }
+        assert_eq!(applied, 50);
+    }
+}
