@@ -27,12 +27,17 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod callgraph;
 pub mod lexer;
 pub mod lockorder;
+pub mod path;
+pub mod reach;
 pub mod rules;
 pub mod source;
 
+use callgraph::CallGraph;
 use lockorder::LockGraph;
+use reach::PassStats;
 use rstp_bench::json::Json;
 use rules::Finding;
 use source::SourceFile;
@@ -47,8 +52,13 @@ pub struct Report {
     pub suppressed: usize,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
-    /// The extracted serve lock graph.
+    /// The extracted waits-for graph (locks + bounded channels) over
+    /// serve, record, and net.
     pub graph: LockGraph,
+    /// The workspace call graph the reachability passes ran over.
+    pub call_graph: CallGraph,
+    /// Per-pass reachability summaries.
+    pub passes: Vec<PassStats>,
 }
 
 impl Report {
@@ -122,12 +132,20 @@ pub fn analyze_workspace(root: &Path) -> Result<Report, String> {
     }
     findings.extend(rules::wire_const_rule(&texts));
 
-    // Lock-order extraction over the lock-holding crates: serve and
-    // the flight recorder it writes through.
+    // The interprocedural engine: workspace call graph + the three
+    // reachability passes (panic / blocking / allocation).
+    let call_graph = callgraph::build(&files);
+    let (pass_findings, passes) = reach::run_passes(&call_graph);
+    findings.extend(pass_findings);
+
+    // Waits-for extraction over the lock-holding crates: serve, the
+    // flight recorder it writes through, and net's channel fabric.
     let serve: Vec<&SourceFile> = files
         .iter()
         .filter(|f| {
-            f.path.starts_with("crates/serve/src/") || f.path.starts_with("crates/record/src/")
+            f.path.starts_with("crates/serve/src/")
+                || f.path.starts_with("crates/record/src/")
+                || f.path.starts_with("crates/net/src/")
         })
         .collect();
     let graph = lockorder::extract(&serve);
@@ -198,6 +216,8 @@ pub fn analyze_workspace(root: &Path) -> Result<Report, String> {
         suppressed,
         files_scanned: files.len(),
         graph,
+        call_graph,
+        passes,
     })
 }
 
@@ -250,9 +270,11 @@ fn rel(p: &Path, root: &Path) -> String {
 
 /// Renders a report as the `rstp analyze --json` document.
 ///
-/// Schema: `{tool, schema_version, files_scanned, suppressed, clean,
+/// Schema v2: `{tool, schema_version, files_scanned, suppressed, clean,
 /// findings: [{rule, path, line, message}], lock_order: {nodes, order,
-/// edges: [{from, to, site}], cycles}}`.
+/// edges: [{from, to, site}], cycles}, call_graph: {fns, call_sites,
+/// bound, external, unresolved, resolution_rate, passes: [{rule,
+/// entries, reachable, findings}]}}`.
 #[must_use]
 pub fn report_json(report: &Report) -> String {
     let findings = report
@@ -281,9 +303,34 @@ pub fn report_json(report: &Report) -> String {
         .collect();
     let strs = |v: &[String]| Json::Arr(v.iter().map(|s| Json::Str(s.clone())).collect());
     let cycles = report.graph.cycles.iter().map(|c| strs(c)).collect();
+    let pass_objs = report
+        .passes
+        .iter()
+        .map(|p| {
+            Json::Obj(vec![
+                ("rule".into(), Json::Str(p.rule.to_string())),
+                ("entries".into(), Json::Num(p.entries as f64)),
+                ("reachable".into(), Json::Num(p.reachable as f64)),
+                ("findings".into(), Json::Num(p.findings as f64)),
+            ])
+        })
+        .collect();
+    let stats = report.call_graph.stats;
+    let call_graph = Json::Obj(vec![
+        ("fns".into(), Json::Num(report.call_graph.fns.len() as f64)),
+        ("call_sites".into(), Json::Num(stats.sites as f64)),
+        ("bound".into(), Json::Num(stats.bound as f64)),
+        ("external".into(), Json::Num(stats.external as f64)),
+        ("unresolved".into(), Json::Num(stats.unresolved as f64)),
+        (
+            "resolution_rate".into(),
+            Json::Num((stats.resolution_rate() * 1000.0).round() / 1000.0),
+        ),
+        ("passes".into(), Json::Arr(pass_objs)),
+    ]);
     let doc = Json::Obj(vec![
         ("tool".into(), Json::Str("rstp-analyze".to_string())),
-        ("schema_version".into(), Json::Num(1.0)),
+        ("schema_version".into(), Json::Num(2.0)),
         (
             "files_scanned".into(),
             Json::Num(report.files_scanned as f64),
@@ -303,6 +350,7 @@ pub fn report_json(report: &Report) -> String {
                 ("cycles".into(), Json::Arr(cycles)),
             ]),
         ),
+        ("call_graph".into(), call_graph),
     ]);
     doc.render()
 }
@@ -319,9 +367,22 @@ pub fn report_text(report: &Report) -> String {
     }
     if report.graph.cycles.is_empty() {
         out.push_str(&format!(
-            "lock-order: {} lock(s), {} edge(s), acyclic\n",
+            "waits-for: {} node(s), {} edge(s), acyclic\n",
             report.graph.nodes.len(),
             report.graph.edges.len()
+        ));
+    }
+    let stats = report.call_graph.stats;
+    out.push_str(&format!(
+        "call-graph: {} fn(s), {} call site(s), {:.1}% resolved\n",
+        report.call_graph.fns.len(),
+        stats.sites,
+        stats.resolution_rate() * 100.0
+    ));
+    for p in &report.passes {
+        out.push_str(&format!(
+            "pass {}: {} entry point(s), {} reachable fn(s), {} finding(s)\n",
+            p.rule, p.entries, p.reachable, p.findings
         ));
     }
     out.push_str(&format!(

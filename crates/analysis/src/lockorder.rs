@@ -1,22 +1,31 @@
-//! Static lock-order extraction and cycle detection for the
-//! lock-holding crates (`crates/serve`, `crates/record`).
+//! Static waits-for extraction and cycle detection for the blocking
+//! crates (`crates/serve`, `crates/record`, `crates/net`).
 //!
 //! The model: every `.lock()` (and, in files that mention `RwLock`,
 //! `.read()` / `.write()`) acquisition is named by the receiver field or
-//! binding it is called on (`self.clients.lock()` → `clients`), qualified
-//! by the file it lives in (`hub::clients`). A guard's *hold span* is
+//! binding it is called on (`self.clients.lock()` → `clients`),
+//! qualified by crate and file (`serve/hub::clients`) so same-named
+//! files in different crates cannot alias. A guard's *hold span* is
 //! approximated lexically:
 //!
 //! * a `let`-bound guard is held to the end of its enclosing block;
 //! * a temporary guard (`x.lock()?.push(..)` in one statement) is held
 //!   to the end of that statement.
 //!
-//! An edge `A → B` means "B was acquired while A was (statically) still
-//! held" — either directly inside A's hold span, or through a same-file
-//! call to a function that acquires B (the intra-file call-graph
-//! approximation, closed transitively). A cycle in the edge set is a
-//! potential deadlock; the acyclic order is emitted as TOML so any
-//! regression shows up as a diff of a checked-in file.
+//! Locks are not the only way to wait. In files that mention `mpsc` /
+//! `sync_channel`, a blocking channel endpoint operation (`.recv()`,
+//! `.recv_timeout()`, `.send()` — but not `try_send`) becomes a
+//! **channel-wait node** (`net/mem::ingress.chan`). A channel wait
+//! holds nothing afterwards, so it only ever appears as the *target*
+//! of an edge; what it adds to the graph is the deadlock shape "parked
+//! on a channel while holding a lock".
+//!
+//! An edge `A → B` means "the thread waited on B while A was
+//! (statically) still held" — either directly inside A's hold span, or
+//! through a same-file call to a function that (transitively) waits on
+//! B. A cycle in the edge set is a potential deadlock; the acyclic
+//! order is emitted as TOML so any regression shows up as a diff of a
+//! checked-in file.
 
 use crate::lexer::{Token, TokenKind};
 use crate::source::SourceFile;
@@ -46,12 +55,15 @@ pub struct LockGraph {
     pub cycles: Vec<Vec<String>>,
 }
 
-/// A lock acquisition inside one function.
+/// One wait point inside a function: a lock acquisition (which holds a
+/// guard for a span) or a blocking channel operation (which holds
+/// nothing once it returns — `holds` is false).
 struct Acq {
     name: String,
     pos: usize,
     hold_end: usize,
     line: u32,
+    holds: bool,
 }
 
 /// A call to a same-file function.
@@ -74,9 +86,14 @@ pub fn extract(files: &[&SourceFile]) -> LockGraph {
     let mut edges: BTreeMap<(String, String), String> = BTreeMap::new();
 
     for file in files {
-        let stem = file_stem(&file.path);
+        let scope = file_scope(&file.path);
+        let stem = scope.as_str();
         let track_rw = file.tokens.iter().any(|t| t.is_ident("RwLock"));
-        let fns = functions(file, track_rw);
+        let track_chan = file
+            .tokens
+            .iter()
+            .any(|t| t.is_ident("mpsc") || t.is_ident("sync_channel") || t.is_ident("SyncSender"));
+        let fns = functions(file, track_rw, track_chan);
         // Direct lock sets per function, then the transitive closure over
         // same-file calls.
         let direct: BTreeMap<String, BTreeSet<String>> = fns
@@ -94,8 +111,9 @@ pub fn extract(files: &[&SourceFile]) -> LockGraph {
             for a in &f.acqs {
                 nodes.insert(qualify(stem, &a.name));
             }
-            // Direct nesting: B acquired inside A's hold span.
-            for a in &f.acqs {
+            // Direct nesting: B awaited inside A's hold span. A channel
+            // wait holds nothing, so it never opens an edge.
+            for a in f.acqs.iter().filter(|a| a.holds) {
                 for b in &f.acqs {
                     if b.pos > a.pos && b.pos <= a.hold_end && a.name != b.name {
                         edges
@@ -144,15 +162,25 @@ fn site(path: &str, function: &str, line: u32) -> String {
     format!("{path}:{function}:{line}")
 }
 
-fn file_stem(path: &str) -> &str {
-    path.rsplit('/')
+/// `crates/serve/src/hub.rs` → `serve/hub`; paths outside the standard
+/// layout fall back to the bare file stem.
+fn file_scope(path: &str) -> String {
+    let stem = path
+        .rsplit('/')
         .next()
         .and_then(|f| f.strip_suffix(".rs"))
-        .unwrap_or(path)
+        .unwrap_or(path);
+    match path
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+    {
+        Some(krate) => format!("{krate}/{stem}"),
+        None => stem.to_string(),
+    }
 }
 
-/// Finds every function with a body and its acquisitions + call sites.
-fn functions(file: &SourceFile, track_rw: bool) -> Vec<FnInfo> {
+/// Finds every function with a body and its wait points + call sites.
+fn functions(file: &SourceFile, track_rw: bool, track_chan: bool) -> Vec<FnInfo> {
     let toks = &file.tokens;
     // Pass 1: function name set and body ranges.
     let mut ranges: Vec<(String, usize, usize)> = Vec::new();
@@ -193,7 +221,7 @@ fn functions(file: &SourceFile, track_rw: bool) -> Vec<FnInfo> {
 
     ranges
         .into_iter()
-        .map(|(name, open, close)| scan_function(file, name, open, close, track_rw))
+        .map(|(name, open, close)| scan_function(file, name, open, close, track_rw, track_chan))
         .collect()
 }
 
@@ -219,6 +247,7 @@ fn scan_function(
     open: usize,
     close: usize,
     track_rw: bool,
+    track_chan: bool,
 ) -> FnInfo {
     let toks = &file.tokens;
     // Brace depth per token (relative to the body) and enclosing-block
@@ -267,6 +296,11 @@ fn scan_function(
 
     let is_acquire =
         |t: &Token| t.is_ident("lock") || (track_rw && (t.is_ident("read") || t.is_ident("write")));
+    // Blocking channel endpoint ops; `try_send`/`try_recv` never park
+    // and are deliberately absent.
+    let is_chan_wait = |t: &Token| {
+        track_chan && (t.is_ident("recv") || t.is_ident("recv_timeout") || t.is_ident("send"))
+    };
 
     let mut acqs = Vec::new();
     let mut calls = Vec::new();
@@ -274,9 +308,12 @@ fn scan_function(
         if file.in_test[j] {
             continue;
         }
-        // `.lock(` / `.read(` / `.write(`
+        // `.lock(` / `.read(` / `.write(` — and, in channel-bearing
+        // files, `.recv(` / `.recv_timeout(` / `.send(`.
+        let acquires = toks.get(j + 1).is_some_and(&is_acquire);
+        let chan_waits = !acquires && toks.get(j + 1).is_some_and(&is_chan_wait);
         if toks[j].is_punct('.')
-            && toks.get(j + 1).is_some_and(&is_acquire)
+            && (acquires || chan_waits)
             && toks.get(j + 2).is_some_and(|t| t.is_punct('('))
         {
             let Some(recv) = toks
@@ -286,12 +323,21 @@ fn scan_function(
                 continue;
             };
             let line = toks[j + 1].line;
-            let hold_end = hold_span_end(toks, file, open, close, j, &depth_at, &encl_close);
+            let hold_end = if chan_waits {
+                j // the wait returns a value, not a guard
+            } else {
+                hold_span_end(toks, file, open, close, j, &depth_at, &encl_close)
+            };
             acqs.push(Acq {
-                name: recv.text.clone(),
+                name: if chan_waits {
+                    format!("{}.chan", recv.text)
+                } else {
+                    recv.text.clone()
+                },
                 pos: j,
                 hold_end,
                 line,
+                holds: !chan_waits,
             });
         }
         // Same-file call site: `name(` or `self.name(`.
@@ -481,9 +527,10 @@ fn toposort(nodes: &[String], edges: &[LockEdge]) -> (Vec<String>, Vec<Vec<Strin
 pub fn render_toml(graph: &LockGraph) -> String {
     let mut s = String::new();
     s.push_str(
-        "# Lock acquisition order for crates/serve + crates/record, extracted statically by rstp-analyze.\n\
+        "# Waits-for order (locks + bounded-channel waits) for crates/serve, crates/record,\n\
+         # and crates/net, extracted statically by rstp-analyze.\n\
          # Regenerate with: rstp analyze --emit-lock-order analysis/lock-order.toml\n\
-         # A diff in this file means the locking discipline changed — review it like an\n\
+         # A diff in this file means the blocking discipline changed — review it like an\n\
          # API change. Cycles fail `rstp analyze` outright.\n\n",
     );
     s.push_str("version = 1\n\n");
@@ -518,10 +565,10 @@ mod tests {
             "fn f(&self) {\n let a = self.alpha.lock().unwrap();\n \
              let b = self.beta.lock().unwrap();\n}",
         );
-        assert_eq!(g.nodes, vec!["x::alpha", "x::beta"]);
+        assert_eq!(g.nodes, vec!["serve/x::alpha", "serve/x::beta"]);
         assert_eq!(g.edges.len(), 1);
-        assert_eq!(g.edges[0].from, "x::alpha");
-        assert_eq!(g.edges[0].to, "x::beta");
+        assert_eq!(g.edges[0].from, "serve/x::alpha");
+        assert_eq!(g.edges[0].to, "serve/x::beta");
         assert!(g.cycles.is_empty());
     }
 
@@ -533,7 +580,7 @@ mod tests {
             "fn f(&self) {\n let inbox = { let map = self.clients.lock().unwrap(); \
              map.get(0).cloned() };\n inbox.lock().unwrap().push_back(1);\n}",
         );
-        assert_eq!(g.nodes, vec!["x::clients", "x::inbox"]);
+        assert_eq!(g.nodes, vec!["serve/x::clients", "serve/x::inbox"]);
         assert!(g.edges.is_empty(), "{:?}", g.edges);
     }
 
@@ -566,8 +613,40 @@ mod tests {
              fn f(&self) { let a = self.alpha.lock().unwrap(); self.helper(); }",
         );
         assert_eq!(g.edges.len(), 1);
-        assert_eq!(g.edges[0].from, "x::alpha");
-        assert_eq!(g.edges[0].to, "x::beta");
+        assert_eq!(g.edges[0].from, "serve/x::alpha");
+        assert_eq!(g.edges[0].to, "serve/x::beta");
+    }
+
+    #[test]
+    fn channel_wait_under_lock_makes_a_chan_edge() {
+        let g = graph_of(
+            "use std::sync::mpsc;\nfn f(&self, rx: &mpsc::Receiver<u8>) {\n \
+             let a = self.alpha.lock().unwrap();\n let msg = rx.recv_timeout(t);\n}",
+        );
+        assert_eq!(g.nodes, vec!["serve/x::alpha", "serve/x::rx.chan"]);
+        assert_eq!(g.edges.len(), 1, "{:?}", g.edges);
+        assert_eq!(g.edges[0].from, "serve/x::alpha");
+        assert_eq!(g.edges[0].to, "serve/x::rx.chan");
+    }
+
+    #[test]
+    fn channel_wait_holds_nothing_and_try_send_is_ignored() {
+        // recv before a lock: the wait has already returned, no edge.
+        let g = graph_of(
+            "use std::sync::mpsc;\nfn f(&self, rx: &mpsc::Receiver<u8>) {\n \
+             let msg = rx.recv();\n let a = self.alpha.lock().unwrap();\n}",
+        );
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+        // try_send under a lock never parks: not a waits-for edge.
+        let g = graph_of(
+            "use std::sync::mpsc;\nfn f(&self, tx: &mpsc::SyncSender<u8>) {\n \
+             let a = self.alpha.lock().unwrap();\n let _ = tx.try_send(1);\n}",
+        );
+        assert_eq!(g.nodes, vec!["serve/x::alpha"]);
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+        // Without an mpsc mention, .send()/.recv() are plain I/O.
+        let g = graph_of("fn f(&self) { let n = self.sock.send(buf); }");
+        assert!(g.nodes.is_empty());
     }
 
     #[test]
@@ -576,7 +655,7 @@ mod tests {
             "use std::sync::RwLock;\nfn f(&self) { let a = self.table.read().unwrap(); \
              self.meta.write().unwrap().push(1); }",
         );
-        assert_eq!(g.nodes, vec!["x::meta", "x::table"]);
+        assert_eq!(g.nodes, vec!["serve/x::meta", "serve/x::table"]);
         assert_eq!(g.edges.len(), 1);
         // Without RwLock in the file, .read()/.write() are plain I/O.
         let g = graph_of("fn f(&self) { let n = self.sock.read().unwrap(); }");
@@ -590,7 +669,7 @@ mod tests {
         let a = render_toml(&graph_of(src));
         let b = render_toml(&graph_of(src));
         assert_eq!(a, b);
-        assert!(a.contains("nodes = [\"x::alpha\", \"x::beta\"]"));
+        assert!(a.contains("nodes = [\"serve/x::alpha\", \"serve/x::beta\"]"));
         assert!(a.contains("[[edge]]"));
     }
 }

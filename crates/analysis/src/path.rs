@@ -1,0 +1,281 @@
+//! Path scanning over the token stream: the shared machinery that lets
+//! call resolution see through turbofish (`Foo::<T>::bar`) and
+//! fully-qualified (`<T as Trait>::method`) call syntax instead of
+//! mis-tokenizing them as comparison soup.
+//!
+//! The lexer stays character-level — `::<` is three punct tokens — so
+//! everything path-shaped is reassembled here, with the same robustness
+//! contract: any token sequence yields `Some`/`None`, never a panic.
+
+use crate::lexer::{Token, TokenKind};
+
+/// A parsed path expression starting at some token index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsedPath {
+    /// The path's identifier segments in order (`Foo::<T>::bar` →
+    /// `["Foo", "bar"]`; turbofish arguments are skipped, not kept).
+    pub segments: Vec<String>,
+    /// Index of the first token *after* the path (exclusive end).
+    pub end: usize,
+    /// True when any segment carried a turbofish (`::<...>`).
+    pub turbofish: bool,
+}
+
+/// Parses a path starting at token `i`, which must be an identifier
+/// (`Foo`, `crate`, `self`, ...). Consumes `seg (:: turbofish)? (::
+/// seg)*` greedily. Returns `None` when `i` is not an identifier.
+#[must_use]
+pub fn parse_path_at(tokens: &[Token], i: usize) -> Option<ParsedPath> {
+    let first = tokens.get(i)?;
+    if first.kind != TokenKind::Ident {
+        return None;
+    }
+    let mut segments = vec![first.text.clone()];
+    let mut j = i + 1;
+    let mut turbofish = false;
+    loop {
+        // A `::` separator?
+        if !(is_punct(tokens, j, ':') && is_punct(tokens, j + 1, ':')) {
+            break;
+        }
+        let after = j + 2;
+        if is_punct(tokens, after, '<') {
+            // Turbofish: skip the balanced angle span, then expect either
+            // `::ident` (more path) or the end of the path.
+            let Some(close) = skip_angles(tokens, after) else {
+                break;
+            };
+            turbofish = true;
+            j = close + 1;
+            continue;
+        }
+        match tokens.get(after) {
+            Some(t) if t.kind == TokenKind::Ident => {
+                segments.push(t.text.clone());
+                j = after + 1;
+            }
+            _ => break,
+        }
+    }
+    Some(ParsedPath {
+        segments,
+        end: j,
+        turbofish,
+    })
+}
+
+/// A fully-qualified call prefix `<Type as Trait>::`, parsed backward
+/// from the `::` that precedes the method name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QualifiedSelf {
+    /// Last segment of the `Type` path (`<wire::Frame as Encode>` →
+    /// `Frame`), when present.
+    pub type_name: Option<String>,
+    /// Last segment of the `Trait` path.
+    pub trait_name: String,
+}
+
+/// Given the index of a method-name identifier whose two preceding
+/// tokens are `::`, checks whether the path qualifier is a
+/// `<Type as Trait>` span and parses it. `name_idx` is the token index
+/// of the method name.
+#[must_use]
+pub fn qualified_self_before(tokens: &[Token], name_idx: usize) -> Option<QualifiedSelf> {
+    // ... `>` `::` `::` name — the `>` sits at name_idx - 3.
+    if name_idx < 4 {
+        return None;
+    }
+    if !(is_punct(tokens, name_idx - 1, ':') && is_punct(tokens, name_idx - 2, ':')) {
+        return None;
+    }
+    let close = name_idx - 3;
+    if !is_punct(tokens, close, '>') {
+        return None;
+    }
+    // Walk back to the matching `<`, tracking nesting.
+    let mut depth = 0usize;
+    let mut open = None;
+    let mut k = close;
+    loop {
+        let t = tokens.get(k)?;
+        if t.is_punct('>') {
+            depth += 1;
+        } else if t.is_punct('<') {
+            depth -= 1;
+            if depth == 0 {
+                open = Some(k);
+                break;
+            }
+        }
+        if k == 0 {
+            break;
+        }
+        k -= 1;
+        // A `<` this far back is not a qualifier; cap the scan.
+        if close - k > 64 {
+            break;
+        }
+    }
+    let open = open?;
+    // Find the top-level `as` inside the span.
+    let mut depth = 0usize;
+    let mut as_idx = None;
+    for (idx, t) in tokens.iter().enumerate().take(close).skip(open + 1) {
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 && t.is_ident("as") {
+            as_idx = Some(idx);
+        }
+    }
+    let as_idx = as_idx?;
+    // Trait path: last identifier at angle-depth 0 before the `>`.
+    let trait_name = last_ident_in(tokens, as_idx + 1, close)?;
+    // Type path: last identifier before `as` (None for `&[u8]`-shaped
+    // types with no identifier of their own is fine).
+    let type_name = last_ident_in(tokens, open + 1, as_idx);
+    Some(QualifiedSelf {
+        type_name,
+        trait_name,
+    })
+}
+
+/// Index just past a balanced `<...>` span opening at `open`, or `None`
+/// when unbalanced. Ignores `->`/`=>` arrows so `Fn() -> T` inside
+/// angles cannot desync the depth count.
+#[must_use]
+pub fn skip_angles(tokens: &[Token], open: usize) -> Option<usize> {
+    if !is_punct(tokens, open, '<') {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut j = open;
+    while let Some(t) = tokens.get(j) {
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            // `->` / `=>`: the `>` belongs to an arrow, not the angles.
+            let arrow = j > 0 && (tokens[j - 1].is_punct('-') || tokens[j - 1].is_punct('='));
+            if !arrow {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+        }
+        j += 1;
+        if j > open + 256 {
+            return None; // refuse pathological spans
+        }
+    }
+    None
+}
+
+fn last_ident_in(tokens: &[Token], from: usize, to: usize) -> Option<String> {
+    let mut depth = 0usize;
+    let mut last = None;
+    for t in tokens.iter().take(to.min(tokens.len())).skip(from) {
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 && t.kind == TokenKind::Ident && t.text != "dyn" {
+            last = Some(t.text.clone());
+        }
+    }
+    last
+}
+
+fn is_punct(tokens: &[Token], i: usize, c: char) -> bool {
+    tokens.get(i).is_some_and(|t| t.is_punct(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn path(src: &str) -> ParsedPath {
+        parse_path_at(&lex(src), 0).expect("path")
+    }
+
+    #[test]
+    fn plain_paths_collect_segments() {
+        let p = path("alpha::beta::gamma(x)");
+        assert_eq!(p.segments, vec!["alpha", "beta", "gamma"]);
+        assert!(!p.turbofish);
+    }
+
+    #[test]
+    fn turbofish_is_skipped_not_split() {
+        let p = path("Foo::<T, U>::bar(1)");
+        assert_eq!(p.segments, vec!["Foo", "bar"]);
+        assert!(p.turbofish);
+        // Nested generics inside the turbofish.
+        let p = path("Wheel::<Vec<Option<u8>>>::advance()");
+        assert_eq!(p.segments, vec!["Wheel", "advance"]);
+    }
+
+    #[test]
+    fn trailing_turbofish_belongs_to_the_path() {
+        let p = path("collect::<Vec<_>>()");
+        assert_eq!(p.segments, vec!["collect"]);
+        assert!(p.turbofish);
+        // `end` points at the `(`.
+        let toks = lex("collect::<Vec<_>>()");
+        assert!(toks[p.end].is_punct('('));
+    }
+
+    #[test]
+    fn comparison_is_not_a_turbofish() {
+        // `a :: b < c` — parse stops at the `<`, which is not after `::`.
+        let p = path("a::b < c");
+        assert_eq!(p.segments, vec!["a", "b"]);
+        assert!(!p.turbofish);
+    }
+
+    #[test]
+    fn qualified_self_parses_type_and_trait() {
+        let toks = lex("<Frame as Encode>::encode(x)");
+        // Find the `encode` ident.
+        let idx = toks
+            .iter()
+            .position(|t| t.is_ident("encode"))
+            .expect("encode");
+        let q = qualified_self_before(&toks, idx).expect("qualified");
+        assert_eq!(q.type_name.as_deref(), Some("Frame"));
+        assert_eq!(q.trait_name, "Encode");
+    }
+
+    #[test]
+    fn qualified_self_with_generic_type() {
+        let toks = lex("<Wheel<u64> as Pop>::next(w)");
+        let idx = toks.iter().position(|t| t.is_ident("next")).expect("next");
+        let q = qualified_self_before(&toks, idx).expect("qualified");
+        assert_eq!(q.type_name.as_deref(), Some("Wheel"));
+        assert_eq!(q.trait_name, "Pop");
+    }
+
+    #[test]
+    fn ordinary_method_calls_are_not_qualified() {
+        let toks = lex("x.encode(y)");
+        let idx = toks
+            .iter()
+            .position(|t| t.is_ident("encode"))
+            .expect("encode");
+        assert_eq!(qualified_self_before(&toks, idx), None);
+    }
+
+    #[test]
+    fn unbalanced_angles_never_panic() {
+        for src in ["<<<<::m(", "Foo::<(", "<a as (", ">::m(", "::<>::("] {
+            let toks = lex(src);
+            for i in 0..toks.len() {
+                let _ = parse_path_at(&toks, i);
+                let _ = qualified_self_before(&toks, i);
+                let _ = skip_angles(&toks, i);
+            }
+        }
+    }
+}

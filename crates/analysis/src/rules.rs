@@ -72,6 +72,27 @@ pub const RULES: &[RuleInfo] = &[
         description: "analysis/lock-order.toml no longer matches the extracted graph",
     },
     RuleInfo {
+        id: "panic-reachable",
+        invariant: "Y is always a prefix of X: no protocol entry point reaches a panic",
+        description: "an unwrap/expect/panic!/variable-index sink reachable from \
+                      Automaton::step/output, codec encode/decode, the serve shard tick, or \
+                      the record append path — reported with the full call chain",
+    },
+    RuleInfo {
+        id: "blocking-in-nonblocking",
+        invariant: "the record ring and serve per-frame loops are strictly nonblocking",
+        description: "a lock()/recv()/bounded send()/sleep/join sink reachable from \
+                      RingProducer::push, ShardRecorder::record, EgressSink::send_batch, \
+                      ServeTransport::recv_batch, or SessionEndpoint::step/apply_recv",
+    },
+    RuleInfo {
+        id: "alloc-in-steady-state",
+        invariant: "allocation-free steady state (ROADMAP 1/4): the per-frame path never \
+                    allocates",
+        description: "a to_vec/to_owned/format!/vec!/Box::new/container-ctor sink reachable \
+                      from the per-frame entry points",
+    },
+    RuleInfo {
         id: "stale-baseline",
         invariant: "the baseline shrinks monotonically: fixed findings leave the baseline",
         description: "a baseline entry that no current finding matches",
@@ -222,6 +243,12 @@ fn panic_rule(file: &SourceFile, out: &mut Vec<Finding>) {
     for (i, t) in file.code_tokens() {
         for method in ["unwrap", "expect"] {
             if matches_seq(&file.tokens, i, &[P('.'), Id(method), P('(')]) {
+                // The checked-guard idiom (`a.checked_add(b).expect(...)`)
+                // is machine-verified safe intent, not an unvalidated
+                // panic; the call graph's sink scanner shares the check.
+                if crate::callgraph::checked_guard_before(&file.tokens, i) {
+                    continue;
+                }
                 let line = file.tokens[i + 1].line;
                 out.push(Finding {
                     rule: "panic-in-protocol-path",

@@ -1,0 +1,45 @@
+//! Call-graph robustness properties: `callgraph::build` and the
+//! reachability passes inherit the lexer's contract — *any* input
+//! produces a graph and a finding list, never a panic. The analyzer
+//! must survive half-written files mid-refactor.
+
+use proptest::prelude::*;
+use rstp_analyze::callgraph::build;
+use rstp_analyze::reach::run_passes;
+use rstp_analyze::source::SourceFile;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn build_never_panics_on_byte_soup(
+        bytes in proptest::collection::vec(any::<u8>(), 0..768),
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        let file = SourceFile::new("crates/x/src/soup.rs", &text);
+        let graph = build(std::slice::from_ref(&file));
+        let _ = run_passes(&graph);
+    }
+
+    #[test]
+    fn build_never_panics_on_rust_shaped_soup(
+        pieces in proptest::collection::vec(0usize..16, 0..96),
+    ) {
+        // Not random bytes but the tokens the fn/impl scanner actually
+        // dispatches on, in arbitrary order — truncated items, orphaned
+        // turbofish, unbalanced impl blocks.
+        const ATOMS: [&str; 16] = [
+            "fn ", "impl ", "for ", "::", "<", ">", "(", ")", "{", "}",
+            "self", ".", "unwrap", "run_shard", " as ", ";",
+        ];
+        let text: String = pieces.iter().map(|i| ATOMS[*i]).collect();
+        let file = SourceFile::new("crates/serve/src/shard.rs", &text);
+        let graph = build(std::slice::from_ref(&file));
+        let (findings, stats) = run_passes(&graph);
+        // Whatever the soup parses to, accounting stays coherent.
+        prop_assert!(findings.iter().all(|f| f.path == "crates/serve/src/shard.rs"));
+        for s in &stats {
+            prop_assert!(s.reachable >= s.entries, "{}: {} < {}", s.rule, s.reachable, s.entries);
+        }
+    }
+}

@@ -72,6 +72,37 @@ fn wire_drift_fixtures() {
 }
 
 #[test]
+fn panic_reach_fixtures() {
+    // serve is outside the token-level panic rule's scope, so only the
+    // interprocedural pass can flag this pair.
+    assert_caught("panic_reach_bad", "panic_reach_clean", "panic-reachable");
+    let hits = findings_of("panic_reach_bad", "panic-reachable");
+    assert!(
+        hits[0].contains("run_shard -> serve/shard::dispatch"),
+        "finding must carry the entry→sink chain: {hits:?}"
+    );
+}
+
+#[test]
+fn blocking_fixtures() {
+    assert_caught("blocking_bad", "blocking_clean", "blocking-in-nonblocking");
+    let hits = findings_of("blocking_bad", "blocking-in-nonblocking");
+    assert!(
+        hits[0].contains("send_batch -> serve/egress::Egress::flush"),
+        "finding must name the trait entry point: {hits:?}"
+    );
+    // The clean tree's try_lock is invisible to the waits-for graph too:
+    // a lock you never park on cannot deadlock.
+    let report = analyze_workspace(&fixture("blocking_clean")).expect("fixture analyzes");
+    assert!(report.graph.nodes.is_empty(), "{:?}", report.graph.nodes);
+}
+
+#[test]
+fn alloc_fixtures() {
+    assert_caught("alloc_bad", "alloc_clean", "alloc-in-steady-state");
+}
+
+#[test]
 fn lock_cycle_fixture_is_detected() {
     let hits = findings_of("lock_cycle_bad", "lock-order-cycle");
     assert_eq!(hits.len(), 1, "ABBA order must be a cycle: {hits:?}");
@@ -92,7 +123,10 @@ fn acyclic_fixture_is_fully_clean() {
         report.findings
     );
     assert_eq!(report.graph.cycles.len(), 0);
-    assert_eq!(report.graph.order, vec!["state::table", "state::journal"]);
+    assert_eq!(
+        report.graph.order,
+        vec!["serve/state::table", "serve/state::journal"]
+    );
 }
 
 #[test]
@@ -104,6 +138,9 @@ fn every_bad_fixture_fails_the_analyzer() {
         "sleep_bad",
         "wire_drift_bad",
         "lock_cycle_bad",
+        "panic_reach_bad",
+        "blocking_bad",
+        "alloc_bad",
     ] {
         let report = analyze_workspace(&fixture(bad)).expect("fixture analyzes");
         assert!(!report.is_clean(), "{bad} must produce findings");

@@ -1,0 +1,14 @@
+//! Fixture: the ring append path allocates per frame — a `.to_vec()`
+//! hiding one call below `RingProducer::push`.
+
+pub struct RingProducer;
+
+impl RingProducer {
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.store(bytes);
+    }
+
+    fn store(&mut self, bytes: &[u8]) {
+        self.last = bytes.to_vec();
+    }
+}

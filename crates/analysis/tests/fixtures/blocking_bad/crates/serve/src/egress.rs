@@ -1,0 +1,18 @@
+//! Fixture: an `EgressSink::send_batch` impl that parks on a mutex one
+//! call below the trait method — blocking on the per-frame path.
+
+pub struct Egress;
+
+impl EgressSink for Egress {
+    fn send_batch(&mut self) {
+        self.flush();
+    }
+}
+
+impl Egress {
+    fn flush(&self) {
+        if let Ok(mut q) = self.q.lock() {
+            q.emit();
+        }
+    }
+}

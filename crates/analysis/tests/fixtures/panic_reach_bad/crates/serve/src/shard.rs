@@ -1,0 +1,15 @@
+//! Fixture: the shard dispatch path reaches a panic two calls deep.
+//! serve is outside the token-level panic rule's scope, so only the
+//! interprocedural pass can see this.
+
+pub(crate) fn run_shard(frames: &[Option<u8>]) {
+    for f in frames {
+        dispatch(f);
+    }
+}
+
+fn dispatch(f: &Option<u8>) {
+    apply(f.unwrap());
+}
+
+fn apply(_f: u8) {}

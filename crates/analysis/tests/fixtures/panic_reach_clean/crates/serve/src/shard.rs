@@ -1,0 +1,16 @@
+//! Fixture: the same dispatch path with the absent case handled
+//! explicitly — nothing reachable from `run_shard` can abort.
+
+pub(crate) fn run_shard(frames: &[Option<u8>]) {
+    for f in frames {
+        dispatch(f);
+    }
+}
+
+fn dispatch(f: &Option<u8>) {
+    if let Some(f) = f {
+        apply(*f);
+    }
+}
+
+fn apply(_f: u8) {}

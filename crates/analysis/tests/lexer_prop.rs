@@ -4,6 +4,7 @@
 
 use proptest::prelude::*;
 use rstp_analyze::lexer::{lex, TokenKind};
+use rstp_analyze::path::{parse_path_at, qualified_self_before};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
@@ -47,5 +48,71 @@ proptest! {
             toks.iter().any(|t| t.kind == TokenKind::Ident && t.text == name),
             "lost {name:?} in {text:?}"
         );
+    }
+
+    #[test]
+    fn turbofish_paths_keep_their_segments(
+        seg_ids in proptest::collection::vec(0usize..8, 1..5),
+        fish_mask in 0u32..32,
+        nest in 0usize..3,
+    ) {
+        // `a::<Vec<..>>::b::c::<..>(` for every subset of fish positions:
+        // the parser must collect exactly the identifier segments, flag
+        // the turbofish, and end right at the `(`.
+        const SEGS: [&str; 8] = ["alpha", "Frame", "Vec", "collect", "wire", "Codec", "push", "t0"];
+        let mut arg = String::from("u8");
+        for _ in 0..nest {
+            arg = format!("Vec<{arg}>");
+        }
+        let mut text = String::new();
+        for (i, id) in seg_ids.iter().enumerate() {
+            if i > 0 {
+                text.push_str("::");
+            }
+            text.push_str(SEGS[*id]);
+            if fish_mask & (1 << i) != 0 {
+                text.push_str("::<");
+                text.push_str(&arg);
+                text.push('>');
+            }
+        }
+        text.push_str("(x)");
+        let toks = lex(&text);
+        let p = parse_path_at(&toks, 0).expect("starts with an ident");
+        let expected: Vec<&str> = seg_ids.iter().map(|i| SEGS[*i]).collect();
+        prop_assert_eq!(&p.segments, &expected, "in {}", text);
+        let any_fish = fish_mask & ((1u32 << seg_ids.len()) - 1) != 0;
+        prop_assert_eq!(p.turbofish, any_fish, "in {}", text);
+        prop_assert!(toks[p.end].is_punct('('), "end must sit on the call paren in {}", text);
+    }
+
+    #[test]
+    fn qualified_self_survives_generic_noise(
+        ty in 0usize..4,
+        tr in 0usize..3,
+        letters in proptest::collection::vec(0usize..26, 1..8),
+        nest in 0usize..3,
+    ) {
+        // `<Wheel<Vec<..>> as Trait>::method(` — the qualifier parser
+        // must recover the type and trait names through any nesting
+        // depth, for any method name.
+        const TYPES: [&str; 4] = ["Frame", "Wheel", "RingProducer", "Hub"];
+        const TRAITS: [&str; 3] = ["Encode", "Pop", "EgressSink"];
+        let method: String = std::iter::once('m')
+            .chain(letters.iter().map(|i| char::from(b'a' + u8::try_from(*i).unwrap_or(0))))
+            .collect();
+        let mut typ = TYPES[ty].to_string();
+        for _ in 0..nest {
+            typ = format!("{typ}<Vec<u8>>");
+        }
+        let text = format!("<{typ} as {}>::{method}(x)", TRAITS[tr]);
+        let toks = lex(&text);
+        let idx = toks
+            .iter()
+            .position(|t| t.kind == TokenKind::Ident && t.text == method)
+            .expect("method ident survives lexing");
+        let q = qualified_self_before(&toks, idx).expect("qualifier parses");
+        prop_assert_eq!(q.type_name.as_deref(), Some(TYPES[ty]), "in {}", text);
+        prop_assert_eq!(q.trait_name.as_str(), TRAITS[tr], "in {}", text);
     }
 }

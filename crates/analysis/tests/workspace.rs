@@ -52,6 +52,43 @@ fn serve_lock_graph_is_acyclic_and_checked_in() {
 }
 
 #[test]
+fn call_graph_resolves_the_workspace_it_ships_in() {
+    // The self-hosting bar for the interprocedural passes: at least 95%
+    // of call sites in this workspace must resolve to a definition or a
+    // recognized external. Below that, reachability claims are noise.
+    let report = analyze_workspace(&workspace_root()).expect("workspace analyzes");
+    let stats = &report.call_graph.stats;
+    assert!(
+        stats.resolution_rate() >= 0.95,
+        "call-site resolution fell to {:.1}% ({} of {} sites); top unresolved names: {:?}",
+        stats.resolution_rate() * 100.0,
+        stats.bound + stats.external,
+        stats.sites,
+        report
+            .call_graph
+            .unresolved_names
+            .iter()
+            .take(20)
+            .collect::<Vec<_>>()
+    );
+    // The graph must actually cover the tree, not a sliver of it.
+    assert!(
+        report.call_graph.fns.len() > 500,
+        "{} fns",
+        report.call_graph.fns.len()
+    );
+    // And each pass must find its entry points — an empty entry set
+    // would make every pass vacuously clean.
+    for pass in &report.passes {
+        assert!(
+            pass.entries > 0,
+            "pass {} matched no entry points — did a Matcher go stale?",
+            pass.rule
+        );
+    }
+}
+
+#[test]
 fn hub_nesting_stays_out_of_the_edge_set() {
     // serve::hub's egress resolves a client inbox under the map lock but
     // releases the map guard (its match-arm block ends) before locking
@@ -65,7 +102,7 @@ fn hub_nesting_stays_out_of_the_edge_set() {
             .graph
             .edges
             .iter()
-            .any(|e| e.from == "hub::clients" && e.to == "hub::inbox"),
+            .any(|e| e.from == "serve/hub::clients" && e.to == "serve/hub::inbox"),
         "hub map guard must drop before the inbox lock: {:?}",
         report.graph.edges
     );

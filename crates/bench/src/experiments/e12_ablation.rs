@@ -216,13 +216,13 @@ impl Automaton for PositionalReceiver {
                     let bits = positional_decode(self.k, &next.burst, self.bits);
                     let remaining = self.expected.saturating_sub(next.decoded.len());
                     let take = bits.len().min(remaining);
-                    next.decoded.extend_from_slice(&bits[..take]);
+                    next.decoded.extend(bits.into_iter().take(take));
                     next.burst.clear();
                 }
                 Ok(next)
             }
             RstpAction::Write(m) => {
-                if s.written < s.decoded.len() && *m == s.decoded[s.written] {
+                if s.decoded.get(s.written) == Some(m) {
                     let mut next = s.clone();
                     next.written += 1;
                     Ok(next)

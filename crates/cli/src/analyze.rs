@@ -5,6 +5,7 @@
 //! rstp analyze --root ../rstp                    # lint another checkout
 //! rstp analyze --json analyze.json               # machine-readable report
 //! rstp analyze --emit-lock-order analysis/lock-order.toml
+//! rstp analyze --emit-call-graph callgraph.dot   # Graphviz call graph
 //! ```
 //!
 //! Exit status mirrors `rstp check`: zero when every finding is either
@@ -16,9 +17,9 @@ use std::fs;
 use std::path::Path;
 
 use crate::args::{ArgError, Args};
-use rstp_analyze::{analyze_workspace, lockorder, report_json, report_text};
+use rstp_analyze::{analyze_workspace, callgraph, lockorder, report_json, report_text};
 
-const FLAGS: &[&str] = &["root", "json", "emit-lock-order"];
+const FLAGS: &[&str] = &["root", "json", "emit-lock-order", "emit-call-graph"];
 
 /// `rstp analyze`
 pub fn cmd_analyze(args: &Args) -> Result<String, ArgError> {
@@ -36,6 +37,16 @@ pub fn cmd_analyze(args: &Args) -> Result<String, ArgError> {
             .map_err(|e| ArgError(format!("write {}: {e}", target.display())))?;
         // The file now matches the extracted graph by construction.
         report.findings.retain(|f| f.rule != "lock-order-drift");
+    }
+
+    if let Some(rel) = args.get("emit-call-graph") {
+        let target = root.join(rel);
+        if let Some(parent) = target.parent() {
+            fs::create_dir_all(parent)
+                .map_err(|e| ArgError(format!("create {}: {e}", parent.display())))?;
+        }
+        fs::write(&target, callgraph::render_dot(&report.call_graph))
+            .map_err(|e| ArgError(format!("write {}: {e}", target.display())))?;
     }
 
     if let Some(path) = args.get("json") {
@@ -90,6 +101,32 @@ mod tests {
         let text = fs::read_to_string(&path).expect("json written");
         assert!(text.contains("\"tool\": \"rstp-analyze\""), "{text}");
         assert!(text.contains("\"lock_order\""), "{text}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn call_graph_flag_writes_dot() {
+        let root = workspace_root();
+        let path = std::env::temp_dir().join("rstp-analyze-cli-test.dot");
+        let path_s = path.to_str().unwrap().to_string();
+        let _ = run(&[
+            "analyze",
+            "--root",
+            root.to_str().unwrap(),
+            "--emit-call-graph",
+            &path_s,
+        ]);
+        let text = fs::read_to_string(&path).expect("dot written");
+        assert!(
+            text.starts_with("// Workspace call graph"),
+            "{}",
+            &text[..80.min(text.len())]
+        );
+        assert!(text.contains("digraph calls {"), "missing digraph header");
+        assert!(
+            text.contains("serve/shard::run_shard"),
+            "the shard loop must appear as a node"
+        );
         let _ = fs::remove_file(&path);
     }
 

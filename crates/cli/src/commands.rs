@@ -39,8 +39,9 @@ COMMANDS:
                                            --c1 --c2 --d --max-input --differential
                                            --corpus DIR --minimize FILE [--out FILE]
                                            [--json FILE]
-  analyze       invariant lints + lock-order detector  [--root DIR]
+  analyze       invariant lints + call-graph passes  [--root DIR]
                                            [--json FILE] [--emit-lock-order FILE]
+                                           [--emit-call-graph FILE]
 
 PROTOCOLS: alpha | beta | gamma | altbit | stenning | framed | pipelined
            | stab-stenning | stab-beta

@@ -84,7 +84,7 @@ impl StreamDecoder {
             Ok(bits) => {
                 let remaining = self.expected_bits.saturating_sub(self.bits.len());
                 let take = bits.len().min(remaining);
-                self.bits.extend_from_slice(&bits[..take]);
+                self.bits.extend(bits.into_iter().take(take));
                 Ok(take)
             }
             Err(_) => {

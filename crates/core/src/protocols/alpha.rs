@@ -205,8 +205,8 @@ impl Automaton for AlphaReceiver {
     }
 
     fn enabled(&self, state: &AlphaReceiverState) -> Vec<RstpAction> {
-        if state.written < state.received.len() {
-            vec![RstpAction::Write(state.received[state.written])]
+        if let Some(&m) = state.received.get(state.written) {
+            vec![RstpAction::Write(m)]
         } else {
             // Figure 1: idle_r is enabled exactly when there is nothing to
             // write, so the receiver always has a local step available.
@@ -226,16 +226,16 @@ impl Automaton for AlphaReceiver {
                 Ok(next)
             }
             RstpAction::Write(m) => {
-                if state.written >= state.received.len() {
+                let Some(&expected) = state.received.get(state.written) else {
                     return Err(StepError::PreconditionFalse {
                         action: format!("{action:?}"),
                         reason: "write requires k <= i (a received, unwritten message)".into(),
                     });
-                }
-                if *m != state.received[state.written] {
+                };
+                if *m != expected {
                     return Err(StepError::PreconditionFalse {
                         action: format!("{action:?}"),
-                        reason: format!("m must equal y_k = {}", state.received[state.written]),
+                        reason: format!("m must equal y_k = {expected}"),
                     });
                 }
                 let mut next = state.clone();

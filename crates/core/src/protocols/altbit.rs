@@ -215,8 +215,8 @@ impl Automaton for AltBitReceiver {
     fn enabled(&self, state: &AltBitReceiverState) -> Vec<RstpAction> {
         if let Some(&tag) = state.ack_queue.front() {
             vec![RstpAction::Send(Packet::Ack(tag))]
-        } else if state.written < state.received.len() {
-            vec![RstpAction::Write(state.received[state.written])]
+        } else if let Some(&m) = state.received.get(state.written) {
+            vec![RstpAction::Write(m)]
         } else {
             vec![RstpAction::ReceiverInternal(InternalKind::Idle)]
         }
@@ -253,7 +253,7 @@ impl Automaton for AltBitReceiver {
                 }),
             },
             RstpAction::Write(m) => {
-                if state.written >= state.received.len() || *m != state.received[state.written] {
+                if state.received.get(state.written) != Some(m) {
                     return Err(StepError::PreconditionFalse {
                         action: format!("{action:?}"),
                         reason: "write requires the next accepted message".into(),

@@ -197,8 +197,12 @@ impl Automaton for BetaTransmitter {
         if state.block >= self.blocks.len() {
             return vec![]; // whole input transmitted: quiescent
         }
-        if state.step_in_round < self.burst_len {
-            let symbol = self.blocks[state.block][state.step_in_round as usize];
+        let symbol = self
+            .blocks
+            .get(state.block)
+            .filter(|_| state.step_in_round < self.burst_len)
+            .and_then(|block| block.get(state.step_in_round as usize));
+        if let Some(&symbol) = symbol {
             vec![RstpAction::Send(Packet::Data(symbol))]
         } else {
             vec![RstpAction::TransmitterInternal(InternalKind::Wait)]
@@ -326,7 +330,7 @@ impl BetaReceiver {
                 Ok(bits) => {
                     let remaining = self.expected_bits.saturating_sub(state.decoded.len());
                     let take = bits.len().min(remaining);
-                    state.decoded.extend_from_slice(&bits[..take]);
+                    state.decoded.extend(bits.into_iter().take(take));
                 }
                 Err(_) => state.decode_failures += 1,
             }
@@ -358,8 +362,8 @@ impl Automaton for BetaReceiver {
     }
 
     fn enabled(&self, state: &BetaReceiverState) -> Vec<RstpAction> {
-        if state.written < state.decoded.len() {
-            vec![RstpAction::Write(state.decoded[state.written])]
+        if let Some(&m) = state.decoded.get(state.written) {
+            vec![RstpAction::Write(m)]
         } else {
             vec![RstpAction::ReceiverInternal(InternalKind::Idle)]
         }
@@ -377,16 +381,16 @@ impl Automaton for BetaReceiver {
                 Ok(next)
             }
             RstpAction::Write(m) => {
-                if state.written >= state.decoded.len() {
+                let Some(&expected) = state.decoded.get(state.written) else {
                     return Err(StepError::PreconditionFalse {
                         action: format!("{action:?}"),
                         reason: "write requires a decoded, unwritten message".into(),
                     });
-                }
-                if *m != state.decoded[state.written] {
+                };
+                if *m != expected {
                     return Err(StepError::PreconditionFalse {
                         action: format!("{action:?}"),
-                        reason: format!("m must equal ŷ_k = {}", state.decoded[state.written]),
+                        reason: format!("m must equal ŷ_k = {expected}"),
                     });
                 }
                 let mut next = state.clone();

@@ -193,12 +193,11 @@ impl Automaton for FramedReceiver {
 
     fn enabled(&self, state: &FramedReceiverState) -> Vec<RstpAction> {
         if state.written < state.available_payload() {
-            vec![RstpAction::Write(
-                state.decoded[HEADER_BITS + state.written],
-            )]
-        } else {
-            vec![RstpAction::ReceiverInternal(InternalKind::Idle)]
+            if let Some(&m) = state.decoded.get(HEADER_BITS + state.written) {
+                return vec![RstpAction::Write(m)];
+            }
         }
+        vec![RstpAction::ReceiverInternal(InternalKind::Idle)]
     }
 
     fn step(
@@ -230,7 +229,7 @@ impl Automaton for FramedReceiver {
                         reason: "write requires an available payload bit".into(),
                     });
                 }
-                if *m != state.decoded[HEADER_BITS + state.written] {
+                if state.decoded.get(HEADER_BITS + state.written) != Some(m) {
                     return Err(StepError::PreconditionFalse {
                         action: format!("{action:?}"),
                         reason: "m must equal the next payload bit".into(),

@@ -135,8 +135,12 @@ impl Automaton for GammaTransmitter {
         if state.block >= self.blocks.len() {
             return vec![]; // everything sent and acknowledged: quiescent
         }
-        if state.step_in_burst < self.delta2 {
-            let symbol = self.blocks[state.block][state.step_in_burst as usize];
+        let symbol = self
+            .blocks
+            .get(state.block)
+            .filter(|_| state.step_in_burst < self.delta2)
+            .and_then(|block| block.get(state.step_in_burst as usize));
+        if let Some(&symbol) = symbol {
             vec![RstpAction::Send(Packet::Data(symbol))]
         } else {
             // c = δ2: the figure's idle_t, enabled while awaiting acks.
@@ -304,8 +308,8 @@ impl Automaton for GammaReceiver {
         // Fixed priority: ack, then write, then idle (see module docs).
         if state.pending_acks > 0 {
             vec![RstpAction::Send(ACK)]
-        } else if state.written < state.decoded.len() {
-            vec![RstpAction::Write(state.decoded[state.written])]
+        } else if let Some(&m) = state.decoded.get(state.written) {
+            vec![RstpAction::Write(m)]
         } else {
             vec![RstpAction::ReceiverInternal(InternalKind::Idle)]
         }
@@ -331,7 +335,7 @@ impl Automaton for GammaReceiver {
                         Ok(bits) => {
                             let remaining = self.expected_bits.saturating_sub(next.decoded.len());
                             let take = bits.len().min(remaining);
-                            next.decoded.extend_from_slice(&bits[..take]);
+                            next.decoded.extend(bits.into_iter().take(take));
                         }
                         Err(_) => next.decode_failures += 1,
                     }
@@ -351,16 +355,16 @@ impl Automaton for GammaReceiver {
                 Ok(next)
             }
             RstpAction::Write(m) => {
-                if state.written >= state.decoded.len() {
+                let Some(&expected) = state.decoded.get(state.written) else {
                     return Err(StepError::PreconditionFalse {
                         action: format!("{action:?}"),
                         reason: "write requires a decoded, unwritten message".into(),
                     });
-                }
-                if *m != state.decoded[state.written] {
+                };
+                if *m != expected {
                     return Err(StepError::PreconditionFalse {
                         action: format!("{action:?}"),
-                        reason: format!("m must equal ŷ_k = {}", state.decoded[state.written]),
+                        reason: format!("m must equal ŷ_k = {expected}"),
                     });
                 }
                 let mut next = state.clone();

@@ -167,8 +167,12 @@ impl Automaton for PipelinedTransmitter {
         if self.done(state) {
             return vec![];
         }
-        if self.may_send(state) {
-            let sym = self.blocks[state.sending_block][state.c as usize];
+        let sym = self
+            .blocks
+            .get(state.sending_block)
+            .filter(|_| self.may_send(state))
+            .and_then(|block| block.get(state.c as usize));
+        if let Some(&sym) = sym {
             vec![RstpAction::Send(Packet::Data(wire_symbol(
                 self.window,
                 sym,
@@ -195,7 +199,9 @@ impl Automaton for PipelinedTransmitter {
                 // offset (tag - low_block) mod w.
                 let w = self.window;
                 let offset = ((tag % w) + w - (next.low_block as u64 % w)) % w;
-                next.acks[offset as usize] += 1;
+                if let Some(acked) = next.acks.get_mut(offset as usize) {
+                    *acked += 1;
+                }
                 // Retire fully acknowledged bursts from the front.
                 while next.acks.front().is_some_and(|&a| a >= self.delta2)
                     && next.low_block < self.blocks.len()
@@ -317,10 +323,14 @@ impl PipelinedReceiver {
     }
 
     fn commit_ready(&self, s: &mut PipelinedReceiverState) {
-        while let Some(bits) = s.staged[s.commit_tag as usize].take() {
+        while let Some(bits) = s
+            .staged
+            .get_mut(s.commit_tag as usize)
+            .and_then(Option::take)
+        {
             let remaining = self.expected_bits.saturating_sub(s.decoded.len());
             let take = bits.len().min(remaining);
-            s.decoded.extend_from_slice(&bits[..take]);
+            s.decoded.extend(bits.into_iter().take(take));
             s.commit_tag = (s.commit_tag + 1) % self.window;
         }
     }
@@ -355,8 +365,8 @@ impl Automaton for PipelinedReceiver {
     fn enabled(&self, state: &PipelinedReceiverState) -> Vec<RstpAction> {
         if let Some(&tag) = state.ack_queue.front() {
             vec![RstpAction::Send(Packet::Ack(tag))]
-        } else if state.written < state.decoded.len() {
-            vec![RstpAction::Write(state.decoded[state.written])]
+        } else if let Some(&m) = state.decoded.get(state.written) {
+            vec![RstpAction::Write(m)]
         } else {
             vec![RstpAction::ReceiverInternal(InternalKind::Idle)]
         }
@@ -376,21 +386,34 @@ impl Automaton for PipelinedReceiver {
                     next.decode_failures += 1;
                     return Ok(next);
                 }
+                // `unwire` reduces the tag mod w, so the slot is always in
+                // range; index through `get_mut` so corruption of that
+                // invariant counts as a decode failure instead of a panic.
                 let slot = tag as usize;
-                next.bursts[slot].insert(sym);
-                if next.bursts[slot].len() == self.codec.packets_per_block() {
-                    match self.codec.decode_block(&next.bursts[slot]) {
+                let Some(burst) = next.bursts.get_mut(slot) else {
+                    next.decode_failures += 1;
+                    return Ok(next);
+                };
+                burst.insert(sym);
+                if burst.len() == self.codec.packets_per_block() {
+                    let decoded = self.codec.decode_block(burst);
+                    burst.clear();
+                    match decoded {
                         Ok(bits) => {
                             // The window discipline keeps the slot free;
                             // defensively count an overwrite (reachable
                             // only under fault injection).
-                            if next.staged[slot].replace(bits).is_some() {
+                            if next
+                                .staged
+                                .get_mut(slot)
+                                .and_then(|staged| staged.replace(bits))
+                                .is_some()
+                            {
                                 next.decode_failures += 1;
                             }
                         }
                         Err(_) => next.decode_failures += 1,
                     }
-                    next.bursts[slot].clear();
                     self.commit_ready(&mut next);
                 }
                 Ok(next)
@@ -407,7 +430,7 @@ impl Automaton for PipelinedReceiver {
                 }),
             },
             RstpAction::Write(m) => {
-                if state.written >= state.decoded.len() || *m != state.decoded[state.written] {
+                if state.decoded.get(state.written) != Some(m) {
                     return Err(StepError::PreconditionFalse {
                         action: format!("{action:?}"),
                         reason: "write requires the next committed message".into(),

@@ -311,7 +311,14 @@ impl StabStenningTransmitter {
     fn outgoing_symbol(&self, s: &StabStenningTransmitterState) -> Option<u64> {
         match s.phase {
             StabPhase::Sync => Some(sync_symbol(tag_of(s.next))),
-            StabPhase::Run => Some(data_symbol(tag_of(s.next), self.input[s.next])),
+            // `normalize` clamps `next` to `input.len()` *inclusive*, so
+            // a corrupted Run state can point one past the end. Staying
+            // silent is the right recovery: the strike counter escalates
+            // to a sync, exactly as for any other lost symbol.
+            StabPhase::Run => self
+                .input
+                .get(s.next)
+                .map(|&bit| data_symbol(tag_of(s.next), bit)),
             StabPhase::Flush { .. } => None,
         }
     }
@@ -540,15 +547,15 @@ impl StabStenningReceiver {
         s
     }
 
-    fn write_value(&self, s: &StabStenningReceiverState) -> Message {
-        let bit = s.received[s.written];
+    fn write_value(&self, s: &StabStenningReceiverState) -> Option<Message> {
+        let bit = *s.received.get(s.written)?;
         // Injected convergence bug (test harness only): once a sync probe
         // has been accepted, every later write is negated. Clean runs
         // never sync, so only the corruption adversary can expose this.
         if cfg!(rstp_check_inject_stab_bug) && s.synced {
-            !bit
+            Some(!bit)
         } else {
-            bit
+            Some(bit)
         }
     }
 }
@@ -575,8 +582,8 @@ impl Automaton for StabStenningReceiver {
         let s = self.normalize(state);
         if let Some(symbol) = s.pending_ack {
             vec![RstpAction::Send(Packet::Ack(symbol))]
-        } else if s.written < s.received.len() {
-            vec![RstpAction::Write(self.write_value(&s))]
+        } else if let Some(m) = self.write_value(&s) {
+            vec![RstpAction::Write(m)]
         } else {
             vec![RstpAction::ReceiverInternal(InternalKind::Idle)]
         }
@@ -625,7 +632,7 @@ impl Automaton for StabStenningReceiver {
                 _ => Err(precondition_false("send(ack) must emit the pending ack")),
             },
             RstpAction::Write(m) => {
-                if s.written >= s.received.len() || *m != self.write_value(&s) {
+                if self.write_value(&s) != Some(*m) {
                     return Err(precondition_false(
                         "write requires the next accepted message",
                     ));
@@ -806,7 +813,7 @@ impl StabBetaReceiver {
                 Ok(bits) => {
                     let remaining = self.expected_bits.saturating_sub(state.decoded.len());
                     let take = bits.len().min(remaining);
-                    state.decoded.extend_from_slice(&bits[..take]);
+                    state.decoded.extend(bits.into_iter().take(take));
                 }
                 Err(_) => state.decode_failures += 1,
             }
@@ -841,8 +848,8 @@ impl Automaton for StabBetaReceiver {
 
     fn enabled(&self, state: &StabBetaReceiverState) -> Vec<RstpAction> {
         let s = self.normalize(state);
-        if s.written < s.decoded.len() {
-            vec![RstpAction::Write(s.decoded[s.written])]
+        if let Some(&m) = s.decoded.get(s.written) {
+            vec![RstpAction::Write(m)]
         } else if !s.burst.is_empty() {
             // A partial burst is either live (an arrival is imminent) or
             // corrupted garbage; count the silence to tell them apart.
@@ -870,7 +877,7 @@ impl Automaton for StabBetaReceiver {
                 Ok(next)
             }
             RstpAction::Write(m) => {
-                if s.written >= s.decoded.len() || *m != s.decoded[s.written] {
+                if s.decoded.get(s.written) != Some(m) {
                     return Err(precondition_false(
                         "write requires a decoded, unwritten message",
                     ));

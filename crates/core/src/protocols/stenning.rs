@@ -205,8 +205,8 @@ impl Automaton for StenningReceiver {
     fn enabled(&self, state: &StenningReceiverState) -> Vec<RstpAction> {
         if let Some(&seq) = state.ack_queue.front() {
             vec![RstpAction::Send(Packet::Ack(seq))]
-        } else if state.written < state.received.len() {
-            vec![RstpAction::Write(state.received[state.written])]
+        } else if let Some(&m) = state.received.get(state.written) {
+            vec![RstpAction::Write(m)]
         } else {
             vec![RstpAction::ReceiverInternal(InternalKind::Idle)]
         }
@@ -247,7 +247,7 @@ impl Automaton for StenningReceiver {
                 }),
             },
             RstpAction::Write(m) => {
-                if state.written >= state.received.len() || *m != state.received[state.written] {
+                if state.received.get(state.written) != Some(m) {
                     return Err(StepError::PreconditionFalse {
                         action: format!("{action:?}"),
                         reason: "write requires the next accepted message".into(),

@@ -31,7 +31,9 @@ impl LatencyHistogram {
     /// Records one latency observation.
     pub fn record(&mut self, micros: u64) {
         let bucket = (64 - micros.leading_zeros() as usize).min(BUCKETS - 1);
-        self.counts[bucket] += 1;
+        if let Some(count) = self.counts.get_mut(bucket) {
+            *count += 1;
+        }
         self.total += 1;
         self.sum_micros += u128::from(micros);
         self.min_micros = self.min_micros.min(micros);

@@ -58,6 +58,6 @@ pub use session::{
 pub use transport::{Transport, TransportStats};
 pub use udp::UdpTransport;
 pub use wire::{
-    decode_any, peek_session, Frame, ProtocolId, WireCodec, WireError, FLAG_SESSION, FRAME_LEN,
-    FRAME_LEN_V2, WIRE_VERSION,
+    decode_any, peek_session, Frame, FrameBuf, ProtocolId, WireCodec, WireError, FLAG_SESSION,
+    FRAME_BUF_CAP, FRAME_LEN, FRAME_LEN_V2, WIRE_VERSION,
 };

@@ -384,23 +384,20 @@ pub fn decode_any(bytes: &[u8]) -> Result<Frame, WireError> {
         return Err(WireError::TrailingBytes { got: bytes.len() });
     }
     let body_len = expected_len - 4;
-    let stored = u32::from_be_bytes(
-        bytes[body_len..expected_len]
-            .try_into()
-            .expect("slice is 4 bytes"),
-    );
-    let computed = fnv1a(&bytes[0..body_len]);
+    let too_short = || WireError::TooShort { got: bytes.len() };
+    let stored = u32::from_be_bytes(read_array(bytes, body_len).ok_or_else(too_short)?);
+    let computed = fnv1a(bytes.get(0..body_len).ok_or_else(too_short)?);
     if stored != computed {
         return Err(WireError::BadChecksum {
             got: stored,
             want: computed,
         });
     }
-    let symbol = u64::from_be_bytes(bytes[8..16].try_into().expect("slice is 8 bytes"));
-    let seq = u64::from_be_bytes(bytes[16..24].try_into().expect("slice is 8 bytes"));
-    let sent_at_micros = u64::from_be_bytes(bytes[24..32].try_into().expect("slice is 8 bytes"));
+    let symbol = u64::from_be_bytes(read_array(bytes, 8).ok_or_else(too_short)?);
+    let seq = u64::from_be_bytes(read_array(bytes, 16).ok_or_else(too_short)?);
+    let sent_at_micros = u64::from_be_bytes(read_array(bytes, 24).ok_or_else(too_short)?);
     let session = if flags & FLAG_SESSION != 0 {
-        let raw = u32::from_be_bytes(bytes[32..36].try_into().expect("slice is 4 bytes"));
+        let raw = u32::from_be_bytes(read_array(bytes, 32).ok_or_else(too_short)?);
         Some(SessionId::new(raw))
     } else {
         None
@@ -439,8 +436,113 @@ pub fn peek_session(bytes: &[u8]) -> Option<SessionId> {
     if bytes[7] & FLAG_SESSION == 0 {
         return None;
     }
-    let raw = u32::from_be_bytes(bytes[32..36].try_into().expect("slice is 4 bytes"));
+    let raw = u32::from_be_bytes(read_array(bytes, 32)?);
     Some(SessionId::new(raw))
+}
+
+/// Copies `N` bytes starting at `off` into a fixed array, or `None` when
+/// the input is too short. The checked replacement for
+/// `bytes[off..off + N].try_into().expect(..)`: every read in the decode
+/// path goes through here so no input length can reach a panic.
+fn read_array<const N: usize>(bytes: &[u8], off: usize) -> Option<[u8; N]> {
+    let src = bytes.get(off..off.checked_add(N)?)?;
+    let mut out = [0u8; N];
+    out.copy_from_slice(src);
+    Some(out)
+}
+
+/// Capacity of a [`FrameBuf`]: the v2 frame length plus slack so a
+/// slightly-oversized datagram still fits and can be carried to the
+/// owning shard for triage (where [`decode_any`] rejects it with
+/// [`WireError::TrailingBytes`]) instead of being silently dropped at
+/// the socket.
+pub const FRAME_BUF_CAP: usize = FRAME_LEN_V2 + 16;
+
+/// A fixed-capacity, inline byte buffer holding one (possibly
+/// malformed) wire frame.
+///
+/// Serve's per-frame ingress/egress loops move every received datagram
+/// through a channel to a shard and back out to an egress sink; doing
+/// that with `Vec<u8>` costs one heap allocation per frame per hop.
+/// `FrameBuf` is `Copy` — frames move by memcpy of at most
+/// [`FRAME_BUF_CAP`] bytes, so the steady-state path allocates nothing.
+///
+/// Anything longer than the capacity is *not* a frame (the wire format
+/// tops out at [`FRAME_LEN_V2`]); [`FrameBuf::from_slice`] refuses it
+/// and transports count it as a drop, exactly as they would any other
+/// unparseable input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameBuf {
+    len: u8,
+    buf: [u8; FRAME_BUF_CAP],
+}
+
+impl FrameBuf {
+    /// Wraps `bytes`, or `None` when they exceed [`FRAME_BUF_CAP`].
+    #[must_use]
+    pub fn from_slice(bytes: &[u8]) -> Option<FrameBuf> {
+        let mut buf = [0u8; FRAME_BUF_CAP];
+        let dst = buf.get_mut(..bytes.len())?;
+        dst.copy_from_slice(bytes);
+        Some(FrameBuf {
+            len: bytes.len() as u8,
+            buf,
+        })
+    }
+
+    /// The wrapped bytes.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        self.buf.get(..usize::from(self.len)).unwrap_or(&[])
+    }
+
+    /// Length of the wrapped bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// True when the buffer holds no bytes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl From<[u8; FRAME_LEN]> for FrameBuf {
+    fn from(frame: [u8; FRAME_LEN]) -> FrameBuf {
+        let mut buf = [0u8; FRAME_BUF_CAP];
+        buf[..FRAME_LEN].copy_from_slice(&frame);
+        FrameBuf {
+            len: FRAME_LEN as u8,
+            buf,
+        }
+    }
+}
+
+impl From<[u8; FRAME_LEN_V2]> for FrameBuf {
+    fn from(frame: [u8; FRAME_LEN_V2]) -> FrameBuf {
+        let mut buf = [0u8; FRAME_BUF_CAP];
+        buf[..FRAME_LEN_V2].copy_from_slice(&frame);
+        FrameBuf {
+            len: FRAME_LEN_V2 as u8,
+            buf,
+        }
+    }
+}
+
+impl std::ops::Deref for FrameBuf {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for FrameBuf {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
 }
 
 /// 32-bit FNV-1a over `bytes`.
@@ -712,6 +814,44 @@ mod tests {
         let mut bad_magic = v2;
         bad_magic[0] = 0;
         assert_eq!(peek_session(&bad_magic), None);
+    }
+
+    #[test]
+    fn frame_buf_round_trips_both_frame_shapes() {
+        let c = codec();
+        let v1 = c.encode(Packet::Data(3), 1, 2);
+        let fb = FrameBuf::from(v1);
+        assert_eq!(fb.as_slice(), &v1[..]);
+        assert_eq!(fb.len(), FRAME_LEN);
+        let v2 = c.encode_with_session(Packet::Ack(9), 4, 5, SessionId::new(6));
+        let fb = FrameBuf::from(v2);
+        assert_eq!(fb.as_slice(), &v2[..]);
+        assert_eq!(
+            decode_any(&fb).expect("decodes").session,
+            Some(SessionId::new(6))
+        );
+    }
+
+    #[test]
+    fn frame_buf_refuses_oversized_input_and_keeps_garbage() {
+        assert!(FrameBuf::from_slice(&[0u8; FRAME_BUF_CAP + 1]).is_none());
+        let garbage = [0xABu8; 7];
+        let fb = FrameBuf::from_slice(&garbage).expect("fits");
+        assert_eq!(fb.as_slice(), &garbage);
+        assert!(!fb.is_empty());
+        let empty = FrameBuf::from_slice(&[]).expect("fits");
+        assert!(empty.is_empty());
+        assert_eq!(empty.as_slice(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn read_array_is_length_checked() {
+        let bytes = [1u8, 2, 3, 4, 5];
+        assert_eq!(read_array::<4>(&bytes, 0), Some([1, 2, 3, 4]));
+        assert_eq!(read_array::<4>(&bytes, 1), Some([2, 3, 4, 5]));
+        assert_eq!(read_array::<4>(&bytes, 2), None);
+        assert_eq!(read_array::<2>(&bytes, usize::MAX), None);
+        assert_eq!(read_array::<0>(&bytes, 5), Some([]));
     }
 
     /// Exhaustiveness: every [`WireError`] variant is reachable from a

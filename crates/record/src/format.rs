@@ -249,10 +249,10 @@ pub fn read_header(buf: &[u8]) -> Result<usize, RecordError> {
             got: buf.len(),
         });
     }
-    if buf[..RECORD_MAGIC.len()] != RECORD_MAGIC {
+    if !buf.starts_with(&RECORD_MAGIC) {
         return Err(RecordError::BadMagic);
     }
-    let version = buf[RECORD_MAGIC.len()];
+    let version = buf.get(RECORD_MAGIC.len()).copied().unwrap_or(0);
     if version > RECORD_VERSION {
         return Err(RecordError::FutureVersion { got: version });
     }
@@ -411,13 +411,10 @@ impl<'a> Body<'a> {
         let end = self.pos.checked_add(n).ok_or(RecordError::Malformed {
             what: "body length overflow",
         })?;
-        if end > self.buf.len() {
-            return Err(RecordError::Truncated {
-                need: end,
-                got: self.buf.len(),
-            });
-        }
-        let s = &self.buf[self.pos..end];
+        let s = self.buf.get(self.pos..end).ok_or(RecordError::Truncated {
+            need: end,
+            got: self.buf.len(),
+        })?;
         self.pos = end;
         Ok(s)
     }
@@ -512,17 +509,13 @@ pub fn decode_record(buf: &[u8]) -> Result<(Record, usize), RecordError> {
             got: buf.len(),
         });
     }
-    if len == 0 {
+    let Some((&kind_byte, body)) = buf.get(4..total).and_then(<[u8]>::split_first) else {
         return Err(RecordError::Malformed {
             what: "empty payload",
         });
-    }
-    let payload = &buf[4..total];
-    let mut b = Body {
-        buf: &payload[1..],
-        pos: 0,
     };
-    let rec = match payload[0] {
+    let mut b = Body { buf: body, pos: 0 };
+    let rec = match kind_byte {
         KIND_META => {
             let shard = b.u32()?;
             let c1 = b.u64()?;
@@ -588,7 +581,9 @@ pub fn decode_record(buf: &[u8]) -> Result<(Record, usize), RecordError> {
             let completed = b.flag("verdict completed flag")?;
             let n = b.u32()? as usize;
             let packed = b.take(n.div_ceil(8))?;
-            let written = (0..n).map(|i| packed[i / 8] >> (i % 8) & 1 == 1).collect();
+            let written = (0..n)
+                .map(|i| packed.get(i / 8).copied().unwrap_or(0) >> (i % 8) & 1 == 1)
+                .collect();
             Record::Event(Event::Verdict {
                 at_micros,
                 session,

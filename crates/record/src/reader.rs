@@ -34,7 +34,8 @@ impl Recording {
         let mut pos = read_header(bytes)?;
         let mut out = Recording::default();
         while pos < bytes.len() {
-            match decode_record(&bytes[pos..]) {
+            let Some(rest) = bytes.get(pos..) else { break };
+            match decode_record(rest) {
                 Ok((rec, used)) => {
                     pos += used;
                     match rec {

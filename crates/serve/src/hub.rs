@@ -10,11 +10,11 @@
 
 use crate::server::{EgressSink, ServeTransport};
 use rstp_core::{Packet, SessionId};
-use rstp_net::{decode_any, Frame, NetError, Transport, TransportStats, WireCodec};
+use rstp_net::{decode_any, Frame, FrameBuf, NetError, Transport, TransportStats, WireCodec};
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError, TryLockError};
 
-type Inbox = Arc<Mutex<VecDeque<Vec<u8>>>>;
+type Inbox = Arc<Mutex<VecDeque<FrameBuf>>>;
 
 /// The shared loopback fabric joining one server to many clients.
 #[derive(Clone, Default)]
@@ -55,14 +55,17 @@ impl MemHub {
 }
 
 impl ServeTransport for MemHub {
-    fn recv_batch(&mut self, out: &mut Vec<Vec<u8>>, max: usize) -> Result<usize, NetError> {
-        // A poisoned mutex means some peer thread panicked while holding
-        // it; the queues hold plain bytes, so recover the data and keep
-        // serving the surviving sessions instead of cascading the panic.
-        let mut inbox = self
-            .server_inbox
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+    fn recv_batch(&mut self, out: &mut Vec<FrameBuf>, max: usize) -> Result<usize, NetError> {
+        // Nonblocking, like a socket: a contended inbox yields an empty
+        // batch and the pump's next round retries, instead of parking the
+        // pump behind a client mid-push. A poisoned mutex means some peer
+        // thread panicked while holding it; the queue holds plain bytes,
+        // so recover the data and keep serving the surviving sessions.
+        let mut inbox = match self.server_inbox.try_lock() {
+            Ok(inbox) => inbox,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => return Ok(0),
+        };
         let take = inbox.len().min(max);
         out.extend(inbox.drain(..take));
         Ok(take)
@@ -86,29 +89,40 @@ struct HubEgress {
 }
 
 impl EgressSink for HubEgress {
-    fn send_batch(&mut self, frames: &[(u32, Vec<u8>)]) -> Result<usize, NetError> {
+    fn send_batch(&mut self, frames: &[(u32, FrameBuf)]) -> Result<usize, NetError> {
         let mut delivered = 0;
         for (session, bytes) in frames {
-            let inbox = match self.cached.get(session) {
-                Some(inbox) => inbox.clone(),
-                None => {
-                    let map = self.clients.lock().unwrap_or_else(PoisonError::into_inner);
-                    match map.get(session) {
-                        Some(inbox) => {
-                            let inbox = inbox.clone();
-                            self.cached.insert(*session, inbox.clone());
-                            inbox
-                        }
-                        // A frame for a client that never registered is
-                        // dropped: the hub mirrors UDP, not TCP.
-                        None => continue,
+            if !self.cached.contains_key(session) {
+                // First contact with a session: resolve its inbox from the
+                // shared map. Registration happens before any traffic, so
+                // contention here means another shard is mid-registration
+                // for a *different* session — skip, and this frame drops
+                // like any unroutable datagram (the hub mirrors UDP).
+                let map = match self.clients.try_lock() {
+                    Ok(map) => map,
+                    Err(TryLockError::Poisoned(p)) => p.into_inner(),
+                    Err(TryLockError::WouldBlock) => continue,
+                };
+                match map.get(session) {
+                    Some(inbox) => {
+                        self.cached.insert(*session, Arc::clone(inbox));
                     }
+                    // A frame for a client that never registered is
+                    // dropped: the hub mirrors UDP, not TCP.
+                    None => continue,
                 }
+            }
+            let Some(inbox) = self.cached.get(session) else {
+                continue;
             };
-            inbox
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .push_back(bytes.clone());
+            // A contended client inbox drops the frame rather than
+            // stalling the whole batch behind one slow client.
+            let mut queue = match inbox.try_lock() {
+                Ok(queue) => queue,
+                Err(TryLockError::Poisoned(p)) => p.into_inner(),
+                Err(TryLockError::WouldBlock) => continue,
+            };
+            queue.push_back(*bytes);
             delivered += 1;
         }
         Ok(delivered)
@@ -134,7 +148,7 @@ impl Transport for HubClientTransport {
         self.server_inbox
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .push_back(bytes.to_vec());
+            .push_back(bytes.into());
         self.stats.frames_sent += 1;
         Ok(())
     }
@@ -213,12 +227,10 @@ mod tests {
         let hub = MemHub::new();
         let mut a = hub.client_transport(SessionId::new(3), codec());
         let mut sink = hub.egress().expect("egress");
-        let frame = codec()
-            .encode_with_session(Packet::Ack(5), 0, 42, SessionId::new(3))
-            .to_vec();
-        let stranger = codec()
-            .encode_with_session(Packet::Ack(5), 0, 42, SessionId::new(99))
-            .to_vec();
+        let frame =
+            FrameBuf::from(codec().encode_with_session(Packet::Ack(5), 0, 42, SessionId::new(3)));
+        let stranger =
+            FrameBuf::from(codec().encode_with_session(Packet::Ack(5), 0, 42, SessionId::new(99)));
         let delivered = sink
             .send_batch(&[(3, frame), (99, stranger)])
             .expect("send");
@@ -234,9 +246,8 @@ mod tests {
         let mut a = hub.client_transport(SessionId::new(3), codec());
         let mut sink = hub.egress().expect("egress");
         // A frame whose body says session 8 pushed into client 3's inbox.
-        let lying = codec()
-            .encode_with_session(Packet::Ack(1), 0, 0, SessionId::new(8))
-            .to_vec();
+        let lying =
+            FrameBuf::from(codec().encode_with_session(Packet::Ack(1), 0, 0, SessionId::new(8)));
         sink.send_batch(&[(3, lying)]).expect("send");
         assert_eq!(a.poll_recv().expect("recv"), None);
         assert_eq!(a.local_stats().decode_errors, 1);

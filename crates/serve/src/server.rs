@@ -13,7 +13,7 @@
 use crate::metrics::{ServeReport, ShardReport};
 use crate::shard::{run_shard, ShardMsg, ShardParams};
 use rstp_core::{SessionId, TimingParams};
-use rstp_net::{decode_any, NetError, Pace, TickClock};
+use rstp_net::{decode_any, FrameBuf, NetError, Pace, TickClock};
 use rstp_record::{RecorderSet, RunMeta};
 use rstp_sim::ProtocolKind;
 use std::collections::HashMap;
@@ -31,10 +31,15 @@ pub trait EgressSink: Send {
     /// many were actually shipped (unroutable frames drop silently —
     /// the sink mirrors UDP, not TCP).
     ///
+    /// Frames travel as [`FrameBuf`] — fixed-capacity, `Copy` — so a
+    /// conforming sink neither allocates nor blocks per frame on the
+    /// steady-state path (the `blocking-in-nonblocking` and
+    /// `alloc-in-steady-state` analysis passes enforce this).
+    ///
     /// # Errors
     ///
     /// [`NetError`] only for unrecoverable transport failure.
-    fn send_batch(&mut self, frames: &[(u32, Vec<u8>)]) -> Result<usize, NetError>;
+    fn send_batch(&mut self, frames: &[(u32, FrameBuf)]) -> Result<usize, NetError>;
 }
 
 /// The server's ingress side: a source of raw datagrams plus a factory
@@ -46,7 +51,7 @@ pub trait ServeTransport {
     /// # Errors
     ///
     /// [`NetError`] on unrecoverable transport failure.
-    fn recv_batch(&mut self, out: &mut Vec<Vec<u8>>, max: usize) -> Result<usize, NetError>;
+    fn recv_batch(&mut self, out: &mut Vec<FrameBuf>, max: usize) -> Result<usize, NetError>;
 
     /// A new egress sink (one per shard, so shards never share a lock
     /// on the send path).
@@ -278,7 +283,7 @@ pub fn run_server<T: ServeTransport>(
     let mut orphan_frames: u64 = 0;
     let mut decode_errors: u64 = 0;
     let mut overflow = vec![0u64; shard_count];
-    let mut batch: Vec<Vec<u8>> = Vec::with_capacity(config.batch.max(1));
+    let mut batch: Vec<FrameBuf> = Vec::with_capacity(config.batch.max(1));
     // Nap briefly when the socket is dry — but never so long that a
     // kernel receive buffer (a few hundred datagrams on most systems)
     // could fill behind our back at coarse ticks.

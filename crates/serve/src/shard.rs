@@ -17,7 +17,7 @@ use crate::metrics::{SessionStats, ShardReport};
 use crate::server::{EgressSink, SessionSpec};
 use crate::wheel::TimerWheel;
 use rstp_core::{SessionId, TimingParams};
-use rstp_net::{codec_for, Frame, NetError, Pace, TickClock, WireCodec};
+use rstp_net::{codec_for, Frame, FrameBuf, NetError, Pace, TickClock, WireCodec};
 use rstp_record::{Event, ShardRecorder};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -110,7 +110,7 @@ pub(crate) fn run_shard(
     let mut sessions: Vec<Option<Live>> = Vec::new();
     let mut by_id: HashMap<u32, usize> = HashMap::new();
     let mut due: Vec<(u64, usize)> = Vec::new();
-    let mut out_buf: Vec<(u32, Vec<u8>)> = Vec::new();
+    let mut out_buf: Vec<(u32, FrameBuf)> = Vec::new();
     let now_tick = |clock: &TickClock| clock.now_micros() / tick_micros;
 
     'run: loop {
@@ -149,15 +149,15 @@ pub(crate) fn run_shard(
                         defer: None,
                     };
                     let idx = match sessions.iter().position(Option::is_none) {
-                        Some(free) => {
-                            sessions[free] = Some(live);
-                            free
-                        }
+                        Some(free) => free,
                         None => {
-                            sessions.push(Some(live));
+                            sessions.push(None);
                             sessions.len() - 1
                         }
                     };
+                    if let Some(slot) = sessions.get_mut(idx) {
+                        *slot = Some(live);
+                    }
                     by_id.insert(spec.id.raw(), idx);
                     // First step strictly in the future, like the
                     // driver's epoch anchor — an overdue first deadline
@@ -175,7 +175,7 @@ pub(crate) fn run_shard(
                 }
                 ShardMsg::Frame(id, frame) => {
                     if let Some(&idx) = by_id.get(&id.raw()) {
-                        if let Some(live) = sessions[idx].as_mut() {
+                        if let Some(live) = sessions.get_mut(idx).and_then(Option::as_mut) {
                             live.pending.push_back(frame);
                         }
                     }
@@ -191,7 +191,7 @@ pub(crate) fn run_shard(
         // Fire every deadline up to now.
         wheel.advance(now_tick(&clock), &mut due);
         for (due_tick, idx) in due.drain(..) {
-            let Some(live) = sessions[idx].as_mut() else {
+            let Some(live) = sessions.get_mut(idx).and_then(Option::as_mut) else {
                 continue;
             };
 
@@ -278,7 +278,7 @@ pub(crate) fn run_shard(
                         });
                     }
                     live.seq += 1;
-                    out_buf.push((live.spec.id.raw(), bytes.to_vec()));
+                    out_buf.push((live.spec.id.raw(), bytes.into()));
                     live.sends += 1;
                     productive = true;
                 }
@@ -299,7 +299,7 @@ pub(crate) fn run_shard(
                 if live.idle_streak >= idle_steps_needed {
                     // `live` borrows this same slot, so it is occupied;
                     // a vacant slot just means nothing to retire.
-                    let Some(done) = sessions[idx].take() else {
+                    let Some(done) = sessions.get_mut(idx).and_then(Option::take) else {
                         continue;
                     };
                     by_id.remove(&done.spec.id.raw());
@@ -389,7 +389,8 @@ fn inject_defer(live: &mut Live, delta2: u64) {
     if let Some(pos) = live.pending.iter().position(|f| {
         matches!(f.packet, rstp_core::Packet::Data(_)) && f.seq % delta2 == delta2 - 1
     }) {
-        let frame = live.pending.remove(pos).expect("position exists");
-        live.defer = Some((0, frame));
+        if let Some(frame) = live.pending.remove(pos) {
+            live.defer = Some((0, frame));
+        }
     }
 }

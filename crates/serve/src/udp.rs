@@ -9,16 +9,20 @@
 
 use crate::server::{EgressSink, ServeTransport};
 use rstp_core::{Packet, SessionId};
-use rstp_net::FRAME_LEN_V2;
-use rstp_net::{decode_any, peek_session, Frame, NetError, Transport, TransportStats, WireCodec};
+use rstp_net::{
+    decode_any, peek_session, Frame, FrameBuf, NetError, Transport, TransportStats, WireCodec,
+    FRAME_BUF_CAP,
+};
 use std::collections::HashMap;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, TryLockError};
 
 /// Headroom over the largest legal frame so oversized datagrams surface
 /// as [`rstp_net::WireError::TrailingBytes`] instead of silent truncation.
-const RECV_BUF: usize = FRAME_LEN_V2 + 16;
+/// Equal to [`FRAME_BUF_CAP`] so every received datagram fits a
+/// [`FrameBuf`] without a second copy or a heap allocation.
+const RECV_BUF: usize = FRAME_BUF_CAP;
 
 type AddrMap = Arc<Mutex<HashMap<u32, SocketAddr>>>;
 
@@ -54,26 +58,38 @@ impl UdpServerTransport {
 }
 
 impl ServeTransport for UdpServerTransport {
-    fn recv_batch(&mut self, out: &mut Vec<Vec<u8>>, max: usize) -> Result<usize, NetError> {
+    fn recv_batch(&mut self, out: &mut Vec<FrameBuf>, max: usize) -> Result<usize, NetError> {
         let mut buf = [0u8; RECV_BUF];
         let mut got = 0;
         while got < max {
             match self.socket.recv_from(&mut buf) {
                 Ok((len, from)) => {
-                    let bytes = buf[..len].to_vec();
+                    // `len ≤ RECV_BUF = FRAME_BUF_CAP`, so this never
+                    // fails; the guard keeps the path panic-free anyway.
+                    let Some(bytes) = buf.get(..len).and_then(FrameBuf::from_slice) else {
+                        continue;
+                    };
                     // Learn (or refresh) the session's return address so
                     // egress can answer. A forged id cannot make a shard
                     // act — the full decode there still checks everything
                     // — but it could redirect replies, which is exactly
                     // UDP's trust model for unauthenticated datagrams.
                     if let Some(session) = peek_session(&bytes) {
-                        // The map holds plain socket addresses: recover
-                        // from poisoning rather than cascading a panic
-                        // into the server pump.
-                        self.addrs
-                            .lock()
-                            .unwrap_or_else(PoisonError::into_inner)
-                            .insert(session.raw(), from);
+                        match self.addrs.try_lock() {
+                            Ok(mut map) => {
+                                map.insert(session.raw(), from);
+                            }
+                            // The map holds plain socket addresses:
+                            // recover from poisoning rather than cascading
+                            // a panic into the server pump.
+                            Err(TryLockError::Poisoned(p)) => {
+                                p.into_inner().insert(session.raw(), from);
+                            }
+                            // An egress thread holds the map: skip the
+                            // refresh rather than blocking the pump; the
+                            // session's next datagram re-learns it.
+                            Err(TryLockError::WouldBlock) => {}
+                        }
                     }
                     out.push(bytes);
                     got += 1;
@@ -100,12 +116,16 @@ struct UdpEgress {
 }
 
 impl EgressSink for UdpEgress {
-    fn send_batch(&mut self, frames: &[(u32, Vec<u8>)]) -> Result<usize, NetError> {
+    fn send_batch(&mut self, frames: &[(u32, FrameBuf)]) -> Result<usize, NetError> {
         let mut sent = 0;
         for (session, bytes) in frames {
-            let addr = {
-                let map = self.addrs.lock().unwrap_or_else(PoisonError::into_inner);
-                map.get(session).copied()
+            let addr = match self.addrs.try_lock() {
+                Ok(map) => map.get(session).copied(),
+                Err(TryLockError::Poisoned(p)) => p.into_inner().get(session).copied(),
+                // The pump holds the map mid-refresh: drop the frame
+                // (a channel loss the protocol tolerates) rather than
+                // blocking the shard's egress flush.
+                Err(TryLockError::WouldBlock) => None,
             };
             // No return address yet (the session has not sent anything):
             // drop, like any unroutable datagram.
@@ -221,7 +241,7 @@ mod tests {
         WireCodec::new(ProtocolId::Beta, 4).expect("codec")
     }
 
-    fn recv_all(server: &mut UdpServerTransport, want: usize) -> Vec<Vec<u8>> {
+    fn recv_all(server: &mut UdpServerTransport, want: usize) -> Vec<FrameBuf> {
         let mut out = Vec::new();
         for _ in 0..200 {
             server.recv_batch(&mut out, 64).expect("recv");
@@ -250,9 +270,8 @@ mod tests {
 
         // Reply to session 2 only; only client b sees it.
         let mut sink = server.egress().expect("egress");
-        let reply = codec()
-            .encode_with_session(Packet::Ack(20), 0, 300, SessionId::new(2))
-            .to_vec();
+        let reply =
+            FrameBuf::from(codec().encode_with_session(Packet::Ack(20), 0, 300, SessionId::new(2)));
         assert_eq!(sink.send_batch(&[(2, reply)]).expect("send"), 1);
         let got = loop {
             if let Some(frame) = b.poll_recv().expect("recv") {
@@ -268,9 +287,8 @@ mod tests {
     fn egress_without_a_learned_address_drops() {
         let server = UdpServerTransport::bind(("127.0.0.1", 0)).expect("bind");
         let mut sink = server.egress().expect("egress");
-        let orphan = codec()
-            .encode_with_session(Packet::Ack(1), 0, 0, SessionId::new(42))
-            .to_vec();
+        let orphan =
+            FrameBuf::from(codec().encode_with_session(Packet::Ack(1), 0, 0, SessionId::new(42)));
         assert_eq!(sink.send_batch(&[(42, orphan)]).expect("send"), 0);
     }
 

@@ -116,8 +116,10 @@ impl<T: Copy> TimerWheel<T> {
         for level in 0..LEVELS {
             if delta < level_span(level) {
                 let slot = (entry.due_tick / slot_span(level)) as usize % SLOTS;
-                self.levels[level][slot].push(entry);
-                return;
+                if let Some(entries) = self.slot_mut(level, slot) {
+                    entries.push(entry);
+                    return;
+                }
             }
         }
         self.overflow.push(entry);
@@ -144,7 +146,10 @@ impl<T: Copy> TimerWheel<T> {
             for level in 1..LEVELS {
                 if tick % slot_span(level) == 0 {
                     let slot = (tick / slot_span(level)) as usize % SLOTS;
-                    let entries = std::mem::take(&mut self.levels[level][slot]);
+                    let entries = self
+                        .slot_mut(level, slot)
+                        .map(std::mem::take)
+                        .unwrap_or_default();
                     for e in entries {
                         if e.due_tick <= self.now {
                             self.len -= 1;
@@ -167,7 +172,10 @@ impl<T: Copy> TimerWheel<T> {
                 }
             }
             let slot = tick as usize % SLOTS;
-            let entries = std::mem::take(&mut self.levels[0][slot]);
+            let entries = self
+                .slot_mut(0, slot)
+                .map(std::mem::take)
+                .unwrap_or_default();
             for e in entries {
                 // A level-0 slot only holds entries within one lap, and we
                 // visit every tick, so everything here is due exactly now.
@@ -176,6 +184,14 @@ impl<T: Copy> TimerWheel<T> {
                 due.push((e.due_tick, e.token));
             }
         }
+    }
+
+    /// Checked slot lookup. `level < LEVELS` and `slot < SLOTS` hold at
+    /// every call site by construction (the slot index is taken `% SLOTS`),
+    /// but the wheel sits on the shard's panic-free data path, so access
+    /// is bounds-checked rather than trusted.
+    fn slot_mut(&mut self, level: usize, slot: usize) -> Option<&mut Vec<Entry<T>>> {
+        self.levels.get_mut(level)?.get_mut(slot)
     }
 
     /// The earliest scheduled deadline, or `None` when empty. O(wheel)
