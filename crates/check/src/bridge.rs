@@ -20,7 +20,7 @@
 //! session feeds straight into the delta-debug shrinker
 //! ([`shrink_from_recording`]) to produce a committable repro.
 
-use crate::oracle::{run_scenario, Failure, ScenarioRun};
+use crate::oracle::{run_scenario, Failure, FailureKind, ScenarioRun};
 use crate::scenario::Scenario;
 use crate::shrink::shrink;
 use rstp_core::{Message, TimingParams};
@@ -233,6 +233,145 @@ pub fn replay_session(bridged: &BridgedSession) -> ReplayReport {
     }
 }
 
+/// The no-acknowledged-loss oracle: every `Write` event a recording
+/// carries was acknowledged to the client as durable, so the session's
+/// final verdict must still contain it — same position, same bit — no
+/// matter how many crashes, restarts, or handovers happened in between.
+///
+/// Fires [`FailureKind::AckLoss`] when
+///
+/// - the cumulative write counter regresses (two incarnations wrote the
+///   same position — a double-active session),
+/// - acknowledged writes exist but the recording has no verdict at all
+///   (the session died and recovery never brought it back),
+/// - the verdict's `Y` is shorter than the acknowledged floor, or
+/// - an acknowledged bit differs from the verdict's bit at that
+///   position (recovery resurrected the wrong state).
+///
+/// Ring shedding can drop `Write` events — that only *lowers* the
+/// floor, so holes never cause a false alarm here; a shed *verdict* can,
+/// which is why callers soften the missing-verdict case for shards that
+/// reported drops.
+#[must_use]
+pub fn ack_loss_failure(h: &SessionHistory) -> Option<Failure> {
+    let fail = |detail: String| {
+        Some(Failure {
+            kind: FailureKind::AckLoss,
+            detail,
+        })
+    };
+    let mut floor = 0u64;
+    for &(at, count, _) in &h.writes {
+        if count <= floor {
+            return fail(format!(
+                "session {}: acknowledged count regressed from {floor} to {count} at {at} us",
+                h.session
+            ));
+        }
+        floor = count;
+    }
+    if floor == 0 {
+        return None;
+    }
+    let Some((_, _, written)) = &h.verdict else {
+        return fail(format!(
+            "session {}: {floor} acknowledged write(s) but no final verdict — \
+             the acknowledged prefix is lost",
+            h.session
+        ));
+    };
+    if (written.len() as u64) < floor {
+        return fail(format!(
+            "session {}: verdict carries {} write(s), acknowledged floor is {floor}",
+            h.session,
+            written.len()
+        ));
+    }
+    for &(at, count, bit) in &h.writes {
+        let have = written[(count - 1) as usize];
+        if have != bit {
+            return fail(format!(
+                "session {}: write #{count} was acknowledged as {bit} at {at} us, \
+                 the verdict has {have}",
+                h.session
+            ));
+        }
+    }
+    None
+}
+
+/// The acknowledged prefix of a history as `(0-based position, bit)`
+/// pairs, ready for [`shrink_ack_loss`]. Positions may have holes when
+/// the ring shed events.
+#[must_use]
+pub fn acked_prefix(h: &SessionHistory) -> Vec<(usize, bool)> {
+    h.writes
+        .iter()
+        .filter(|&&(_, c, _)| c > 0)
+        .map(|&(_, c, b)| ((c - 1) as usize, b))
+        .collect()
+}
+
+/// First acknowledged position the replay's output contradicts, if any.
+/// Positions beyond `input_len` are ignored so input truncation during
+/// shrinking cannot fabricate a violation.
+fn acked_violation(
+    written: &[Message],
+    input_len: usize,
+    acked: &[(usize, bool)],
+) -> Option<String> {
+    for &(pos, bit) in acked {
+        if pos >= input_len {
+            continue;
+        }
+        match written.get(pos) {
+            None => {
+                return Some(format!(
+                    "acknowledged position {pos} ({bit}) never written in replay"
+                ))
+            }
+            Some(&have) if have != bit => {
+                return Some(format!(
+                    "acknowledged position {pos} replayed as {have}, recording acknowledged {bit}"
+                ))
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Shrinks a bridged session whose replay violates the recorded
+/// acknowledged prefix, preserving the ack-loss predicate: a candidate
+/// only counts as "still failing" while its sim output contradicts one
+/// of the `acked` positions (clamped to the candidate's input length).
+/// Returns `None` when the origin replay already honors every
+/// acknowledged write — the loss lives in the recording, not in the
+/// reconstructed schedule, and there is nothing to shrink.
+#[must_use]
+pub fn shrink_ack_loss(
+    bridged: &BridgedSession,
+    acked: &[(usize, bool)],
+    budget: u32,
+) -> Option<(Scenario, u64, Failure)> {
+    let origin = run_scenario(&bridged.scenario, REPLAY_MAX_EVENTS);
+    let detail = acked_violation(&origin.trace.written(), bridged.scenario.input.len(), acked)?;
+    let failure = Failure {
+        kind: FailureKind::AckLoss,
+        detail,
+    };
+    let (min, events) = shrink(
+        &bridged.scenario,
+        origin.events,
+        |candidate| {
+            let run = run_scenario(candidate, REPLAY_MAX_EVENTS);
+            acked_violation(&run.trace.written(), candidate.input.len(), acked).map(|_| run.events)
+        },
+        budget,
+    );
+    Some((min, events, failure))
+}
+
 /// Shrinks a failing bridged session to a minimal scenario, preserving
 /// the failure kind. Returns `None` when the bridged scenario passes
 /// every oracle (nothing to shrink).
@@ -300,6 +439,8 @@ mod tests {
                 .map(|i| (1_000 + i * 2 * tick, 5 + i * 2, false))
                 .collect(),
             misses: Vec::new(),
+            writes: Vec::new(),
+            snapshots: Vec::new(),
             verdict: None,
         }
     }
@@ -358,6 +499,112 @@ mod tests {
         h.rx[0].1 = vec![0xFF; 8];
         let e = scenario_from_history(&h, params(), 200, vec![true]).unwrap_err();
         assert!(e.to_string().contains("does not decode"), "{e}");
+    }
+
+    /// Every way the no-acknowledged-loss oracle can fire, and the clean
+    /// shapes where it must not.
+    #[test]
+    fn ack_loss_oracle_checks_writes_against_the_verdict() {
+        let kind = ProtocolKind::Stenning {
+            timeout_steps: None,
+        };
+        let mut h = history(kind, 5, 4);
+        // No writes at all: nothing was acknowledged, nothing to lose.
+        assert!(ack_loss_failure(&h).is_none());
+
+        // Consistent writes + verdict: clean.
+        h.writes = vec![(10, 1, true), (20, 2, false), (30, 3, true)];
+        h.verdict = Some((40, true, vec![true, false, true, false]));
+        assert!(ack_loss_failure(&h).is_none());
+
+        // Holes from ring shedding only lower the floor: still clean.
+        h.writes = vec![(10, 1, true), (30, 3, true)];
+        assert!(ack_loss_failure(&h).is_none());
+
+        // Verdict shorter than the acknowledged floor.
+        h.writes = vec![(10, 1, true), (20, 2, false), (30, 3, true)];
+        h.verdict = Some((40, false, vec![true, false]));
+        let f = ack_loss_failure(&h).expect("floor violated");
+        assert_eq!(f.kind, FailureKind::AckLoss);
+        assert!(f.detail.contains("floor is 3"), "{f}");
+        assert_eq!(f.to_string().split(':').next(), Some("ack-loss"));
+
+        // Acknowledged bit differs from the verdict's.
+        h.verdict = Some((40, true, vec![true, true, true, false]));
+        let f = ack_loss_failure(&h).expect("bit diverged");
+        assert!(f.detail.contains("write #2"), "{f}");
+
+        // Writes but no verdict: the session died unrecovered.
+        h.verdict = None;
+        let f = ack_loss_failure(&h).expect("verdict missing");
+        assert!(f.detail.contains("no final verdict"), "{f}");
+
+        // Regressing counter: two incarnations wrote the same position.
+        h.writes = vec![(10, 2, true), (20, 1, false)];
+        h.verdict = Some((40, true, vec![false, true]));
+        let f = ack_loss_failure(&h).expect("counter regressed");
+        assert!(f.detail.contains("regressed from 2 to 1"), "{f}");
+    }
+
+    #[test]
+    fn acked_prefix_maps_counts_to_positions() {
+        let mut h = history(
+            ProtocolKind::Stenning {
+                timeout_steps: None,
+            },
+            5,
+            4,
+        );
+        h.writes = vec![(10, 1, true), (30, 3, false), (31, 0, true)];
+        assert_eq!(acked_prefix(&h), vec![(0, true), (2, false)]);
+    }
+
+    /// A replay that contradicts the acknowledged prefix shrinks to a
+    /// minimal scenario while staying an ack-loss repro; a replay that
+    /// honors it has nothing to shrink.
+    #[test]
+    fn shrink_ack_loss_preserves_the_violated_position() {
+        // β(k=2) with both copies of the first symbol dropped: the
+        // open-loop receiver misframes and writes input[1] at position
+        // 0 — exactly the shape of a resurrected-wrong-state recording.
+        let kind = ProtocolKind::Beta { k: 2 };
+        let input = vec![true, false, true, false];
+        let scenario = Scenario {
+            kind,
+            params: params(),
+            input: input.clone(),
+            t_gaps: Vec::new(),
+            r_gaps: Vec::new(),
+            gap_fallback: 2,
+            data: ScriptedDelivery::new(vec![PacketFate::Drop, PacketFate::Drop], 0),
+            ack: ScriptedDelivery::new(Vec::new(), 0),
+            corruption: None,
+        };
+        let bridged = BridgedSession {
+            session: 3,
+            scenario,
+            recorded_written: Some(input.clone()),
+            recorded_completed: Some(true),
+        };
+        let acked: Vec<(usize, bool)> = input.iter().copied().enumerate().collect();
+        let (min, _, failure) =
+            shrink_ack_loss(&bridged, &acked, 2_000).expect("origin violates the prefix");
+        assert_eq!(failure.kind, FailureKind::AckLoss);
+        assert!(failure.detail.contains("position"), "{failure}");
+        assert!(
+            min.input.len() < input.len(),
+            "shrinks below the origin: {min:?}"
+        );
+        let run = run_scenario(&min, REPLAY_MAX_EVENTS);
+        assert!(
+            acked_violation(&run.trace.written(), min.input.len(), &acked).is_some(),
+            "minimized scenario still violates an acknowledged position"
+        );
+
+        // Deliver everything: the replay honors the prefix, no shrink.
+        let mut honest = bridged.clone();
+        honest.scenario.data = ScriptedDelivery::new(Vec::new(), 0);
+        assert!(shrink_ack_loss(&honest, &acked, 100).is_none());
     }
 
     // The healthy-path differential only holds in a normal build: under

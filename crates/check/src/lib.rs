@@ -56,8 +56,9 @@ pub mod scenario;
 pub mod shrink;
 
 pub use bridge::{
-    bridge_session, replay_session, scenario_from_history, shrink_from_recording, BridgeError,
-    BridgedSession, ReplayReport, REPLAY_MAX_EVENTS,
+    ack_loss_failure, acked_prefix, bridge_session, replay_session, scenario_from_history,
+    shrink_ack_loss, shrink_from_recording, BridgeError, BridgedSession, ReplayReport,
+    REPLAY_MAX_EVENTS,
 };
 pub use corpus::{parse_repro, render_repro, Expectation, Repro, ReproError};
 pub use coverage::{coverage_keys, Coverage, CoverageStats};

@@ -61,6 +61,9 @@ pub enum FailureKind {
     /// The run converged, but later than the documented stabilization-time
     /// bound allows.
     StabilizationTime,
+    /// A recorded run acknowledged a write the final verdict does not
+    /// carry — crash recovery or handover lost durable output.
+    AckLoss,
 }
 
 impl fmt::Display for FailureKind {
@@ -75,6 +78,7 @@ impl fmt::Display for FailureKind {
             FailureKind::Differential => "differential",
             FailureKind::Convergence => "convergence",
             FailureKind::StabilizationTime => "stab-time",
+            FailureKind::AckLoss => "ack-loss",
         };
         f.write_str(name)
     }

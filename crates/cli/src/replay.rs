@@ -19,8 +19,8 @@
 use crate::args::{parse_bits, ArgError, Args};
 use core::fmt::Write as _;
 use rstp_check::{
-    bridge_session, render_repro, replay_session, shrink_from_recording, BridgedSession,
-    Expectation, Repro,
+    ack_loss_failure, acked_prefix, bridge_session, render_repro, replay_session, shrink_ack_loss,
+    shrink_from_recording, BridgedSession, Expectation, Failure, Repro,
 };
 use rstp_record::SessionIndex;
 use std::fs;
@@ -44,7 +44,12 @@ struct Row {
 /// *inconclusive* there, not a divergence. A recorded verdict that is
 /// itself wrong stays fatal — shedding can drop whole events, never
 /// corrupt a written one.
-fn describe(bridged: &BridgedSession, holes: bool) -> Row {
+///
+/// `ack` is the no-acknowledged-loss oracle's view of the history. Its
+/// missing-verdict flavor softens to inconclusive under holes (the
+/// verdict may simply have been shed); its content flavors stay fatal
+/// for the same reason wrong verdicts do.
+fn describe(bridged: &BridgedSession, holes: bool, ack: Option<&Failure>) -> Row {
     let report = replay_session(bridged);
     let input = &bridged.scenario.input;
     let recorded_ok = bridged.recorded_completed == Some(true)
@@ -74,7 +79,7 @@ fn describe(bridged: &BridgedSession, holes: bool) -> Row {
         Some(f) => f.to_string(),
     };
     let inconclusive = holes && (recorded_ok && !sim_ok || bridged.recorded_written.is_none());
-    let (differential, bad) = if inconclusive {
+    let (differential, mut bad) = if inconclusive {
         ("inconclusive (shard shed events)".to_string(), false)
     } else {
         (
@@ -89,6 +94,11 @@ fn describe(bridged: &BridgedSession, holes: bool) -> Row {
             report.divergent || !recorded_ok || !sim_ok,
         )
     };
+    let mut recorded = recorded;
+    if ack.is_some() && !(holes && bridged.recorded_written.is_none()) {
+        recorded = format!("ACK LOSS, {recorded}");
+        bad = true;
+    }
     Row {
         session: bridged.session,
         recorded,
@@ -148,7 +158,8 @@ fn replay_all(index: &SessionIndex, mut out: String) -> Result<String, ArgError>
         let bridged =
             bridge_session(index, h.session, None).map_err(|e| ArgError(e.to_string()))?;
         let holes = index.shard_dropped.contains_key(&h.shard);
-        rows.push(describe(&bridged, holes));
+        let ack = ack_loss_failure(h);
+        rows.push(describe(&bridged, holes, ack.as_ref()));
     }
     let _ = writeln!(
         out,
@@ -181,7 +192,8 @@ fn replay_all(index: &SessionIndex, mut out: String) -> Result<String, ArgError>
             if inconclusive > 0 {
                 "recording and simulator agree on every conclusive session"
             } else {
-                "recording and simulator agree; every session delivered Y = X"
+                "recording and simulator agree; every session delivered Y = X \
+                 and no acknowledged write was lost"
             }
         );
         Ok(out)
@@ -224,8 +236,25 @@ fn replay_one(
     );
 
     let report = replay_session(&bridged);
-    let row = describe(&bridged, index.shard_dropped.contains_key(&h.shard));
+    let ack = ack_loss_failure(h);
+    let row = describe(
+        &bridged,
+        index.shard_dropped.contains_key(&h.shard),
+        ack.as_ref(),
+    );
     let _ = writeln!(out, "recorded  : {}", row.recorded);
+    match (&ack, h.writes.last()) {
+        (Some(f), _) => {
+            let _ = writeln!(out, "ack floor : LOST — {f}");
+        }
+        (None, Some(&(_, floor, _))) => {
+            let _ = writeln!(
+                out,
+                "ack floor : {floor} acknowledged write(s), all present in the verdict"
+            );
+        }
+        (None, None) => {}
+    }
     let _ = writeln!(
         out,
         "sim replay: {} ({} events, wrote {} bits)",
@@ -245,7 +274,15 @@ fn replay_one(
 
     if let Some(path) = args.get("shrink") {
         let budget = u32::try_from(args.get_u64("budget", 2000)?).unwrap_or(u32::MAX);
-        match shrink_from_recording(&bridged, budget) {
+        // The ack-loss oracle participates in shrinking through its own
+        // predicate: when the standard oracle stack has nothing to
+        // shrink but the replay contradicts an acknowledged write, the
+        // shrinker minimizes while preserving that contradiction.
+        let shrunk = shrink_from_recording(&bridged, budget).or_else(|| {
+            ack.as_ref()?;
+            shrink_ack_loss(&bridged, &acked_prefix(h), budget)
+        });
+        match shrunk {
             None => {
                 let _ = writeln!(
                     out,
@@ -339,10 +376,10 @@ mod tests {
             recorded_written: Some(input),
             recorded_completed: Some(true),
         };
-        let fatal = describe(&bridged, false);
+        let fatal = describe(&bridged, false, None);
         assert!(fatal.bad, "complete history: divergence is fatal");
         assert_eq!(fatal.differential, "DIVERGED");
-        let soft = describe(&bridged, true);
+        let soft = describe(&bridged, true, None);
         assert!(!soft.bad, "shed history: divergence is inconclusive");
         assert!(
             soft.differential.starts_with("inconclusive"),
@@ -355,8 +392,25 @@ mod tests {
         let mut no_verdict = bridged.clone();
         no_verdict.recorded_written = None;
         no_verdict.recorded_completed = None;
-        assert!(describe(&no_verdict, false).bad);
-        assert!(!describe(&no_verdict, true).bad);
+        assert!(describe(&no_verdict, false, None).bad);
+        assert!(!describe(&no_verdict, true, None).bad);
+
+        // The ack-loss oracle overrides a clean differential — except
+        // its missing-verdict flavor on a shard that shed events, where
+        // the verdict itself may be the hole.
+        let ack = rstp_check::Failure {
+            kind: rstp_check::FailureKind::AckLoss,
+            detail: "session 9: write #2 lost".into(),
+        };
+        let flagged = describe(&bridged, false, Some(&ack));
+        assert!(flagged.bad);
+        assert!(
+            flagged.recorded.starts_with("ACK LOSS"),
+            "{}",
+            flagged.recorded
+        );
+        assert!(!describe(&no_verdict, true, Some(&ack)).bad);
+        assert!(describe(&no_verdict, false, Some(&ack)).bad);
     }
 
     #[test]
@@ -413,6 +467,66 @@ mod tests {
         );
 
         assert!(run(&["replay", "--dir", dir_s, "--session", "99"]).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A crash/restart drill leaves a recording whose acknowledged
+    /// writes must all survive into the verdicts: the sweep runs the
+    /// no-acknowledged-loss oracle over every session, and the detail
+    /// view prints the restored floor.
+    #[cfg(not(rstp_check_inject_ack_bug))]
+    #[test]
+    fn crash_recovery_recording_honors_every_acknowledged_write() {
+        let _gate = crate::commands::swarm_gate();
+        let dir = temp_dir("crash");
+        let dir_s = dir.to_str().expect("utf8");
+        run(&[
+            "swarm",
+            "--sessions",
+            "8",
+            "--protocol",
+            "stenning",
+            "--n",
+            "8",
+            "--c1",
+            "1",
+            "--c2",
+            "2",
+            "--d",
+            "4",
+            "--tick-us",
+            "200",
+            "--shards",
+            "2",
+            "--max-wall-s",
+            "30",
+            "--record",
+            dir_s,
+            "--faults",
+            "kill=1@20;restart=1@60",
+        ])
+        .expect("crash drill");
+
+        // Every acknowledged write is in its verdict or the sweep fails.
+        let index = SessionIndex::from_dir(&dir).expect("index");
+        assert!(
+            index
+                .sessions()
+                .any(|h| !h.writes.is_empty() && !h.snapshots.is_empty()),
+            "the recording must carry write and snapshot records"
+        );
+        for h in index.sessions() {
+            assert!(
+                rstp_check::ack_loss_failure(h).is_none(),
+                "session {}: {:?}",
+                h.session,
+                rstp_check::ack_loss_failure(h)
+            );
+        }
+
+        let out = run(&["replay", "--dir", dir_s, "--session", "1"]).expect("detail");
+        assert!(out.contains("ack floor :"), "{out}");
+        assert!(out.contains("all present in the verdict"), "{out}");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -5,6 +5,8 @@
 //! rstp swarm --sessions 256 --protocol beta --k 4          # mem loopback
 //! rstp swarm --sessions 64 --transport udp --shards 4      # real datagrams
 //! rstp serve --local 127.0.0.1:9000 --sessions 8 --n 64    # standalone server
+//! rstp swarm --sessions 64 --shards 2 --record /tmp/rec \
+//!            --faults 'kill=1@50;restart=1@120'            # crash/recovery drill
 //! ```
 //!
 //! `swarm` runs the whole experiment in one process — server plus M
@@ -24,8 +26,8 @@ use core::fmt::Write as _;
 use rstp_core::SessionId;
 use rstp_net::TickClock;
 use rstp_serve::{
-    run_server, run_swarm, ServeConfig, ServeReport, SessionSpec, SwarmConfig, SwarmTransport,
-    UdpServerTransport,
+    run_server, run_swarm, FaultPlan, ServeConfig, ServeReport, SessionSpec, SwarmConfig,
+    SwarmTransport, UdpServerTransport,
 };
 use std::time::Duration;
 
@@ -48,6 +50,7 @@ const SWARM_FLAGS: &[&str] = &[
     "max-wall-s",
     "oracle-sample",
     "record",
+    "faults",
     "force",
 ];
 
@@ -68,6 +71,7 @@ const SERVE_FLAGS: &[&str] = &[
     "queue-cap",
     "max-wall-s",
     "record",
+    "faults",
 ];
 
 fn transport_of(args: &Args) -> Result<SwarmTransport, ArgError> {
@@ -91,6 +95,10 @@ fn configure(args: &Args, mut serve: ServeConfig) -> Result<ServeConfig, ArgErro
     }
     if let Some(dir) = args.get("record") {
         serve = serve.with_record(dir);
+    }
+    if let Some(plan) = args.get("faults") {
+        let plan = FaultPlan::parse(plan).map_err(|e| ArgError(format!("--faults: {e}")))?;
+        serve = serve.with_faults(plan);
     }
     Ok(serve)
 }
@@ -345,6 +353,72 @@ mod tests {
         assert!(run(&["swarm", "--bogus", "1"]).is_err());
         assert!(run(&["serve", "--bogus", "1"]).is_err());
         assert!(run(&["serve", "--transport", "udp"]).is_err()); // serve is udp-only
+        let err = run(&["swarm", "--faults", "explode=all"]).expect_err("bad fault grammar");
+        assert!(err.to_string().contains("--faults"), "{err}");
+    }
+
+    /// The crash drill end to end from the command line: a shard is
+    /// killed mid-transfer and restarted from its flight recording, and
+    /// the verdict still reads Y = X with the fault line in the summary.
+    #[test]
+    fn swarm_with_kill_restart_faults_recovers_from_the_recording() {
+        let _gate = crate::commands::swarm_gate();
+        let dir = std::env::temp_dir().join(format!("rstp-cli-crash-{}", std::process::id()));
+        let dir_s = dir.to_str().expect("utf8");
+        let out = run(&[
+            "swarm",
+            "--sessions",
+            "8",
+            "--protocol",
+            "stenning",
+            "--n",
+            "8",
+            "--c1",
+            "1",
+            "--c2",
+            "2",
+            "--d",
+            "4",
+            "--tick-us",
+            "200",
+            "--shards",
+            "2",
+            "--max-wall-s",
+            "30",
+            "--record",
+            dir_s,
+            "--faults",
+            "kill=1@20;restart=1@60",
+        ])
+        .expect("crash drill");
+        assert!(out.contains("8 planned, 8 admitted, 8 completed"), "{out}");
+        assert!(out.contains("Y = X exactly"), "{out}");
+        assert!(out.contains("faults    : 1 crashes, 1 restarts"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// An injected shard panic must surface as a nonzero exit, not a
+    /// clean verdict printed over a dead thread.
+    #[test]
+    fn swarm_with_injected_panic_exits_nonzero() {
+        let _gate = crate::commands::swarm_gate();
+        let err = run(&[
+            "swarm",
+            "--sessions",
+            "4",
+            "--protocol",
+            "stenning",
+            "--n",
+            "8",
+            "--tick-us",
+            "200",
+            "--max-wall-s",
+            "5",
+            "--faults",
+            "panic=0@5",
+        ])
+        .expect_err("panicked shard must fail the command");
+        assert!(err.to_string().contains("panicked"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,526 @@
+//! Wire v3 control frames: the node-to-node session handover protocol.
+//!
+//! Data frames (wire v1/v2, [`crate::wire`]) carry protocol packets
+//! between a client and the serve node that owns its session. Control
+//! frames carry the *handover* conversation between two serve nodes when
+//! one drains its live sessions to a peer:
+//!
+//! ```text
+//!   source node                     target node
+//!      | --- SNAPSHOT(session, state) -->|   (after receiving DRAIN)
+//!      |<-- SNAPSHOT_ACK(session) ------ |
+//!      | --- REDIRECT(session, target) ->|   (via the ingress pump,
+//!      |                                 |    which re-owns the session)
+//! ```
+//!
+//! # Frame layout (variable length, all integers big-endian)
+//!
+//! | offset | size | field        | notes                                  |
+//! |-------:|-----:|--------------|----------------------------------------|
+//! | 0      | 2    | magic        | [`crate::wire::WIRE_MAGIC`] (`"RT"`)   |
+//! | 2      | 1    | version      | [`CONTROL_VERSION`] (= 3)              |
+//! | 3      | 1    | kind         | [`ControlKind`] discriminant           |
+//! | 4      | 4    | session      | session being moved (0 = whole node)   |
+//! | 8      | 2    | payload len  | ≤ [`CONTROL_MAX_PAYLOAD`]              |
+//! | 10     | len  | payload      | kind-specific (snapshot bytes, shard)  |
+//! | 10+len | 4    | checksum     | FNV-1a over bytes `0..10+len`          |
+//!
+//! Version skew is rejected strictly in both directions: a v1/v2 data
+//! frame handed to [`decode_control`] fails with
+//! [`ControlError::UnsupportedVersion`], and a v3 control frame handed to
+//! [`crate::decode_any`] fails with
+//! [`crate::WireError::UnsupportedVersion`] — an old peer can never
+//! misparse a snapshot as data, and vice versa. The declared payload
+//! length is validated against [`CONTROL_MAX_PAYLOAD`] *before* any
+//! allocation, so a hostile length field cannot make the decoder reserve
+//! memory.
+
+use crate::wire::{fnv1a, WIRE_MAGIC};
+use core::fmt;
+use rstp_core::SessionId;
+
+/// Version byte carried by every control frame.
+///
+/// Data frames are version 1 (with the v2 session extension flagged, not
+/// versioned); control frames jump to 3 so the two families are disjoint
+/// at byte offset 2.
+pub const CONTROL_VERSION: u8 = 3;
+
+/// Fixed header length before the payload: magic, version, kind,
+/// session id, payload length.
+pub const CONTROL_HEADER_LEN: usize = 10;
+
+/// Trailing checksum length.
+const CONTROL_TRAILER_LEN: usize = 4;
+
+/// Hard cap on a control frame's payload. Session snapshots are a few
+/// hundred bytes for every protocol family; anything near this limit is
+/// corruption, and the decoder rejects a larger declared length before
+/// allocating a single byte for it.
+pub const CONTROL_MAX_PAYLOAD: usize = 4096;
+
+/// The handover conversation's message kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ControlKind {
+    /// Pump → source node: move your live sessions to the shard named in
+    /// the payload. `session` is 0 (the whole node drains).
+    Drain = 1,
+    /// Source → target node: one live session's full state (payload:
+    /// source shard id + versioned snapshot bytes).
+    Snapshot = 2,
+    /// Target → source node: the snapshot for `session` was restored and
+    /// is held provisionally (payload: target shard id).
+    SnapshotAck = 3,
+    /// Source → pump → target node: ownership of `session` transfers to
+    /// the shard named in the payload; the target activates its
+    /// provisional copy.
+    Redirect = 4,
+}
+
+impl ControlKind {
+    /// All defined control kinds.
+    pub const ALL: [ControlKind; 4] = [
+        ControlKind::Drain,
+        ControlKind::Snapshot,
+        ControlKind::SnapshotAck,
+        ControlKind::Redirect,
+    ];
+
+    fn from_byte(b: u8) -> Option<ControlKind> {
+        ControlKind::ALL.into_iter().find(|k| *k as u8 == b)
+    }
+}
+
+impl fmt::Display for ControlKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ControlKind::Drain => "drain",
+            ControlKind::Snapshot => "snapshot",
+            ControlKind::SnapshotAck => "snapshot-ack",
+            ControlKind::Redirect => "redirect",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A decoded control frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ControlFrame {
+    /// Which handover message this is.
+    pub kind: ControlKind,
+    /// The session being moved (id 0 addresses the whole node, used by
+    /// [`ControlKind::Drain`]).
+    pub session: SessionId,
+    /// Kind-specific payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Strict control-frame decode (and encode) failures. Every variant
+/// names the first check that failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ControlError {
+    /// Fewer bytes than the declared shape requires.
+    TooShort {
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// More bytes than the declared payload length allows.
+    TrailingBytes {
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// Leading magic differs from [`WIRE_MAGIC`].
+    BadMagic {
+        /// Magic observed on the wire.
+        got: u16,
+    },
+    /// Version byte differs from [`CONTROL_VERSION`]. In particular, a
+    /// wire v1/v2 *data* frame lands here: the families are disjoint.
+    UnsupportedVersion {
+        /// Version observed on the wire.
+        got: u8,
+    },
+    /// Kind byte matches no [`ControlKind`].
+    BadKind {
+        /// Kind observed on the wire.
+        got: u8,
+    },
+    /// Declared payload length exceeds [`CONTROL_MAX_PAYLOAD`]. Raised
+    /// before any allocation sized by the hostile length.
+    OversizedPayload {
+        /// Payload length declared on the wire.
+        got: usize,
+    },
+    /// Stored checksum disagrees with the recomputed one.
+    BadChecksum {
+        /// Checksum observed on the wire.
+        got: u32,
+        /// Checksum recomputed over header and payload.
+        want: u32,
+    },
+}
+
+impl fmt::Display for ControlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlError::TooShort { got } => {
+                let floor = CONTROL_HEADER_LEN + CONTROL_TRAILER_LEN;
+                write!(
+                    f,
+                    "control frame too short: {got} bytes, need at least {floor}"
+                )
+            }
+            ControlError::TrailingBytes { got } => {
+                write!(
+                    f,
+                    "control frame too long: {got} bytes past the declared payload"
+                )
+            }
+            ControlError::BadMagic { got } => {
+                write!(f, "bad magic {got:#06x}, expected {WIRE_MAGIC:#06x}")
+            }
+            ControlError::UnsupportedVersion { got } => {
+                write!(
+                    f,
+                    "unsupported control version {got}, expected {CONTROL_VERSION}"
+                )
+            }
+            ControlError::BadKind { got } => {
+                write!(f, "bad control kind {got}, expected 1..=4")
+            }
+            ControlError::OversizedPayload { got } => {
+                write!(
+                    f,
+                    "control payload {got} bytes exceeds maximum {CONTROL_MAX_PAYLOAD}"
+                )
+            }
+            ControlError::BadChecksum { got, want } => {
+                write!(
+                    f,
+                    "checksum mismatch: stored {got:#010x}, computed {want:#010x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ControlError {}
+
+/// Encodes a control frame, or fails with
+/// [`ControlError::OversizedPayload`] when the payload exceeds
+/// [`CONTROL_MAX_PAYLOAD`].
+pub fn encode_control(frame: &ControlFrame) -> Result<Vec<u8>, ControlError> {
+    if frame.payload.len() > CONTROL_MAX_PAYLOAD {
+        return Err(ControlError::OversizedPayload {
+            got: frame.payload.len(),
+        });
+    }
+    let total = CONTROL_HEADER_LEN + frame.payload.len() + CONTROL_TRAILER_LEN;
+    let mut buf = Vec::with_capacity(total);
+    buf.extend_from_slice(&WIRE_MAGIC.to_be_bytes());
+    buf.push(CONTROL_VERSION);
+    buf.push(frame.kind as u8);
+    buf.extend_from_slice(&frame.session.raw().to_be_bytes());
+    buf.extend_from_slice(&(frame.payload.len() as u16).to_be_bytes());
+    buf.extend_from_slice(&frame.payload);
+    let sum = fnv1a(&buf);
+    buf.extend_from_slice(&sum.to_be_bytes());
+    Ok(buf)
+}
+
+/// Decodes one control frame. Never panics and never allocates before
+/// the declared payload length has been validated.
+pub fn decode_control(bytes: &[u8]) -> Result<ControlFrame, ControlError> {
+    let floor = CONTROL_HEADER_LEN + CONTROL_TRAILER_LEN;
+    if bytes.len() < floor {
+        return Err(ControlError::TooShort { got: bytes.len() });
+    }
+    let magic = u16::from_be_bytes([bytes[0], bytes[1]]);
+    if magic != WIRE_MAGIC {
+        return Err(ControlError::BadMagic { got: magic });
+    }
+    if bytes[2] != CONTROL_VERSION {
+        return Err(ControlError::UnsupportedVersion { got: bytes[2] });
+    }
+    let kind = ControlKind::from_byte(bytes[3]).ok_or(ControlError::BadKind { got: bytes[3] })?;
+    let session = u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    let declared = usize::from(u16::from_be_bytes([bytes[8], bytes[9]]));
+    // Validate the hostile length *before* any allocation sized by it.
+    if declared > CONTROL_MAX_PAYLOAD {
+        return Err(ControlError::OversizedPayload { got: declared });
+    }
+    let total = CONTROL_HEADER_LEN + declared + CONTROL_TRAILER_LEN;
+    if bytes.len() < total {
+        return Err(ControlError::TooShort { got: bytes.len() });
+    }
+    if bytes.len() > total {
+        return Err(ControlError::TrailingBytes { got: bytes.len() });
+    }
+    let body_len = CONTROL_HEADER_LEN + declared;
+    let stored = match bytes.get(body_len..total) {
+        Some([a, b, c, d]) => u32::from_be_bytes([*a, *b, *c, *d]),
+        _ => return Err(ControlError::TooShort { got: bytes.len() }),
+    };
+    let body = bytes
+        .get(..body_len)
+        .ok_or(ControlError::TooShort { got: bytes.len() })?;
+    let computed = fnv1a(body);
+    if stored != computed {
+        return Err(ControlError::BadChecksum {
+            got: stored,
+            want: computed,
+        });
+    }
+    let payload = bytes
+        .get(CONTROL_HEADER_LEN..body_len)
+        .ok_or(ControlError::TooShort { got: bytes.len() })?
+        .to_vec();
+    Ok(ControlFrame {
+        kind,
+        session: SessionId::new(session),
+        payload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{decode_any, ProtocolId, WireCodec, WireError};
+    use rstp_core::Packet;
+
+    fn sample(kind: ControlKind, payload: &[u8]) -> ControlFrame {
+        ControlFrame {
+            kind,
+            session: SessionId::new(0x0102_0304),
+            payload: payload.to_vec(),
+        }
+    }
+
+    /// Re-seals a tampered buffer with a fresh valid checksum, so tests
+    /// reach the checks *behind* the checksum verification.
+    fn reseal(buf: &mut [u8]) {
+        let body = buf.len() - CONTROL_TRAILER_LEN;
+        let sum = fnv1a(&buf[..body]);
+        buf[body..].copy_from_slice(&sum.to_be_bytes());
+    }
+
+    #[test]
+    fn round_trips_every_kind() {
+        for kind in ControlKind::ALL {
+            for payload in [&b""[..], &b"\x00\x01\x02\x03"[..], &[0xAB; 512][..]] {
+                let frame = sample(kind, payload);
+                let bytes = encode_control(&frame).expect("encode");
+                assert_eq!(decode_control(&bytes).expect("decode"), frame);
+            }
+        }
+    }
+
+    #[test]
+    fn golden_bytes_are_pinned() {
+        let frame = ControlFrame {
+            kind: ControlKind::Snapshot,
+            session: SessionId::new(7),
+            payload: vec![0xDE, 0xAD],
+        };
+        let bytes = encode_control(&frame).expect("encode");
+        let sum = fnv1a(&bytes[..12]);
+        let mut want = vec![
+            0x52, 0x54, // magic "RT"
+            0x03, // version 3
+            0x02, // kind = snapshot
+            0x00, 0x00, 0x00, 0x07, // session 7
+            0x00, 0x02, // payload len 2
+            0xDE, 0xAD, // payload
+        ];
+        want.extend_from_slice(&sum.to_be_bytes());
+        assert_eq!(bytes, want);
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_rejected_cleanly() {
+        let bytes = encode_control(&sample(ControlKind::Snapshot, &[1, 2, 3, 4, 5])).expect("ok");
+        for cut in 0..bytes.len() {
+            let err = decode_control(&bytes[..cut]).expect_err("truncated");
+            assert!(
+                matches!(err, ControlError::TooShort { .. }),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_control(&sample(ControlKind::Drain, &[9])).expect("ok");
+        bytes.push(0);
+        assert_eq!(
+            decode_control(&bytes),
+            Err(ControlError::TrailingBytes { got: 16 })
+        );
+    }
+
+    #[test]
+    fn bad_magic_version_kind_and_checksum_are_typed() {
+        let good = encode_control(&sample(ControlKind::Redirect, &[4, 0, 0, 0])).expect("ok");
+
+        let mut bad = good.clone();
+        bad[0] = 0x00;
+        assert!(matches!(
+            decode_control(&bad),
+            Err(ControlError::BadMagic { got: 0x0054 })
+        ));
+
+        let mut bad = good.clone();
+        bad[2] = 9;
+        reseal(&mut bad);
+        assert_eq!(
+            decode_control(&bad),
+            Err(ControlError::UnsupportedVersion { got: 9 })
+        );
+
+        let mut bad = good.clone();
+        bad[3] = 0xEE;
+        reseal(&mut bad);
+        assert_eq!(
+            decode_control(&bad),
+            Err(ControlError::BadKind { got: 0xEE })
+        );
+
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        assert!(matches!(
+            decode_control(&bad),
+            Err(ControlError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_declared_payload_is_rejected_before_allocation() {
+        // A minimal buffer whose header *claims* a payload far past the
+        // cap. The decoder must reject on the declared length alone — if
+        // it tried to slice or allocate first, the tiny buffer would
+        // surface as TooShort instead.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&WIRE_MAGIC.to_be_bytes());
+        buf.push(CONTROL_VERSION);
+        buf.push(ControlKind::Snapshot as u8);
+        buf.extend_from_slice(&1u32.to_be_bytes());
+        buf.extend_from_slice(&u16::MAX.to_be_bytes());
+        buf.extend_from_slice(&[0u8; 4]); // nonsense checksum, never reached
+        assert_eq!(
+            decode_control(&buf),
+            Err(ControlError::OversizedPayload {
+                got: usize::from(u16::MAX)
+            })
+        );
+    }
+
+    #[test]
+    fn payload_at_exact_cap_round_trips_and_one_past_is_refused() {
+        let at_cap = sample(ControlKind::Snapshot, &vec![0x5A; CONTROL_MAX_PAYLOAD]);
+        let bytes = encode_control(&at_cap).expect("cap fits");
+        assert_eq!(decode_control(&bytes).expect("decode"), at_cap);
+
+        let over = sample(ControlKind::Snapshot, &vec![0x5A; CONTROL_MAX_PAYLOAD + 1]);
+        assert_eq!(
+            encode_control(&over),
+            Err(ControlError::OversizedPayload {
+                got: CONTROL_MAX_PAYLOAD + 1
+            })
+        );
+    }
+
+    #[test]
+    fn version_skew_is_rejected_in_both_directions() {
+        // v2 data frame → control decoder: refused by version.
+        let codec = WireCodec::new(ProtocolId::Beta, 4).expect("codec");
+        let data = codec.encode_with_session(Packet::Data(3), 0, 0, SessionId::new(5));
+        assert_eq!(
+            decode_control(&data),
+            Err(ControlError::UnsupportedVersion { got: 1 })
+        );
+        // v1 data frame too.
+        let data = codec.encode(Packet::Data(3), 0, 0);
+        assert_eq!(
+            decode_control(&data),
+            Err(ControlError::UnsupportedVersion { got: 1 })
+        );
+        // v3 control frame → data decoder: refused, so an old peer drops
+        // a snapshot instead of misreading it as symbols. A control frame
+        // whose payload of 22 bytes pads its total size to exactly a v1
+        // data frame's reaches the version check and is refused there;
+        // any other size fails the length checks first. Either way:
+        // rejected.
+        let ctl = encode_control(&sample(ControlKind::Snapshot, &[0xAA; 22])).expect("ok");
+        assert_eq!(ctl.len(), 36);
+        assert_eq!(
+            decode_any(&ctl),
+            Err(WireError::UnsupportedVersion { got: 3 })
+        );
+        let ctl = encode_control(&sample(ControlKind::Snapshot, &[1, 2, 3])).expect("ok");
+        assert!(decode_any(&ctl).is_err());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let cases: Vec<(ControlError, &str)> = vec![
+            (ControlError::TooShort { got: 3 }, "too short"),
+            (ControlError::TrailingBytes { got: 99 }, "too long"),
+            (ControlError::BadMagic { got: 1 }, "magic"),
+            (ControlError::UnsupportedVersion { got: 1 }, "version"),
+            (ControlError::BadKind { got: 7 }, "kind"),
+            (ControlError::OversizedPayload { got: 70_000 }, "exceeds"),
+            (ControlError::BadChecksum { got: 1, want: 2 }, "checksum"),
+        ];
+        for (err, needle) in cases {
+            let text = err.to_string();
+            assert!(text.contains(needle), "{text:?} lacks {needle:?}");
+        }
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn arbitrary_bytes_never_panic_the_decoder(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+                let _ = decode_control(&bytes);
+            }
+
+            #[test]
+            fn round_trip_is_lossless(
+                kind_ix in 0usize..4,
+                session in any::<u32>(),
+                payload in proptest::collection::vec(any::<u8>(), 0..128),
+            ) {
+                let frame = ControlFrame {
+                    kind: ControlKind::ALL[kind_ix],
+                    session: SessionId::new(session),
+                    payload,
+                };
+                let bytes = encode_control(&frame).expect("encode");
+                prop_assert_eq!(decode_control(&bytes).expect("decode"), frame);
+            }
+
+            #[test]
+            fn single_byte_corruption_never_yields_a_different_frame(
+                flip_at in 0usize..20,
+                flip_bit in 0u8..8,
+            ) {
+                let frame = ControlFrame {
+                    kind: ControlKind::Snapshot,
+                    session: SessionId::new(42),
+                    payload: vec![1, 2, 3, 4, 5, 6],
+                };
+                let mut bytes = encode_control(&frame).expect("encode");
+                let at = flip_at % bytes.len();
+                bytes[at] ^= 1 << flip_bit;
+                if let Ok(got) = decode_control(&bytes) {
+                    prop_assert_eq!(got, frame);
+                }
+            }
+        }
+    }
+}

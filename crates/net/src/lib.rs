@@ -8,6 +8,9 @@
 //!
 //! * [`wire`] — a versioned byte codec for protocol packets, with strict
 //!   decode errors ([`wire::WireCodec`], [`wire::Frame`]).
+//! * [`control`] — wire v3 node-to-node control frames (DRAIN /
+//!   SNAPSHOT / REDIRECT) carrying the pair-wise session handover
+//!   protocol between serve nodes ([`control::ControlFrame`]).
 //! * [`transport`] — the [`transport::Transport`] trait
 //!   (`send`/`poll_recv`/`local_stats`).
 //! * [`mem`] — an in-process endpoint pair whose delivery threads enforce
@@ -34,6 +37,7 @@
 
 pub mod chan;
 pub mod clock;
+pub mod control;
 pub mod driver;
 pub mod error;
 pub mod histogram;
@@ -47,6 +51,10 @@ pub use chan::{
     ChannelConfig, ChannelSampler, DelayModel, ScriptedVerdicts, Verdict, VerdictSource,
 };
 pub use clock::TickClock;
+pub use control::{
+    decode_control, encode_control, ControlError, ControlFrame, ControlKind, CONTROL_HEADER_LEN,
+    CONTROL_MAX_PAYLOAD, CONTROL_VERSION,
+};
 pub use driver::{run_endpoint, DriverConfig, DriverOutcome, DriverReport, Pace};
 pub use error::NetError;
 pub use histogram::LatencyHistogram;

@@ -25,7 +25,16 @@
 //! | 5 | `WheelPop` | at u64, session u32, due_tick u64, late u8 |
 //! | 6 | `DeadlineMiss` | at u64, session u32, due_tick u64 |
 //! | 7 | `Verdict` | at u64, session u32, completed u8, n u32 + packed bits |
-//! | 8 | [`RecStats`] | recorded u64, dropped u64 |
+//! | 8 | [`RecStats`] | recorded u64, dropped u64, epoch u32 (absent in v1) |
+//! | 9 | `Snapshot` | at u64, session u32, state len u16 + bytes |
+//! | 10 | `Write` | at u64, session u32, written u64, bit u8 |
+//!
+//! Version 2 added kinds 9/10 (session snapshots and incremental write
+//! records — the durability source for crash recovery) and the stats
+//! `epoch` field, which identifies the shard-writer incarnation a stats
+//! record belongs to so shed accounting can dedupe mid-file checkpoints
+//! from trailers. A v2 reader still parses v1 files: the epoch field is
+//! optional on decode and defaults to 0.
 
 use rstp_sim::ProtocolKind;
 use std::fmt;
@@ -33,7 +42,7 @@ use std::fmt;
 /// Leading file magic: `RSTPREC\0`.
 pub const RECORD_MAGIC: [u8; 8] = *b"RSTPREC\0";
 /// Current format version; a reader rejects anything newer.
-pub const RECORD_VERSION: u8 = 1;
+pub const RECORD_VERSION: u8 = 2;
 /// File header length: magic plus version byte.
 pub const HEADER_LEN: usize = RECORD_MAGIC.len() + 1;
 /// Hard ceiling on one record's payload — far above any real record
@@ -123,13 +132,19 @@ pub struct RunMeta {
     pub seed: Option<u64>,
 }
 
-/// Ring statistics, written as the trailer of every shard file.
+/// Ring statistics, written as the trailer of every shard file — and,
+/// since format v2, also mid-file as a checkpoint before a shard
+/// restarts. Counters are cumulative *within one writer incarnation*;
+/// the `epoch` field names that incarnation so readers can dedupe a
+/// checkpoint from the trailer that supersedes it.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RecStats {
     /// Events that made it into the file.
     pub recorded: u64,
     /// Events dropped at the ring (full buffer or contended lock).
     pub dropped: u64,
+    /// Writer incarnation the counters belong to (0 for v1 files).
+    pub epoch: u32,
 }
 
 /// One frame-level event, stamped with the shard clock's microsecond
@@ -186,6 +201,33 @@ pub enum Event {
         /// The tick that was missed.
         due_tick: u64,
     },
+    /// A full serialized session state (the versioned snapshot encoding
+    /// from `rstp-serve`), written on admit and on handover-admit. A
+    /// crash recovery starts from the latest snapshot and replays the
+    /// events after it.
+    Snapshot {
+        /// Clock stamp at capture.
+        at_micros: u64,
+        /// Raw session id.
+        session: u32,
+        /// Opaque versioned snapshot bytes.
+        state: Vec<u8>,
+    },
+    /// The receiver wrote (acknowledged) one message. `written` is the
+    /// cumulative count *after* this write — the durable floor a
+    /// restarted node must reach again — and `bit` is the message value,
+    /// so the no-acknowledged-loss oracle can check the Y-prefix by
+    /// content, not just length.
+    Write {
+        /// Clock stamp at the write.
+        at_micros: u64,
+        /// Raw session id.
+        session: u32,
+        /// Cumulative messages written after this one.
+        written: u64,
+        /// The message value written.
+        bit: bool,
+    },
     /// The session left the table; `written` is its final output `Y`.
     Verdict {
         /// Clock stamp at retirement (or shutdown, for unfinished).
@@ -218,6 +260,8 @@ const KIND_POP: u8 = 5;
 const KIND_MISS: u8 = 6;
 const KIND_VERDICT: u8 = 7;
 const KIND_STATS: u8 = 8;
+const KIND_SNAPSHOT: u8 = 9;
+const KIND_WRITE: u8 = 10;
 
 const TAG_ALPHA: u8 = 1;
 const TAG_BETA: u8 = 2;
@@ -310,6 +354,7 @@ pub fn encode_record(rec: &Record, out: &mut Vec<u8>) {
             payload.push(KIND_STATS);
             put_u64(&mut payload, s.recorded);
             put_u64(&mut payload, s.dropped);
+            put_u32(&mut payload, s.epoch);
         }
     }
     put_u32(out, u32::try_from(payload.len()).unwrap_or(u32::MAX));
@@ -371,6 +416,29 @@ fn encode_event(ev: &Event, payload: &mut Vec<u8>) {
             put_u64(payload, *at_micros);
             put_u32(payload, *session);
             put_u64(payload, *due_tick);
+        }
+        Event::Snapshot {
+            at_micros,
+            session,
+            state,
+        } => {
+            payload.push(KIND_SNAPSHOT);
+            put_u64(payload, *at_micros);
+            put_u32(payload, *session);
+            put_u16(payload, u16::try_from(state.len()).unwrap_or(u16::MAX));
+            payload.extend_from_slice(&state[..state.len().min(usize::from(u16::MAX))]);
+        }
+        Event::Write {
+            at_micros,
+            session,
+            written,
+            bit,
+        } => {
+            payload.push(KIND_WRITE);
+            put_u64(payload, *at_micros);
+            put_u32(payload, *session);
+            put_u64(payload, *written);
+            payload.push(u8::from(*bit));
         }
         Event::Verdict {
             at_micros,
@@ -438,6 +506,10 @@ impl<'a> Body<'a> {
         let mut a = [0u8; 8];
         a.copy_from_slice(b);
         Ok(u64::from_be_bytes(a))
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
     }
 
     fn flag(&mut self, what: &'static str) -> Result<bool, RecordError> {
@@ -591,9 +663,34 @@ pub fn decode_record(buf: &[u8]) -> Result<(Record, usize), RecordError> {
                 written,
             })
         }
-        KIND_STATS => Record::Stats(RecStats {
-            recorded: b.u64()?,
-            dropped: b.u64()?,
+        KIND_STATS => {
+            let recorded = b.u64()?;
+            let dropped = b.u64()?;
+            // The epoch field arrived in format v2; v1 stats bodies end
+            // after the counters and decode with epoch 0.
+            let epoch = if b.remaining() >= 4 { b.u32()? } else { 0 };
+            Record::Stats(RecStats {
+                recorded,
+                dropped,
+                epoch,
+            })
+        }
+        KIND_SNAPSHOT => {
+            let at_micros = b.u64()?;
+            let session = b.u32()?;
+            let state_len = usize::from(b.u16()?);
+            let state = b.take(state_len)?.to_vec();
+            Record::Event(Event::Snapshot {
+                at_micros,
+                session,
+                state,
+            })
+        }
+        KIND_WRITE => Record::Event(Event::Write {
+            at_micros: b.u64()?,
+            session: b.u32()?,
+            written: b.u64()?,
+            bit: b.flag("write bit flag")?,
         }),
         got => return Err(RecordError::UnknownKind { got }),
     };
@@ -684,10 +781,53 @@ mod tests {
                 written: (0..n).map(|i| i % 3 == 0).collect(),
             }));
         }
+        roundtrip(&Record::Event(Event::Snapshot {
+            at_micros: 44,
+            session: 3,
+            state: vec![0x01, 0xFF, 0x00, 0x42],
+        }));
+        roundtrip(&Record::Event(Event::Snapshot {
+            at_micros: 0,
+            session: 0,
+            state: Vec::new(),
+        }));
+        roundtrip(&Record::Event(Event::Write {
+            at_micros: 55,
+            session: 8,
+            written: 17,
+            bit: true,
+        }));
         roundtrip(&Record::Stats(RecStats {
             recorded: 1000,
             dropped: 3,
+            epoch: 0,
         }));
+        roundtrip(&Record::Stats(RecStats {
+            recorded: 12,
+            dropped: 0,
+            epoch: 2,
+        }));
+    }
+
+    /// A v1 stats body (no epoch field) still decodes, with epoch 0:
+    /// pre-v2 recordings must keep parsing under the v2 reader.
+    #[test]
+    fn v1_stats_body_decodes_with_epoch_zero() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&17u32.to_be_bytes());
+        buf.push(8); // KIND_STATS
+        buf.extend_from_slice(&2u64.to_be_bytes());
+        buf.extend_from_slice(&1u64.to_be_bytes());
+        let (rec, used) = decode_record(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(
+            rec,
+            Record::Stats(RecStats {
+                recorded: 2,
+                dropped: 1,
+                epoch: 0,
+            })
+        );
     }
 
     /// Golden bytes: the exact encoding of a header plus one small
@@ -721,12 +861,22 @@ mod tests {
             &Record::Stats(RecStats {
                 recorded: 2,
                 dropped: 1,
+                epoch: 7,
+            }),
+            &mut buf,
+        );
+        encode_record(
+            &Record::Event(Event::Write {
+                at_micros: 0x0304,
+                session: 6,
+                written: 12,
+                bit: true,
             }),
             &mut buf,
         );
         let expected: Vec<u8> = vec![
-            // header: magic + version
-            b'R', b'S', b'T', b'P', b'R', b'E', b'C', 0, 1, //
+            // header: magic + version 2
+            b'R', b'S', b'T', b'P', b'R', b'E', b'C', 0, 2, //
             // Meta: len 46, kind 1, shard 1, c1 1, c2 2, d 8, tick 200,
             // seed flag 1 + 5
             0, 0, 0, 46, 1, //
@@ -742,10 +892,17 @@ mod tests {
             0, 0, 0, 9, //
             0, 0, 0, 0, 0, 0, 0, 3, //
             0, //
-            // Stats: len 17, kind 8, recorded 2, dropped 1
-            0, 0, 0, 17, 8, //
+            // Stats: len 21, kind 8, recorded 2, dropped 1, epoch 7
+            0, 0, 0, 21, 8, //
             0, 0, 0, 0, 0, 0, 0, 2, //
             0, 0, 0, 0, 0, 0, 0, 1, //
+            0, 0, 0, 7, //
+            // Write: len 22, kind 10, at 0x0304, session 6, written 12, bit 1
+            0, 0, 0, 22, 10, //
+            0, 0, 0, 0, 0, 0, 3, 4, //
+            0, 0, 0, 6, //
+            0, 0, 0, 0, 0, 0, 0, 12, //
+            1,  //
         ];
         assert_eq!(buf, expected);
     }
@@ -849,6 +1006,41 @@ mod tests {
             decode_record(&pop),
             Err(RecordError::Malformed {
                 what: "pop late flag"
+            })
+        );
+        // A snapshot whose inner length overruns the payload.
+        let mut snap = Vec::new();
+        encode_record(
+            &Record::Event(Event::Snapshot {
+                at_micros: 1,
+                session: 2,
+                state: vec![0xAA, 0xBB],
+            }),
+            &mut snap,
+        );
+        // Inner state length sits after len(4)+kind(1)+at(8)+session(4).
+        snap[4 + 1 + 8 + 4 + 1] = 0xFF;
+        assert!(matches!(
+            decode_record(&snap),
+            Err(RecordError::Truncated { .. })
+        ));
+        // A non-boolean write bit.
+        let mut wr = Vec::new();
+        encode_record(
+            &Record::Event(Event::Write {
+                at_micros: 1,
+                session: 2,
+                written: 3,
+                bit: false,
+            }),
+            &mut wr,
+        );
+        let last = wr.len() - 1;
+        wr[last] = 9;
+        assert_eq!(
+            decode_record(&wr),
+            Err(RecordError::Malformed {
+                what: "write bit flag"
             })
         );
         // A bad protocol tag.

@@ -32,6 +32,12 @@ pub struct SessionHistory {
     pub pops: Vec<(u64, u64, bool)>,
     /// Deadline misses as `(at_micros, due_tick)`.
     pub misses: Vec<(u64, u64)>,
+    /// Acknowledged writes as `(at_micros, cumulative_written, bit)`.
+    /// The last entry's count is the durable floor a crash recovery
+    /// must restore; the bits are the acknowledged Y-prefix.
+    pub writes: Vec<(u64, u64, bool)>,
+    /// Session-state snapshots as `(at_micros, snapshot bytes)`.
+    pub snapshots: Vec<(u64, Vec<u8>)>,
     /// Final verdict as `(at_micros, completed, written)`.
     pub verdict: Option<(u64, bool, Vec<bool>)>,
 }
@@ -76,7 +82,24 @@ impl SessionIndex {
                 ix.tick_micros = ix.tick_micros.or(Some(tick_micros));
                 ix.seed = ix.seed.or(seed);
             }
-            let dropped = rec.stats.map_or(0, |s| s.dropped);
+            // Shed accounting: counters are cumulative within a writer
+            // epoch, and a file may hold several stats records for the
+            // same epoch (a recovery checkpoint plus the trailer that
+            // supersedes it). Keep only the *last* record per epoch,
+            // then sum across epochs — summing raw records would double
+            // count every checkpointed shard.
+            let mut per_epoch: BTreeMap<u32, u64> = BTreeMap::new();
+            if rec.stats_records.is_empty() {
+                // Hand-built or pre-`stats_records` recordings.
+                if let Some(s) = rec.stats {
+                    per_epoch.insert(s.epoch, s.dropped);
+                }
+            } else {
+                for s in &rec.stats_records {
+                    per_epoch.insert(s.epoch, s.dropped);
+                }
+            }
+            let dropped: u64 = per_epoch.values().sum();
             ix.dropped += dropped;
             if dropped > 0 {
                 *ix.shard_dropped.entry(shard).or_insert(0) += dropped;
@@ -96,6 +119,8 @@ impl SessionIndex {
             | Event::Tx { session, .. }
             | Event::WheelPop { session, .. }
             | Event::DeadlineMiss { session, .. }
+            | Event::Snapshot { session, .. }
+            | Event::Write { session, .. }
             | Event::Verdict { session, .. } => *session,
         };
         let h = self
@@ -128,6 +153,15 @@ impl SessionIndex {
                 due_tick,
                 ..
             } => h.misses.push((*at_micros, *due_tick)),
+            Event::Snapshot {
+                at_micros, state, ..
+            } => h.snapshots.push((*at_micros, state.clone())),
+            Event::Write {
+                at_micros,
+                written,
+                bit,
+                ..
+            } => h.writes.push((*at_micros, *written, *bit)),
             Event::Verdict {
                 at_micros,
                 completed,
@@ -232,7 +266,13 @@ mod tests {
             stats: Some(RecStats {
                 recorded: 3,
                 dropped: 1,
+                epoch: 0,
             }),
+            stats_records: vec![RecStats {
+                recorded: 3,
+                dropped: 1,
+                epoch: 0,
+            }],
             truncated: false,
         };
         let shard1 = Recording {
@@ -244,6 +284,7 @@ mod tests {
                 late: true,
             }],
             stats: None,
+            stats_records: Vec::new(),
             truncated: true,
         };
         let ix = SessionIndex::build(&[shard0, shard1]);
@@ -267,6 +308,139 @@ mod tests {
         assert!(ix.get(9).is_none());
         let ids: Vec<u32> = ix.sessions().map(|h| h.session).collect();
         assert_eq!(ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn checkpoint_plus_trailer_in_one_epoch_counts_sheds_once() {
+        // The shape a shard restart leaves behind: a cumulative stats
+        // checkpoint mid-file, then the (larger, same-epoch) trailer.
+        // Naive summing reports 3 + 3 = 6 sheds; the truth is 3.
+        let rec = Recording {
+            meta: Some(meta(0)),
+            events: Vec::new(),
+            stats: Some(RecStats {
+                recorded: 9,
+                dropped: 3,
+                epoch: 0,
+            }),
+            stats_records: vec![
+                RecStats {
+                    recorded: 5,
+                    dropped: 3,
+                    epoch: 0,
+                },
+                RecStats {
+                    recorded: 9,
+                    dropped: 3,
+                    epoch: 0,
+                },
+            ],
+            truncated: false,
+        };
+        let ix = SessionIndex::build(&[rec]);
+        assert_eq!(ix.dropped, 3);
+        assert_eq!(ix.shard_dropped.get(&0), Some(&3));
+    }
+
+    #[test]
+    fn distinct_writer_epochs_are_summed() {
+        // A writer that restarted mid-file resets its counters; each
+        // epoch's last record contributes independently.
+        let rec = Recording {
+            meta: Some(meta(2)),
+            events: Vec::new(),
+            stats: None,
+            stats_records: vec![
+                RecStats {
+                    recorded: 5,
+                    dropped: 2,
+                    epoch: 0,
+                },
+                RecStats {
+                    recorded: 1,
+                    dropped: 4,
+                    epoch: 1,
+                },
+                RecStats {
+                    recorded: 7,
+                    dropped: 5,
+                    epoch: 1,
+                },
+            ],
+            truncated: false,
+        };
+        let ix = SessionIndex::build(&[rec]);
+        assert_eq!(ix.dropped, 7); // epoch 0 → 2, epoch 1 → 5 (last wins)
+        assert_eq!(ix.shard_dropped.get(&2), Some(&7));
+    }
+
+    /// Regression for the shed double-count: a truncated-then-resumed
+    /// recording — checkpoint stats written before a restart, more
+    /// events after it, file torn mid-record at the tail — must count
+    /// the checkpoint's sheds exactly once.
+    #[test]
+    fn truncated_then_resumed_recording_counts_sheds_once() {
+        use crate::format::{encode_record, write_header, Record};
+        let mut buf = Vec::new();
+        write_header(&mut buf);
+        encode_record(&Record::Meta(meta(0)), &mut buf);
+        encode_record(
+            &Record::Event(Event::Admit {
+                at_micros: 1,
+                session: 4,
+                kind: ProtocolKind::Beta { k: 4 },
+                n: 8,
+            }),
+            &mut buf,
+        );
+        // Pre-restart checkpoint (cumulative: 1 recorded, 2 shed).
+        encode_record(
+            &Record::Stats(RecStats {
+                recorded: 1,
+                dropped: 2,
+                epoch: 0,
+            }),
+            &mut buf,
+        );
+        // The resumed epoch appends more events...
+        encode_record(
+            &Record::Event(Event::Write {
+                at_micros: 9,
+                session: 4,
+                written: 1,
+                bit: true,
+            }),
+            &mut buf,
+        );
+        // ...then a second checkpoint, cumulative over the same ring.
+        encode_record(
+            &Record::Stats(RecStats {
+                recorded: 3,
+                dropped: 2,
+                epoch: 0,
+            }),
+            &mut buf,
+        );
+        // Torn tail: a record that never finished hitting the disk.
+        encode_record(
+            &Record::Event(Event::DeadlineMiss {
+                at_micros: 12,
+                session: 4,
+                due_tick: 3,
+            }),
+            &mut buf,
+        );
+        buf.truncate(buf.len() - 5);
+
+        let rec = Recording::parse(&buf).unwrap();
+        assert!(rec.truncated);
+        assert_eq!(rec.stats_records.len(), 2);
+        let ix = SessionIndex::build(&[rec]);
+        assert!(ix.truncated);
+        assert_eq!(ix.dropped, 2, "checkpoint + trailer must dedupe");
+        assert_eq!(ix.shard_dropped.get(&0), Some(&2));
+        let h = ix.get(4).unwrap();
+        assert_eq!(h.writes, vec![(9, 1, true)]);
     }
 
     #[test]

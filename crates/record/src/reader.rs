@@ -17,8 +17,13 @@ pub struct Recording {
     pub meta: Option<RunMeta>,
     /// Every event, in file (i.e. ring-arrival) order.
     pub events: Vec<Event>,
-    /// The trailing [`RecStats`], when the file was sealed.
+    /// The last [`RecStats`] seen (the trailer, when the file was
+    /// sealed; the latest checkpoint otherwise).
     pub stats: Option<RecStats>,
+    /// Every [`RecStats`] record, in file order. A file holds more than
+    /// one when a checkpoint was written before a shard restart;
+    /// consumers dedupe by epoch (see `SessionIndex`).
+    pub stats_records: Vec<RecStats>,
     /// True when the file ended mid-record (an unsealed recording).
     pub truncated: bool,
 }
@@ -41,7 +46,10 @@ impl Recording {
                     match rec {
                         Record::Meta(m) => out.meta = out.meta.or(Some(m)),
                         Record::Event(ev) => out.events.push(ev),
-                        Record::Stats(s) => out.stats = Some(s),
+                        Record::Stats(s) => {
+                            out.stats = Some(s);
+                            out.stats_records.push(s);
+                        }
                     }
                 }
                 Err(RecordError::Truncated { .. }) => {
@@ -100,6 +108,7 @@ mod tests {
             &Record::Stats(RecStats {
                 recorded: 1,
                 dropped: 0,
+                epoch: 0,
             }),
             &mut buf,
         );
@@ -112,7 +121,29 @@ mod tests {
         assert!(rec.meta.is_some());
         assert_eq!(rec.events.len(), 1);
         assert_eq!(rec.stats.map(|s| s.recorded), Some(1));
+        assert_eq!(rec.stats_records.len(), 1);
         assert!(!rec.truncated);
+    }
+
+    #[test]
+    fn every_stats_record_is_kept_in_file_order() {
+        let mut buf = sample_bytes();
+        // Append a second stats record — the shape of a checkpoint
+        // followed by a (second-epoch) trailer.
+        encode_record(
+            &Record::Stats(RecStats {
+                recorded: 9,
+                dropped: 4,
+                epoch: 1,
+            }),
+            &mut buf,
+        );
+        let rec = Recording::parse(&buf).unwrap();
+        assert_eq!(rec.stats_records.len(), 2);
+        assert_eq!(rec.stats_records[0].epoch, 0);
+        assert_eq!(rec.stats_records[1].epoch, 1);
+        // `stats` keeps the last, as before.
+        assert_eq!(rec.stats.map(|s| s.dropped), Some(4));
     }
 
     #[test]

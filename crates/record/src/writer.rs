@@ -13,7 +13,7 @@ use std::fs::{self, File};
 use std::io::{BufWriter, Write as _};
 use std::path::{Path, PathBuf};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default ring capacity per shard, in records. Sized so a writer that
 /// drains every millisecond keeps up with hundreds of thousands of
@@ -29,8 +29,9 @@ pub fn shard_file_name(shard: u32) -> String {
     format!("shard-{shard:02}.rec")
 }
 
-/// The data-path handle a shard records through. Cloneable, lock-free
-/// on the fast path (one `try_lock`), and strictly nonblocking.
+/// The data-path handle a shard records through. Cloneable and
+/// strictly nonblocking: the fast path is one `try_lock`, retried for
+/// a bounded number of spins under contention before shedding.
 #[derive(Clone)]
 pub struct ShardRecorder {
     producer: RingProducer,
@@ -40,6 +41,17 @@ impl ShardRecorder {
     /// Offers one event; a saturated recorder drops it (counted).
     pub fn record(&self, ev: crate::format::Event) {
         self.producer.push(Record::Event(ev));
+    }
+
+    /// Offers one event crash recovery cannot do without — admission
+    /// and snapshot anchors, final verdicts. A contended ring is
+    /// retried across a bounded number of scheduler yields instead of
+    /// shedding at the first busy lock, so a momentarily descheduled
+    /// writer thread no longer costs a session its recovery anchor.
+    /// Reserved for the admit / teardown paths; the per-frame loop
+    /// stays on [`record`](ShardRecorder::record).
+    pub fn record_durable(&self, ev: crate::format::Event) {
+        self.producer.push_insist(Record::Event(ev));
     }
 
     /// Events accepted so far.
@@ -52,6 +64,32 @@ impl ShardRecorder {
     #[must_use]
     pub fn dropped(&self) -> u64 {
         self.producer.dropped()
+    }
+
+    /// Offers a mid-file [`RecStats`] checkpoint (crash recovery writes
+    /// one before re-reading a live shard's file, so readers can tell
+    /// the checkpoint from the trailer by keeping the last stats record
+    /// per epoch). Recovery depends on the checkpoint, so a contended
+    /// ring is ridden out with the same bounded yields as
+    /// [`record_durable`](ShardRecorder::record_durable).
+    pub fn push_stats(&self, stats: RecStats) {
+        self.producer.push_insist(Record::Stats(stats));
+    }
+
+    /// Blocks the *caller* (never the data path — this is for the
+    /// recovery orchestrator) until every record pushed before this call
+    /// has been flushed to disk, or `timeout` elapses. Returns whether
+    /// the barrier completed.
+    pub fn flush_barrier(&self, timeout: Duration) -> bool {
+        let token = self.producer.request_sync();
+        let deadline = Instant::now() + timeout;
+        while !self.producer.sync_done(token) {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            thread::park_timeout(Duration::from_micros(200));
+        }
+        true
     }
 }
 
@@ -112,7 +150,7 @@ impl RecorderSet {
             let (producer, consumer) = ring(DEFAULT_RING_CAP);
             let handle = thread::Builder::new()
                 .name(format!("rstp-record-{shard}"))
-                .spawn(move || drain_loop(&consumer, out, &path))
+                .spawn(move || drain_loop(consumer, out, &path))
                 .map_err(|e| RecordError::Io {
                     what: format!("spawn recorder {shard}: {e}"),
                 })?;
@@ -128,6 +166,16 @@ impl RecorderSet {
             },
             recorders,
         ))
+    }
+
+    /// A fresh data-path handle for `shard`, sharing the shard's ring
+    /// and file. Crash recovery hands this to a restarted shard thread
+    /// so its new epoch appends to the same recording.
+    #[must_use]
+    pub fn recorder(&self, shard: usize) -> Option<ShardRecorder> {
+        self.workers.get(shard).map(|w| ShardRecorder {
+            producer: w.producer.clone(),
+        })
     }
 
     /// Closes every ring, joins every writer, and returns the aggregate
@@ -161,7 +209,7 @@ impl RecorderSet {
 }
 
 fn drain_loop(
-    consumer: &RingConsumer,
+    mut consumer: RingConsumer,
     mut out: BufWriter<File>,
     path: &Path,
 ) -> Result<(), RecordError> {
@@ -169,6 +217,10 @@ fn drain_loop(
     let mut bytes: Vec<u8> = Vec::with_capacity(64 * 1024);
     loop {
         let closing = consumer.is_closed();
+        // Sample the flush barrier *before* draining: every record that
+        // preceded the request is then guaranteed to be in this drain,
+        // so acknowledging after the write covers them all.
+        let sync = consumer.pending_sync();
         pending.clear();
         consumer.drain(&mut pending);
         if !pending.is_empty() {
@@ -179,12 +231,23 @@ fn drain_loop(
             out.write_all(&bytes)
                 .map_err(|e| io_err("write", path, &e))?;
         }
+        if let Some(token) = sync {
+            out.flush().map_err(|e| io_err("flush", path, &e))?;
+            consumer.ack_sync(token);
+        }
         if closing {
             // One final drain happened above (close-then-drain order);
             // now seal the file with the counter trailer.
             let (recorded, dropped) = consumer.counters();
             bytes.clear();
-            encode_record(&Record::Stats(RecStats { recorded, dropped }), &mut bytes);
+            encode_record(
+                &Record::Stats(RecStats {
+                    recorded,
+                    dropped,
+                    epoch: 0,
+                }),
+                &mut bytes,
+            );
             out.write_all(&bytes)
                 .map_err(|e| io_err("write", path, &e))?;
             out.flush().map_err(|e| io_err("flush", path, &e))?;
@@ -253,7 +316,8 @@ mod tests {
                 recording.stats,
                 Some(RecStats {
                     recorded: 10,
-                    dropped: 0
+                    dropped: 0,
+                    epoch: 0
                 })
             );
             assert!(!recording.truncated);
@@ -269,6 +333,43 @@ mod tests {
         let recording = Recording::load(&dir.join(shard_file_name(0))).unwrap();
         assert!(recording.events.is_empty());
         assert_eq!(recording.stats, Some(RecStats::default()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flush_barrier_makes_a_live_file_readable_mid_run() {
+        let dir = temp_dir("barrier");
+        let (set, recorders) = RecorderSet::create(&dir, 1, meta).unwrap();
+        let rec = &recorders[0];
+        for s in 0..5u32 {
+            rec.record(Event::DeadlineMiss {
+                at_micros: u64::from(s),
+                session: s + 1,
+                due_tick: 9,
+            });
+        }
+        // The crash-recovery sequence: checkpoint stats, then barrier,
+        // then read the file back while the writer thread is still live.
+        rec.push_stats(RecStats {
+            recorded: rec.recorded(),
+            dropped: rec.dropped(),
+            epoch: 0,
+        });
+        assert!(rec.flush_barrier(Duration::from_secs(5)));
+        let live = Recording::load(&dir.join(shard_file_name(0))).unwrap();
+        assert_eq!(live.events.len(), 5);
+        assert_eq!(live.stats.map(|s| s.recorded), Some(5));
+        assert!(!live.truncated);
+        // The run then continues and seals normally.
+        rec.record(Event::DeadlineMiss {
+            at_micros: 6,
+            session: 9,
+            due_tick: 9,
+        });
+        set.finish().unwrap();
+        let sealed = Recording::load(&dir.join(shard_file_name(0))).unwrap();
+        assert_eq!(sealed.events.len(), 6);
+        assert_eq!(sealed.stats.map(|s| s.recorded), Some(7));
         let _ = fs::remove_dir_all(&dir);
     }
 

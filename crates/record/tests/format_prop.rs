@@ -83,6 +83,24 @@ fn event_strategy() -> impl Strategy<Value = Event> {
                 completed,
                 written,
             }),
+        (
+            any::<u64>(),
+            any::<u32>(),
+            proptest::collection::vec(any::<u8>(), 0..=96)
+        )
+            .prop_map(|(at_micros, session, state)| Event::Snapshot {
+                at_micros,
+                session,
+                state,
+            }),
+        (any::<u64>(), any::<u32>(), any::<u64>(), any::<bool>()).prop_map(
+            |(at_micros, session, written, bit)| Event::Write {
+                at_micros,
+                session,
+                written,
+                bit,
+            }
+        ),
     ]
 }
 
@@ -107,8 +125,13 @@ fn record_strategy() -> impl Strategy<Value = Record> {
                 })
             ),
         event_strategy().prop_map(Record::Event),
-        (any::<u64>(), any::<u64>())
-            .prop_map(|(recorded, dropped)| Record::Stats(RecStats { recorded, dropped })),
+        (any::<u64>(), any::<u64>(), any::<u32>()).prop_map(|(recorded, dropped, epoch)| {
+            Record::Stats(RecStats {
+                recorded,
+                dropped,
+                epoch,
+            })
+        }),
     ]
 }
 

@@ -9,6 +9,7 @@
 //! driver and the simulator exactly — a shard must not weaken the model
 //! just because it runs many sessions.
 
+use crate::snapshot::{state_from_bytes, state_to_bytes, StateCodec};
 use rstp_automata::Automaton;
 use rstp_core::protocols::{
     AlphaReceiver, AltBitReceiver, BetaReceiver, FramedReceiver, GammaReceiver, PipelinedReceiver,
@@ -47,6 +48,11 @@ pub trait SessionEndpoint: Send {
 
     /// Messages written so far — the session's output sequence `Y`.
     fn written(&self) -> &[Message];
+
+    /// The automaton state serialized via the session snapshot codec —
+    /// the payload a handover `SNAPSHOT` frame or a crash-recovery
+    /// record carries. Paired with [`restore_receiver_endpoint`].
+    fn state_bytes(&self) -> Vec<u8>;
 }
 
 /// A concrete automaton plus its evolving state.
@@ -59,7 +65,7 @@ struct Driven<A: Automaton<Action = RstpAction>> {
 impl<A> SessionEndpoint for Driven<A>
 where
     A: Automaton<Action = RstpAction> + Send,
-    A::State: Send,
+    A::State: Send + StateCodec,
 {
     fn apply_recv(&mut self, packet: Packet) -> Result<(), NetError> {
         self.state = self
@@ -112,12 +118,16 @@ where
     fn written(&self) -> &[Message] {
         &self.written
     }
+
+    fn state_bytes(&self) -> Vec<u8> {
+        state_to_bytes(&self.state)
+    }
 }
 
 fn boxed<A>(automaton: A) -> Box<dyn SessionEndpoint>
 where
     A: Automaton<Action = RstpAction> + Send + 'static,
-    A::State: Send,
+    A::State: Send + StateCodec,
 {
     let state = automaton.initial_state();
     Box::new(Driven {
@@ -125,6 +135,25 @@ where
         state,
         written: Vec::new(),
     })
+}
+
+fn unboxed<A>(
+    automaton: A,
+    state_bytes: &[u8],
+    written: Vec<Message>,
+) -> Result<Box<dyn SessionEndpoint>, NetError>
+where
+    A: Automaton<Action = RstpAction> + Send + 'static,
+    A::State: Send + StateCodec,
+{
+    let state = state_from_bytes::<A::State>(state_bytes).ok_or_else(|| NetError::Automaton {
+        what: "session snapshot state failed to decode".into(),
+    })?;
+    Ok(Box::new(Driven {
+        automaton,
+        state,
+        written,
+    }))
 }
 
 /// Builds the *receiver* endpoint of `kind` expecting `n` messages — the
@@ -161,6 +190,49 @@ pub fn receiver_endpoint(
             })
         }
     })
+}
+
+/// Re-creates a *live* receiver endpoint from serialized automaton
+/// state (as produced by [`SessionEndpoint::state_bytes`]) plus the
+/// output prefix `written` already committed for the session. This is
+/// the adopting side of a handover and the replay anchor of crash
+/// recovery.
+///
+/// # Errors
+///
+/// [`NetError::Unsupported`] for [`ProtocolKind::BetaWindow`], a
+/// construction error from the protocol itself, or
+/// [`NetError::Automaton`] when `state` does not decode as `kind`'s
+/// receiver state (a corrupted or protocol-mismatched snapshot).
+pub fn restore_receiver_endpoint(
+    kind: ProtocolKind,
+    params: TimingParams,
+    n: usize,
+    state: &[u8],
+    written: Vec<Message>,
+) -> Result<Box<dyn SessionEndpoint>, NetError> {
+    match kind {
+        ProtocolKind::Alpha => unboxed(AlphaReceiver::new(), state, written),
+        ProtocolKind::Beta { k } => unboxed(BetaReceiver::new(params, k, n)?, state, written),
+        ProtocolKind::Gamma { k } => unboxed(GammaReceiver::new(params, k, n)?, state, written),
+        ProtocolKind::AltBit { .. } => unboxed(AltBitReceiver::new(), state, written),
+        ProtocolKind::Framed { k } => unboxed(FramedReceiver::new(params, k)?, state, written),
+        ProtocolKind::Stenning { .. } => unboxed(StenningReceiver::new(), state, written),
+        ProtocolKind::StabStenning { .. } => unboxed(StabStenningReceiver::new(), state, written),
+        ProtocolKind::StabBeta { k } => {
+            unboxed(StabBetaReceiver::new(params, k, n)?, state, written)
+        }
+        ProtocolKind::Pipelined { k, window } => unboxed(
+            PipelinedReceiver::with_window(params, k, window, n)?,
+            state,
+            written,
+        ),
+        ProtocolKind::BetaWindow { .. } => Err(NetError::Unsupported {
+            what: "beta-window needs an out-of-band d_lo agreement; \
+                   run it in the simulator instead"
+                .into(),
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -203,6 +275,51 @@ mod tests {
             panic!("beta-window must be rejected");
         };
         assert!(matches!(err, NetError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn state_bytes_round_trip_resumes_mid_transfer() {
+        // Drive a stenning receiver halfway, snapshot it, restore it,
+        // and check the restored endpoint continues identically.
+        let kind = ProtocolKind::Stenning {
+            timeout_steps: None,
+        };
+        let mut ep = receiver_endpoint(kind, params(), 4).expect("build");
+        // Seq 0 arrives: the receiver writes it and owes an ack.
+        ep.apply_recv(Packet::Data(0)).expect("recv");
+        while !matches!(ep.step().expect("step"), StepEffect::Idled) {}
+        assert_eq!(ep.written(), &[false]);
+
+        let state = ep.state_bytes();
+        let mut restored =
+            restore_receiver_endpoint(kind, params(), 4, &state, ep.written().to_vec())
+                .expect("restore");
+        assert_eq!(restored.written(), &[false]);
+
+        // Both continue with the same next packet and agree on output.
+        let next = Packet::Data(0b11); // seq 1, payload bit 1
+        ep.apply_recv(next).expect("recv original");
+        restored.apply_recv(next).expect("recv restored");
+        for _ in 0..8 {
+            let a = ep.step().expect("step original");
+            let b = restored.step().expect("step restored");
+            assert_eq!(a, b);
+        }
+        assert_eq!(ep.written(), restored.written());
+    }
+
+    #[test]
+    fn restore_rejects_garbage_state() {
+        let Err(err) = restore_receiver_endpoint(
+            ProtocolKind::Beta { k: 4 },
+            params(),
+            8,
+            &[0xFF, 0xEE],
+            Vec::new(),
+        ) else {
+            panic!("garbage must not restore");
+        };
+        assert!(matches!(err, NetError::Automaton { .. }), "{err}");
     }
 
     #[test]

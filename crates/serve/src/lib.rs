@@ -35,19 +35,23 @@
 #![warn(missing_docs)]
 
 pub mod endpoint;
+pub mod faults;
 pub mod hub;
 pub mod metrics;
 pub mod server;
 pub mod shard;
+pub mod snapshot;
 pub mod swarm;
 pub mod udp;
 pub mod wheel;
 
-pub use endpoint::{receiver_endpoint, SessionEndpoint, StepEffect};
+pub use endpoint::{receiver_endpoint, restore_receiver_endpoint, SessionEndpoint, StepEffect};
+pub use faults::{FaultEvent, FaultPlan};
 pub use hub::{HubClientTransport, MemHub};
 pub use metrics::{ServeReport, SessionStats, ShardReport};
 pub use server::{run_server, EgressSink, ServeConfig, ServeTransport, SessionSpec};
 pub use shard::ShardMsg;
+pub use snapshot::{SessionSnapshot, SnapshotError, StateCodec, SNAPSHOT_VERSION};
 pub use swarm::{
     overload_diagnosis, run_swarm, run_swarm_sessions, SwarmConfig, SwarmReport, SwarmTransport,
 };

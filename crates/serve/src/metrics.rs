@@ -76,6 +76,29 @@ pub struct ShardReport {
     /// contended — recording is strictly nonblocking, so saturation
     /// drops events rather than pacing the data path.
     pub events_dropped: u64,
+    /// Sessions this shard adopted from a peer (handover) or from a
+    /// crash-recovery resume.
+    pub adopted: u64,
+    /// Sessions this shard handed over to a peer (drained, snapshot
+    /// acknowledged, redirected).
+    pub handed_off: u64,
+    /// Handovers that exhausted their retries and fell back to local
+    /// resume — the session kept running here.
+    pub handover_failed: u64,
+    /// Provisional adoptions dropped because no REDIRECT arrived before
+    /// the TTL (the source resumed locally; dropping prevents a
+    /// dual-active session).
+    pub handover_aborted: u64,
+    /// Timer-wheel deadlines that fired for a paused (mid-handover)
+    /// session and were reported as migrated rather than stepped.
+    pub deadlines_migrated: u64,
+    /// Duplicate frames re-acknowledged for already-completed sessions
+    /// (the retired-ghost path — a lost final ack or a scheduler-stalled
+    /// client retransmitting past the session's grace).
+    pub reacked: u64,
+    /// True when the shard stopped via an injected crash fault (live
+    /// sessions discarded, completed verdicts kept).
+    pub crashed: bool,
     /// Per-session outcomes.
     pub sessions: Vec<SessionStats>,
 }
@@ -98,6 +121,13 @@ impl ShardReport {
             latency: LatencyHistogram::new(),
             events_recorded: 0,
             events_dropped: 0,
+            adopted: 0,
+            handed_off: 0,
+            handover_failed: 0,
+            handover_aborted: 0,
+            deadlines_migrated: 0,
+            reacked: 0,
+            crashed: false,
             sessions: Vec::new(),
         }
     }
@@ -111,10 +141,27 @@ pub struct ServeReport {
     /// Sessions rejected at admission (table full or queue full on first
     /// contact) — backpressure's reject-new-session policy at work.
     pub rejected_sessions: u64,
+    /// The raw session ids rejected at admission, so a verifier can
+    /// tell a planned-but-rejected session (expected to produce no
+    /// output) from one lost in an unrecovered crash (a failure).
+    pub rejected_ids: Vec<u32>,
     /// Frames that arrived for no admitted session and were dropped.
     pub orphan_frames: u64,
     /// Frames that failed strict decoding at the socket and were dropped.
     pub decode_errors: u64,
+    /// Shard threads restarted by the fault plan.
+    pub restarts: u64,
+    /// Shard crashes (scripted kills and injected panics) executed.
+    pub crashes: u64,
+    /// Live sessions re-created from the flight recording across all
+    /// restarts.
+    pub recovered_sessions: u64,
+    /// Live sessions a restart could not re-create (no snapshot, or the
+    /// replay fell short of the acknowledged floor) — each one is lost.
+    pub unrecoverable_sessions: u64,
+    /// Ingress frames read and discarded inside a scripted `hubdrop`
+    /// fault window.
+    pub hub_dropped_frames: u64,
     /// Wall-clock duration of the whole run.
     pub wall_elapsed: Duration,
 }
@@ -160,6 +207,42 @@ impl ServeReport {
     #[must_use]
     pub fn events_dropped(&self) -> u64 {
         self.shards.iter().map(|s| s.events_dropped).sum()
+    }
+
+    /// Total sessions adopted across shards (handover + resume).
+    #[must_use]
+    pub fn adopted(&self) -> u64 {
+        self.shards.iter().map(|s| s.adopted).sum()
+    }
+
+    /// Total sessions handed over between shards.
+    #[must_use]
+    pub fn handed_off(&self) -> u64 {
+        self.shards.iter().map(|s| s.handed_off).sum()
+    }
+
+    /// Total handovers that fell back to local resume.
+    #[must_use]
+    pub fn handovers_failed(&self) -> u64 {
+        self.shards.iter().map(|s| s.handover_failed).sum()
+    }
+
+    /// Total provisional adoptions dropped at TTL.
+    #[must_use]
+    pub fn handovers_aborted(&self) -> u64 {
+        self.shards.iter().map(|s| s.handover_aborted).sum()
+    }
+
+    /// Total deadlines reported as migrated across a handover.
+    #[must_use]
+    pub fn deadlines_migrated(&self) -> u64 {
+        self.shards.iter().map(|s| s.deadlines_migrated).sum()
+    }
+
+    /// Total duplicate frames re-acknowledged after completion.
+    #[must_use]
+    pub fn reacked(&self) -> u64 {
+        self.shards.iter().map(|s| s.reacked).sum()
     }
 
     /// All shards' latency histograms merged.
@@ -231,8 +314,14 @@ mod tests {
         let report = ServeReport {
             shards: vec![a, b],
             rejected_sessions: 4,
+            rejected_ids: vec![6, 7, 8, 9],
             orphan_frames: 0,
             decode_errors: 0,
+            restarts: 0,
+            crashes: 0,
+            recovered_sessions: 0,
+            unrecoverable_sessions: 0,
+            hub_dropped_frames: 0,
             wall_elapsed: Duration::from_secs(1),
         };
         assert_eq!(report.admitted(), 5);

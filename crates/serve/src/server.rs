@@ -10,18 +10,23 @@
 //! rather than block when a queue is full; the protocols already
 //! tolerate channel loss, they do not tolerate a frozen clock.
 
+use crate::endpoint::restore_receiver_endpoint;
+use crate::faults::{FaultEvent, FaultPlan};
 use crate::metrics::{ServeReport, ShardReport};
-use crate::shard::{run_shard, ShardMsg, ShardParams};
+use crate::shard::{run_shard, ResumeSession, ShardMsg, ShardParams};
+use crate::snapshot::SessionSnapshot;
 use rstp_core::{SessionId, TimingParams};
-use rstp_net::{decode_any, FrameBuf, NetError, Pace, TickClock};
-use rstp_record::{RecorderSet, RunMeta};
+use rstp_net::{decode_any, decode_control, ControlKind, FrameBuf, NetError, Pace, TickClock};
+use rstp_record::{
+    shard_file_name, Event, RecStats, RecorderSet, Recording, RunMeta, ShardRecorder,
+};
 use rstp_sim::ProtocolKind;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, TrySendError};
+use std::sync::mpsc::{channel, sync_channel, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
-use std::thread;
+use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 /// A shard-side egress sink: ships encoded frames, addressed by raw
@@ -104,6 +109,9 @@ pub struct ServeConfig {
     /// Input seed stamped into each recording's metadata so a
     /// postmortem can regenerate the swarm inputs (`rstp replay`).
     pub record_seed: Option<u64>,
+    /// Scripted fault-injection plan the pump executes (`None` runs
+    /// fault-free). See [`crate::faults`] for the grammar.
+    pub faults: Option<FaultPlan>,
 }
 
 impl ServeConfig {
@@ -126,6 +134,7 @@ impl ServeConfig {
             max_wall: Duration::from_secs(60),
             record_dir: None,
             record_seed: None,
+            faults: None,
         }
     }
 
@@ -184,6 +193,236 @@ impl ServeConfig {
         self.record_seed = Some(seed);
         self
     }
+
+    /// Attaches a scripted fault-injection plan.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+}
+
+/// Shard → pump messages: the handover control plane. Control frames
+/// ride through the pump rather than shard-to-shard channels so a
+/// routing flip (REDIRECT) lands in the owner table atomically with the
+/// frame's delivery order.
+pub(crate) enum PumpMsg {
+    /// Deliver an encoded wire-v3 control frame to a shard's queue.
+    ToShard {
+        /// Destination shard index.
+        shard: usize,
+        /// The encoded control frame.
+        bytes: Vec<u8>,
+    },
+    /// A REDIRECT: re-route the session's ownership to the shard named
+    /// in the payload, then deliver the frame there for activation.
+    Redirect {
+        /// The encoded REDIRECT frame.
+        bytes: Vec<u8>,
+    },
+}
+
+/// The pump tick a scheduled fault fires at.
+fn fault_tick(ev: &FaultEvent) -> u64 {
+    match *ev {
+        FaultEvent::Kill { tick, .. }
+        | FaultEvent::Restart { tick, .. }
+        | FaultEvent::Panic { tick, .. }
+        | FaultEvent::Drain { tick, .. } => tick,
+        FaultEvent::Stall { from_tick, .. } | FaultEvent::HubDrop { from_tick, .. } => from_tick,
+        FaultEvent::Auto { .. } => 0,
+    }
+}
+
+/// Best-effort control-frame delivery: a full queue parks the frame for
+/// retry on the next pump iteration (bounded — the handover protocol
+/// retries end-to-end anyway), a dead shard drops it.
+fn deliver_ctl(
+    txs: &[SyncSender<ShardMsg>],
+    dead: &[bool],
+    pending_ctl: &mut VecDeque<(usize, Vec<u8>)>,
+    shard: usize,
+    bytes: Vec<u8>,
+) {
+    if shard >= txs.len() || dead.get(shard).copied().unwrap_or(true) {
+        return;
+    }
+    match txs[shard].try_send(ShardMsg::Control(bytes)) {
+        Ok(()) => {}
+        Err(TrySendError::Full(ShardMsg::Control(b))) => {
+            if pending_ctl.len() < 1024 {
+                pending_ctl.push_back((shard, b));
+            }
+        }
+        Err(_) => {}
+    }
+}
+
+/// Delivers a must-arrive message (Crash/Panic/Resume) to a shard,
+/// waiting out a full queue briefly. `false` if the shard is gone.
+fn send_shard(tx: &SyncSender<ShardMsg>, mut msg: ShardMsg) -> bool {
+    for _ in 0..2000 {
+        match tx.try_send(msg) {
+            Ok(()) => return true,
+            Err(TrySendError::Full(m)) => {
+                msg = m;
+                thread::sleep(Duration::from_micros(100));
+            }
+            Err(TrySendError::Disconnected(_)) => return false,
+        }
+    }
+    false
+}
+
+/// A live shard's command queue plus its worker's join handle.
+type ShardHandle = (
+    SyncSender<ShardMsg>,
+    JoinHandle<Result<ShardReport, NetError>>,
+);
+
+/// Spawns one shard worker thread (initial bring-up and crash restarts
+/// share this path).
+fn spawn_shard(
+    index: usize,
+    config: &ServeConfig,
+    clock: TickClock,
+    egress: Box<dyn EgressSink>,
+    completed: Arc<AtomicU64>,
+    recorder: Option<ShardRecorder>,
+    pump: Sender<PumpMsg>,
+) -> Result<ShardHandle, NetError> {
+    let (tx, rx) = sync_channel::<ShardMsg>(config.queue_cap.max(1));
+    let sp = ShardParams {
+        index,
+        params: config.params,
+        tick: config.tick,
+        pace: config.pace,
+        slack: config.slack,
+        grace_ticks: config.grace_ticks,
+        batch: config.batch.max(1),
+    };
+    let handle = thread::Builder::new()
+        .name(format!("rstp-serve-shard-{index}"))
+        .spawn(move || run_shard(sp, clock, rx, egress, completed, recorder, pump))
+        .map_err(|e| NetError::Thread {
+            what: format!("spawn shard {index}: {e}"),
+        })?;
+    Ok((tx, handle))
+}
+
+/// Outcome of trying to re-create one session from a shard recording.
+enum Recovered {
+    /// Restored and replayed to (at least) the acknowledged floor.
+    Resumed(Box<ResumeSession>),
+    /// The recording holds a completed verdict — nothing to recover.
+    AlreadyComplete,
+    /// No usable snapshot, a replay failure, or the replay fell short
+    /// of the acknowledged floor: the session is lost.
+    Lost,
+}
+
+/// Re-creates session `id` from its shard's flight recording: latest
+/// snapshot, then replay of the events after it (recvs re-applied, pops
+/// re-stepped, sends discarded — a duplicated ack is legal channel
+/// behavior). The restart is accepted only if every `Write` in the
+/// ledger — the acknowledged floor — is present *by content* in the
+/// restored `Y`; anything less would be acknowledged loss.
+fn recover_session(rec: &Recording, id: u32, params: TimingParams) -> Recovered {
+    if rec.events.iter().any(
+        |ev| matches!(ev, Event::Verdict { session, completed, .. } if *session == id && *completed),
+    ) {
+        return Recovered::AlreadyComplete;
+    }
+
+    let mut anchor: Option<(usize, &[u8])> = None;
+    for (i, ev) in rec.events.iter().enumerate() {
+        if let Event::Snapshot { session, state, .. } = ev {
+            if *session == id {
+                anchor = Some((i, state));
+            }
+        }
+    }
+    let Some((start, state)) = anchor else {
+        return Recovered::Lost;
+    };
+    let Ok(snap) = SessionSnapshot::decode(state) else {
+        return Recovered::Lost;
+    };
+    if snap.session != id {
+        return Recovered::Lost;
+    }
+    let Ok(mut endpoint) = restore_receiver_endpoint(
+        snap.kind,
+        params,
+        snap.n as usize,
+        &snap.state,
+        snap.written.clone(),
+    ) else {
+        return Recovered::Lost;
+    };
+
+    // Replay. Recorded order per deadline is pop, drained recvs, then
+    // the step's effects — so a pop's step runs once its recvs are in:
+    // when the *next* pop (or the end of the file) is reached.
+    let mut seq = snap.seq;
+    let mut open_pop = false;
+    for ev in rec.events.iter().skip(start + 1) {
+        match ev {
+            Event::Rx { session, wire, .. } if *session == id => {
+                let Ok(frame) = decode_any(wire) else {
+                    return Recovered::Lost;
+                };
+                if endpoint.apply_recv(frame.packet).is_err() {
+                    return Recovered::Lost;
+                }
+            }
+            Event::WheelPop { session, .. } if *session == id => {
+                if open_pop && endpoint.step().is_err() {
+                    return Recovered::Lost;
+                }
+                open_pop = true;
+            }
+            Event::Tx { session, .. } if *session == id => seq += 1,
+            _ => {}
+        }
+    }
+    if open_pop && endpoint.step().is_err() {
+        return Recovered::Lost;
+    }
+
+    // The no-acknowledged-loss floor, checked by content: `written` is
+    // the cumulative count after each acknowledged write, `bit` its
+    // value, so position `written − 1` of the restored Y must hold it.
+    for ev in &rec.events {
+        if let Event::Write {
+            session,
+            written,
+            bit,
+            ..
+        } = ev
+        {
+            if *session != id {
+                continue;
+            }
+            let ok = (*written as usize)
+                .checked_sub(1)
+                .and_then(|i| endpoint.written().get(i))
+                .is_some_and(|got| got == bit);
+            if !ok {
+                return Recovered::Lost;
+            }
+        }
+    }
+
+    Recovered::Resumed(Box::new(ResumeSession {
+        spec: SessionSpec {
+            id: SessionId::new(id),
+            kind: snap.kind,
+            n: snap.n as usize,
+        },
+        endpoint,
+        seq,
+    }))
 }
 
 /// Recorder failures surface as I/O errors: recording is infrastructure
@@ -210,6 +449,8 @@ pub fn run_server<T: ServeTransport>(
 ) -> Result<ServeReport, NetError> {
     let shard_count = config.shards.max(1);
     let completed = Arc::new(AtomicU64::new(0));
+    // Shard → pump control channel (handover frames and redirects).
+    let (pump_tx, pump_rx) = channel::<PumpMsg>();
 
     // Flight recorder: one ring + writer thread per shard, created
     // before the shards so each takes its nonblocking handle with it.
@@ -232,41 +473,36 @@ pub fn run_server<T: ServeTransport>(
     };
     let mut shard_recorders = shard_recorders.into_iter();
 
-    let mut txs = Vec::with_capacity(shard_count);
-    let mut handles = Vec::with_capacity(shard_count);
+    // `handles` grows past `shard_count` when faults restart shards:
+    // every epoch of every shard is joined at the end, so a panicked
+    // thread is never silently forgotten.
+    let mut txs: Vec<SyncSender<ShardMsg>> = Vec::with_capacity(shard_count);
+    let mut handles: Vec<(usize, JoinHandle<Result<ShardReport, NetError>>)> = Vec::new();
     for index in 0..shard_count {
-        let (tx, rx) = sync_channel::<ShardMsg>(config.queue_cap.max(1));
-        let sp = ShardParams {
+        let (tx, handle) = spawn_shard(
             index,
-            params: config.params,
-            tick: config.tick,
-            pace: config.pace,
-            slack: config.slack,
-            grace_ticks: config.grace_ticks,
-            batch: config.batch.max(1),
-        };
-        let egress = transport.egress()?;
-        let counter = completed.clone();
-        let recorder = shard_recorders.next();
-        let handle = thread::Builder::new()
-            .name(format!("rstp-serve-shard-{index}"))
-            .spawn(move || run_shard(sp, clock, rx, egress, counter, recorder))
-            .map_err(|e| NetError::Thread {
-                what: format!("spawn shard {index}: {e}"),
-            })?;
+            config,
+            clock,
+            transport.egress()?,
+            completed.clone(),
+            shard_recorders.next(),
+            pump_tx.clone(),
+        )?;
         txs.push(tx);
-        handles.push(handle);
+        handles.push((index, handle));
     }
 
     // Admission: strict, non-blocking. Duplicates, table overflow, and a
     // full shard queue all reject.
     let mut owner: HashMap<u32, usize> = HashMap::new();
     let mut rejected: u64 = 0;
+    let mut rejected_ids: Vec<u32> = Vec::new();
     let mut admitted: u64 = 0;
     for spec in specs {
         let raw = spec.id.raw();
         if owner.contains_key(&raw) || owner.len() >= config.max_sessions {
             rejected += 1;
+            rejected_ids.push(raw);
             continue;
         }
         let shard = raw as usize % shard_count;
@@ -275,31 +511,238 @@ pub fn run_server<T: ServeTransport>(
                 owner.insert(raw, shard);
                 admitted += 1;
             }
-            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => rejected += 1,
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                rejected += 1;
+                rejected_ids.push(raw);
+            }
         }
     }
 
-    // The pump: drain → demux → route, B datagrams at a time.
+    // The pump: drain → demux → route, B datagrams at a time, with the
+    // scripted fault schedule and the handover control plane threaded
+    // through the same loop.
     let mut orphan_frames: u64 = 0;
     let mut decode_errors: u64 = 0;
     let mut overflow = vec![0u64; shard_count];
     let mut batch: Vec<FrameBuf> = Vec::with_capacity(config.batch.max(1));
+    let schedule: Vec<FaultEvent> = config
+        .faults
+        .as_ref()
+        .map(|p| p.schedule(shard_count))
+        .unwrap_or_default();
+    let mut next_fault = 0usize;
+    let mut dead = vec![false; shard_count];
+    let mut stall_end: u64 = 0;
+    let mut drop_end: u64 = 0;
+    let mut pending_ctl: VecDeque<(usize, Vec<u8>)> = VecDeque::new();
+    let mut restarts: u64 = 0;
+    let mut crashes: u64 = 0;
+    let mut recovered_sessions: u64 = 0;
+    let mut unrecoverable_sessions: u64 = 0;
+    let mut hub_dropped_frames: u64 = 0;
+    let tick_micros = config.tick.as_micros().max(1) as u64;
     // Nap briefly when the socket is dry — but never so long that a
     // kernel receive buffer (a few hundred datagrams on most systems)
     // could fill behind our back at coarse ticks.
     let idle_nap = (config.tick / 2).clamp(Duration::from_micros(50), Duration::from_micros(500));
-    let pump_result = loop {
+    // Lame-duck linger: once every session has completed, keep pumping
+    // until ingress has been dry for a grace period rather than exiting
+    // on the spot. A client the scheduler stalled past its session's
+    // quiet grace may still be owed its final acknowledgement — its
+    // retransmission must reach the shard's retired-ghost re-acker, not
+    // a torn-down hub. Every arriving frame re-arms the window, so the
+    // pump stays up exactly as long as someone is still talking to it.
+    let linger_ticks = config.grace_ticks.max(1);
+    let mut last_ingress_tick: u64 = 0;
+    let mut all_done_tick: Option<u64> = None;
+    let pump_result = 'pump: loop {
+        let now_tick = clock.now_micros() / tick_micros;
         if completed.load(Ordering::Relaxed) >= admitted {
-            break Ok(());
+            let done_at = *all_done_tick.get_or_insert(now_tick);
+            let quiet_since = last_ingress_tick.max(done_at);
+            if now_tick.saturating_sub(quiet_since) >= linger_ticks {
+                break Ok(());
+            }
+        } else {
+            all_done_tick = None;
         }
         if clock.epoch().elapsed() > config.max_wall {
             break Ok(());
+        }
+
+        // Fire every scripted fault whose tick has arrived.
+        while next_fault < schedule.len() && fault_tick(&schedule[next_fault]) <= now_tick {
+            let ev = schedule[next_fault];
+            next_fault += 1;
+            match ev {
+                FaultEvent::Kill { shard, .. } if shard < shard_count && !dead[shard] => {
+                    let _ = send_shard(&txs[shard], ShardMsg::Crash);
+                    dead[shard] = true;
+                    crashes += 1;
+                }
+                FaultEvent::Panic { shard, .. } if shard < shard_count && !dead[shard] => {
+                    let _ = send_shard(&txs[shard], ShardMsg::Panic);
+                    dead[shard] = true;
+                    crashes += 1;
+                }
+                FaultEvent::Restart { shard, .. } if shard < shard_count && dead[shard] => {
+                    // Recovery: barrier-flush the shard's recording so
+                    // everything its last life pushed is on disk, read
+                    // it back (a torn tail is tolerated), and re-create
+                    // each still-owned session from its latest snapshot
+                    // plus replay. Sessions that cannot reach their
+                    // acknowledged floor are dropped from the run.
+                    let mine: Vec<u32> = owner
+                        .iter()
+                        .filter(|&(_, &sh)| sh == shard)
+                        .map(|(&id, _)| id)
+                        .collect();
+                    let mut resumed: Vec<Box<ResumeSession>> = Vec::new();
+                    let recording = match (&recorder_set, &config.record_dir) {
+                        (Some(set), Some(dir)) => {
+                            if let Some(r) = set.recorder(shard) {
+                                r.push_stats(RecStats {
+                                    recorded: r.recorded(),
+                                    dropped: r.dropped(),
+                                    epoch: 0,
+                                });
+                                let _ = r.flush_barrier(Duration::from_secs(2));
+                            }
+                            let path =
+                                dir.join(shard_file_name(u32::try_from(shard).unwrap_or(u32::MAX)));
+                            Recording::load(&path).ok()
+                        }
+                        _ => None,
+                    };
+                    for id in mine {
+                        let outcome = match &recording {
+                            Some(rec) => recover_session(rec, id, config.params),
+                            None => Recovered::Lost,
+                        };
+                        match outcome {
+                            Recovered::Resumed(rs) => resumed.push(rs),
+                            Recovered::AlreadyComplete => {
+                                // Counted at completion; late client
+                                // traffic orphans at the pump.
+                                owner.remove(&id);
+                            }
+                            Recovered::Lost => {
+                                owner.remove(&id);
+                                admitted = admitted.saturating_sub(1);
+                                unrecoverable_sessions += 1;
+                            }
+                        }
+                    }
+                    let recorder = recorder_set.as_ref().and_then(|set| set.recorder(shard));
+                    let egress = match transport.egress() {
+                        Ok(e) => e,
+                        Err(e) => break 'pump Err(e),
+                    };
+                    let (tx, handle) = match spawn_shard(
+                        shard,
+                        config,
+                        clock,
+                        egress,
+                        completed.clone(),
+                        recorder,
+                        pump_tx.clone(),
+                    ) {
+                        Ok(pair) => pair,
+                        Err(e) => break 'pump Err(e),
+                    };
+                    txs[shard] = tx;
+                    handles.push((shard, handle));
+                    dead[shard] = false;
+                    restarts += 1;
+                    for rs in resumed {
+                        let id = rs.spec.id.raw();
+                        if send_shard(&txs[shard], ShardMsg::Resume(rs)) {
+                            recovered_sessions += 1;
+                        } else {
+                            owner.remove(&id);
+                            admitted = admitted.saturating_sub(1);
+                            unrecoverable_sessions += 1;
+                        }
+                    }
+                }
+                FaultEvent::Drain { from, to, .. }
+                    if from < shard_count && to < shard_count && from != to && !dead[from] =>
+                {
+                    let frame = rstp_net::ControlFrame {
+                        kind: ControlKind::Drain,
+                        session: SessionId::new(0),
+                        payload: u32::try_from(to).unwrap_or(u32::MAX).to_be_bytes().to_vec(),
+                    };
+                    if let Ok(bytes) = rstp_net::encode_control(&frame) {
+                        deliver_ctl(&txs, &dead, &mut pending_ctl, from, bytes);
+                    }
+                }
+                FaultEvent::Stall { to_tick, .. } => stall_end = stall_end.max(to_tick),
+                FaultEvent::HubDrop { to_tick, .. } => drop_end = drop_end.max(to_tick),
+                // Out-of-range shard, kill of a dead shard, restart of a
+                // live one, `auto` (expanded by `schedule`): no-ops.
+                _ => {}
+            }
+        }
+
+        // Drain the handover control plane.
+        while let Ok(msg) = pump_rx.try_recv() {
+            match msg {
+                PumpMsg::ToShard { shard, bytes } => {
+                    deliver_ctl(&txs, &dead, &mut pending_ctl, shard, bytes);
+                }
+                PumpMsg::Redirect { bytes } => {
+                    // Ownership flips here, in the pump, so no frame
+                    // routed after this point can reach the source's
+                    // retired copy.
+                    let Ok(frame) = decode_control(&bytes) else {
+                        continue;
+                    };
+                    if frame.kind != ControlKind::Redirect || frame.payload.len() < 4 {
+                        continue;
+                    }
+                    let target = u32::from_be_bytes([
+                        frame.payload[0],
+                        frame.payload[1],
+                        frame.payload[2],
+                        frame.payload[3],
+                    ]) as usize;
+                    if target >= shard_count {
+                        continue;
+                    }
+                    owner.insert(frame.session.raw(), target);
+                    deliver_ctl(&txs, &dead, &mut pending_ctl, target, bytes);
+                }
+            }
+        }
+        // Retry control frames parked on a full queue.
+        for _ in 0..pending_ctl.len() {
+            if let Some((shard, bytes)) = pending_ctl.pop_front() {
+                deliver_ctl(&txs, &dead, &mut pending_ctl, shard, bytes);
+            }
+        }
+
+        // A scripted socket stall: the pump does not touch ingress.
+        if now_tick < stall_end {
+            thread::sleep(idle_nap);
+            continue;
         }
         batch.clear();
         let got = match transport.recv_batch(&mut batch, config.batch.max(1)) {
             Ok(got) => got,
             Err(e) => break Err(e),
         };
+        if got > 0 {
+            last_ingress_tick = now_tick;
+        }
+        // A scripted hub drop: read and discard, mid-transfer loss.
+        if now_tick < drop_end {
+            hub_dropped_frames += got as u64;
+            if got == 0 {
+                thread::sleep(idle_nap);
+            }
+            continue;
+        }
         if got == 0 {
             thread::sleep(idle_nap);
             continue;
@@ -338,17 +781,29 @@ pub fn run_server<T: ServeTransport>(
 
     // Shutdown: best-effort message, then close the queues — a shard
     // whose queue was full still sees the hangup.
-    for tx in &txs {
-        let _ = tx.try_send(ShardMsg::Shutdown);
+    for (index, tx) in txs.iter().enumerate() {
+        if !dead[index] {
+            let _ = tx.try_send(ShardMsg::Shutdown);
+        }
     }
     drop(txs);
+    drop(pump_tx);
 
-    let mut shards: Vec<ShardReport> = Vec::with_capacity(shard_count);
+    // Join *every* epoch of every shard — including threads that
+    // crashed or panicked long before shutdown. A panic anywhere is a
+    // run failure, never a silent exit-0.
+    let mut shards: Vec<ShardReport> = Vec::with_capacity(handles.len());
+    let mut overflow_applied = vec![false; shard_count];
     let mut first_err: Option<NetError> = pump_result.err();
-    for (index, handle) in handles.into_iter().enumerate() {
+    for (index, handle) in handles {
         match handle.join() {
             Ok(Ok(mut report)) => {
-                report.ingress_overflow = overflow[index];
+                // Pump-side overflow is per shard index, not per epoch;
+                // book it once, against the index's first-joined epoch.
+                if !overflow_applied[index] {
+                    report.ingress_overflow = overflow[index];
+                    overflow_applied[index] = true;
+                }
                 shards.push(report);
             }
             Ok(Err(e)) => first_err = first_err.or(Some(e)),
@@ -359,6 +814,7 @@ pub fn run_server<T: ServeTransport>(
             }
         }
     }
+    shards.sort_by_key(|s| s.shard);
     // Seal the recording even on a failing run — a postmortem of the
     // failure is exactly when the files matter.
     if let Some(set) = recorder_set {
@@ -373,8 +829,14 @@ pub fn run_server<T: ServeTransport>(
     Ok(ServeReport {
         shards,
         rejected_sessions: rejected,
+        rejected_ids,
         orphan_frames,
         decode_errors,
+        restarts,
+        crashes,
+        recovered_sessions,
+        unrecoverable_sessions,
+        hub_dropped_frames,
         wall_elapsed: clock.epoch().elapsed(),
     })
 }

@@ -14,16 +14,29 @@
 
 use crate::endpoint::{receiver_endpoint, SessionEndpoint, StepEffect};
 use crate::metrics::{SessionStats, ShardReport};
-use crate::server::{EgressSink, SessionSpec};
+use crate::server::{EgressSink, PumpMsg, SessionSpec};
+use crate::snapshot::SessionSnapshot;
 use crate::wheel::TimerWheel;
 use rstp_core::{SessionId, TimingParams};
-use rstp_net::{codec_for, Frame, FrameBuf, NetError, Pace, TickClock, WireCodec};
+use rstp_net::{
+    codec_for, decode_control, encode_control, ControlFrame, ControlKind, Frame, FrameBuf,
+    NetError, Pace, TickClock, WireCodec,
+};
 use rstp_record::{Event, ShardRecorder};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A recovered session the server hands a restarted shard: the spec, a
+/// restored endpoint (snapshot + event replay already applied), and the
+/// outgoing sequence number to continue from.
+pub struct ResumeSession {
+    pub(crate) spec: SessionSpec,
+    pub(crate) endpoint: Box<dyn SessionEndpoint>,
+    pub(crate) seq: u64,
+}
 
 /// What the server sends a shard over its bounded ingress queue.
 pub enum ShardMsg {
@@ -31,8 +44,41 @@ pub enum ShardMsg {
     Admit(SessionSpec),
     /// A decoded frame for a session this shard owns.
     Frame(SessionId, Frame),
+    /// An encoded wire-v3 control frame: the pair-wise handover protocol
+    /// (DRAIN → SNAPSHOT → SNAPSHOT_ACK → REDIRECT).
+    Control(Vec<u8>),
+    /// Injected fault: stop as if the shard's process segment died —
+    /// live sessions are discarded (completed verdicts survive) and the
+    /// thread returns its report with `crashed` set.
+    Crash,
+    /// Injected fault: panic the shard thread outright.
+    Panic,
+    /// Crash recovery: adopt a session re-created from the flight
+    /// recording.
+    Resume(Box<ResumeSession>),
     /// Finish up: account remaining sessions as unfinished and return.
     Shutdown,
+}
+
+/// First handover retry after this many step gaps without an ack.
+const HANDOVER_BASE_BACKOFF_GAPS: u64 = 8;
+/// Retry backoff doubles per attempt, capped at this many gaps.
+const HANDOVER_MAX_BACKOFF_GAPS: u64 = 64;
+/// Snapshot attempts before the source gives up and resumes locally.
+const HANDOVER_MAX_ATTEMPTS: u32 = 4;
+/// A provisionally adopted session is dropped if no REDIRECT activates
+/// it within this many step gaps (the source has resumed locally by
+/// then; keeping the copy would risk a dual-active session).
+const PROVISIONAL_TTL_GAPS: u64 = 512;
+
+/// An in-flight handover on the source side.
+struct PendingHandover {
+    idx: usize,
+    session: u32,
+    target: usize,
+    attempts: u32,
+    backoff_gaps: u64,
+    next_retry_tick: u64,
 }
 
 /// Static configuration a shard runs under (crate-internal; the public
@@ -58,6 +104,8 @@ struct Live {
     /// at the session's next paced step, mirroring the driver's
     /// drain-before-step ordering.
     pending: VecDeque<Frame>,
+    /// Mid-handover: deadlines are reported as migrated, not stepped.
+    paused: bool,
     prev_wake: Option<Instant>,
     idle_streak: u64,
     steps: u64,
@@ -71,7 +119,19 @@ struct Live {
 }
 
 impl Live {
-    fn into_stats(self, completed: bool) -> SessionStats {
+    /// The session's full state as a handover/recovery snapshot.
+    fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            session: self.spec.id.raw(),
+            kind: self.spec.kind,
+            n: u32::try_from(self.spec.n).unwrap_or(u32::MAX),
+            seq: self.seq,
+            written: self.endpoint.written().to_vec(),
+            state: self.endpoint.state_bytes(),
+        }
+    }
+
+    fn stats(&self, completed: bool) -> SessionStats {
         SessionStats {
             id: self.spec.id,
             protocol: self.spec.kind.name(),
@@ -95,6 +155,7 @@ pub(crate) fn run_shard(
     mut egress: Box<dyn EgressSink>,
     completed_total: Arc<AtomicU64>,
     recorder: Option<ShardRecorder>,
+    pump: Sender<PumpMsg>,
 ) -> Result<ShardReport, NetError> {
     #[cfg(rstp_check_inject_ack_bug)]
     let inject_delta2 = sp.params.delta2();
@@ -111,6 +172,18 @@ pub(crate) fn run_shard(
     let mut by_id: HashMap<u32, usize> = HashMap::new();
     let mut due: Vec<(u64, usize)> = Vec::new();
     let mut out_buf: Vec<(u32, FrameBuf)> = Vec::new();
+    // Handover bookkeeping, both directions. Source side: sessions
+    // paused awaiting a SNAPSHOT_ACK. Target side: provisionally adopted
+    // sessions awaiting their REDIRECT, with a drop deadline.
+    let mut pending_handover: Vec<PendingHandover> = Vec::new();
+    let mut provisional: Vec<(usize, u64)> = Vec::new();
+    // Completed sessions, kept as ghost re-ackers: a late duplicate
+    // still gets its acknowledgement (the paper's receiver never
+    // terminates), so a client whose final ack was lost — or whose
+    // thread the scheduler stalled past this shard's quiet grace — can
+    // still finish. Ghosts hold no wheel deadlines and cost nothing
+    // until a frame actually arrives for them.
+    let mut retired: HashMap<u32, Live> = HashMap::new();
     let now_tick = |clock: &TickClock| clock.now_micros() / tick_micros;
 
     'run: loop {
@@ -139,6 +212,7 @@ pub(crate) fn run_shard(
                         codec,
                         seq: 0,
                         pending: VecDeque::new(),
+                        paused: false,
                         prev_wake: None,
                         idle_streak: 0,
                         steps: 0,
@@ -148,16 +222,7 @@ pub(crate) fn run_shard(
                         #[cfg(rstp_check_inject_ack_bug)]
                         defer: None,
                     };
-                    let idx = match sessions.iter().position(Option::is_none) {
-                        Some(free) => free,
-                        None => {
-                            sessions.push(None);
-                            sessions.len() - 1
-                        }
-                    };
-                    if let Some(slot) = sessions.get_mut(idx) {
-                        *slot = Some(live);
-                    }
+                    let idx = insert_live(&mut sessions, live);
                     by_id.insert(spec.id.raw(), idx);
                     // First step strictly in the future, like the
                     // driver's epoch anchor — an overdue first deadline
@@ -165,12 +230,21 @@ pub(crate) fn run_shard(
                     wheel.schedule(now_tick(&clock) + 1, idx);
                     report.admitted += 1;
                     if let Some(r) = &recorder {
-                        r.record(Event::Admit {
+                        r.record_durable(Event::Admit {
                             at_micros: clock.now_micros(),
                             session: spec.id.raw(),
                             kind: spec.kind,
                             n: u32::try_from(spec.n).unwrap_or(u32::MAX),
                         });
+                        // Snapshot-on-admit: the recovery anchor a
+                        // restarted shard replays forward from.
+                        if let Some(live) = sessions.get(idx).and_then(Option::as_ref) {
+                            r.record_durable(Event::Snapshot {
+                                at_micros: clock.now_micros(),
+                                session: spec.id.raw(),
+                                state: live.snapshot().encode(),
+                            });
+                        }
                     }
                 }
                 ShardMsg::Frame(id, frame) => {
@@ -178,15 +252,130 @@ pub(crate) fn run_shard(
                         if let Some(live) = sessions.get_mut(idx).and_then(Option::as_mut) {
                             live.pending.push_back(frame);
                         }
+                    } else if let Some(ghost) = retired.get_mut(&id.raw()) {
+                        // A duplicate for a completed session: re-ack
+                        // event-driven. The session has no deadlines
+                        // left, and answering a retransmission is the
+                        // channel's business, not the [c1, c2] step
+                        // schedule's. A ghost must never take down the
+                        // shard, so automaton errors end the exchange
+                        // instead of propagating.
+                        if ghost.endpoint.apply_recv(frame.packet).is_ok() {
+                            for _ in 0..4 {
+                                match ghost.endpoint.step() {
+                                    Ok(StepEffect::Sent(p)) => {
+                                        let stamp = clock.now_micros();
+                                        let bytes = ghost.codec.encode_with_session(
+                                            p,
+                                            ghost.seq,
+                                            stamp,
+                                            ghost.spec.id,
+                                        );
+                                        ghost.seq += 1;
+                                        out_buf.push((ghost.spec.id.raw(), bytes.into()));
+                                        report.reacked += 1;
+                                    }
+                                    Ok(StepEffect::Waited) => {}
+                                    Ok(_) | Err(_) => break,
+                                }
+                            }
+                        }
                     }
                     // Unknown id: trailing traffic for a session that
-                    // already completed. Dropped, like the driver
-                    // ignoring frames after its grace period.
+                    // completed on another epoch or shard. Dropped, like
+                    // the driver ignoring frames after its grace period.
+                }
+                ShardMsg::Control(bytes) => {
+                    handle_control(
+                        &bytes,
+                        &sp,
+                        &clock,
+                        &pump,
+                        &recorder,
+                        &mut report,
+                        &mut sessions,
+                        &mut by_id,
+                        &mut wheel,
+                        &mut pending_handover,
+                        &mut provisional,
+                        now_tick(&clock),
+                        gap_ticks,
+                    );
+                }
+                ShardMsg::Resume(resume) => {
+                    let rs = *resume;
+                    let codec = codec_for(rs.spec.kind)?;
+                    let live = Live {
+                        spec: rs.spec,
+                        endpoint: rs.endpoint,
+                        codec,
+                        seq: rs.seq,
+                        pending: VecDeque::new(),
+                        paused: false,
+                        prev_wake: None,
+                        idle_streak: 0,
+                        steps: 0,
+                        recvs: 0,
+                        sends: 0,
+                        last_write_tick: None,
+                        #[cfg(rstp_check_inject_ack_bug)]
+                        defer: None,
+                    };
+                    let idx = insert_live(&mut sessions, live);
+                    by_id.insert(rs.spec.id.raw(), idx);
+                    wheel.schedule(now_tick(&clock) + 1, idx);
+                    report.adopted += 1;
+                    if let Some(r) = &recorder {
+                        if let Some(live) = sessions.get(idx).and_then(Option::as_ref) {
+                            // A fresh anchor, so a *second* crash can
+                            // recover without replaying the first life.
+                            r.record_durable(Event::Admit {
+                                at_micros: clock.now_micros(),
+                                session: rs.spec.id.raw(),
+                                kind: rs.spec.kind,
+                                n: u32::try_from(rs.spec.n).unwrap_or(u32::MAX),
+                            });
+                            r.record_durable(Event::Snapshot {
+                                at_micros: clock.now_micros(),
+                                session: rs.spec.id.raw(),
+                                state: live.snapshot().encode(),
+                            });
+                        }
+                    }
+                }
+                ShardMsg::Crash => {
+                    // The scripted crash: drop live sessions without
+                    // verdicts, keep everything already completed, and
+                    // return. Recovery is the server's job.
+                    report.crashed = true;
+                    sessions.clear();
+                    by_id.clear();
+                    retired.clear();
+                    break 'run;
+                }
+                ShardMsg::Panic => {
+                    panic!("rstp-serve shard {}: injected panic fault", sp.index);
                 }
                 ShardMsg::Shutdown => break 'run,
             }
             first = rx.try_recv().ok();
         }
+
+        // Handover housekeeping: resend unacked snapshots (capped
+        // exponential backoff, then local resume) and drop provisional
+        // adoptions whose REDIRECT never came.
+        sweep_handover(
+            &sp,
+            &pump,
+            &mut report,
+            &mut sessions,
+            &mut by_id,
+            &mut wheel,
+            &mut pending_handover,
+            &mut provisional,
+            now_tick(&clock),
+            gap_ticks,
+        );
 
         // Fire every deadline up to now.
         wheel.advance(now_tick(&clock), &mut due);
@@ -194,6 +383,15 @@ pub(crate) fn run_shard(
             let Some(live) = sessions.get_mut(idx).and_then(Option::as_mut) else {
                 continue;
             };
+
+            // A deadline for a mid-handover session is *migrated*: the
+            // target re-anchors its own schedule on activation, so the
+            // deadline is accounted for, never silently dropped — and
+            // never stepped here, which would fork the automaton.
+            if live.paused {
+                report.deadlines_migrated += 1;
+                continue;
+            }
 
             // Accounting identical to the single-session driver: a late
             // wake is one deadline miss and poisons the adjacent gap
@@ -282,8 +480,20 @@ pub(crate) fn run_shard(
                     live.sends += 1;
                     productive = true;
                 }
-                StepEffect::Wrote(_) => {
+                StepEffect::Wrote(m) => {
                     live.last_write_tick = Some(due_tick);
+                    if let Some(r) = &recorder {
+                        // The acknowledged-output ledger: cumulative
+                        // count plus the bit, so the no-acknowledged-
+                        // loss oracle can check Y's *content* prefix
+                        // across a crash, not just its length.
+                        r.record(Event::Write {
+                            at_micros: clock.now_micros(),
+                            session: live.spec.id.raw(),
+                            written: live.endpoint.written().len() as u64,
+                            bit: m,
+                        });
+                    }
                     productive = true;
                 }
                 StepEffect::Waited => productive = true,
@@ -304,9 +514,9 @@ pub(crate) fn run_shard(
                     };
                     by_id.remove(&done.spec.id.raw());
                     report.completed += 1;
-                    let stats = done.into_stats(true);
+                    let stats = done.stats(true);
                     if let Some(r) = &recorder {
-                        r.record(Event::Verdict {
+                        r.record_durable(Event::Verdict {
                             at_micros: clock.now_micros(),
                             session: stats.id.raw(),
                             completed: true,
@@ -315,6 +525,11 @@ pub(crate) fn run_shard(
                     }
                     report.sessions.push(stats);
                     completed_total.fetch_add(1, Ordering::Relaxed);
+                    // Retire, don't discard: the paper's receiver never
+                    // stops acknowledging, and the final ack can be
+                    // lost or its client stalled past our grace by the
+                    // scheduler. Late duplicates find the ghost below.
+                    retired.insert(done.spec.id.raw(), done);
                     continue;
                 }
             }
@@ -341,9 +556,9 @@ pub(crate) fn run_shard(
     // Account whatever is still open.
     for slot in sessions.into_iter().flatten() {
         report.unfinished += 1;
-        let stats = slot.into_stats(false);
+        let stats = slot.stats(false);
         if let Some(r) = &recorder {
-            r.record(Event::Verdict {
+            r.record_durable(Event::Verdict {
                 at_micros: clock.now_micros(),
                 session: stats.id.raw(),
                 completed: false,
@@ -357,6 +572,310 @@ pub(crate) fn run_shard(
         report.events_dropped = r.dropped();
     }
     Ok(report)
+}
+
+/// Places `live` in the first free slot (or a new one) and returns its
+/// index.
+fn insert_live(sessions: &mut Vec<Option<Live>>, live: Live) -> usize {
+    let idx = match sessions.iter().position(Option::is_none) {
+        Some(free) => free,
+        None => {
+            sessions.push(None);
+            sessions.len() - 1
+        }
+    };
+    if let Some(slot) = sessions.get_mut(idx) {
+        *slot = Some(live);
+    }
+    idx
+}
+
+/// The shard-index payload (a big-endian `u32`) every handover frame
+/// carries.
+fn shard_payload(shard: usize) -> Vec<u8> {
+    u32::try_from(shard)
+        .unwrap_or(u32::MAX)
+        .to_be_bytes()
+        .to_vec()
+}
+
+fn payload_shard(payload: &[u8]) -> Option<usize> {
+    payload
+        .get(..4)
+        .map(|b| u32::from_be_bytes([b[0], b[1], b[2], b[3]]) as usize)
+}
+
+/// Ships one SNAPSHOT frame (source shard, then the session snapshot)
+/// toward `target` via the pump. `false` when the snapshot exceeds the
+/// control payload cap or the pump is gone — the caller falls back to
+/// local resume.
+fn send_snapshot(pump: &Sender<PumpMsg>, src: usize, target: usize, live: &Live) -> bool {
+    let mut payload = shard_payload(src);
+    payload.extend_from_slice(&live.snapshot().encode());
+    let frame = ControlFrame {
+        kind: ControlKind::Snapshot,
+        session: live.spec.id,
+        payload,
+    };
+    match encode_control(&frame) {
+        Ok(bytes) => pump
+            .send(PumpMsg::ToShard {
+                shard: target,
+                bytes,
+            })
+            .is_ok(),
+        Err(_) => false,
+    }
+}
+
+fn send_ack(pump: &Sender<PumpMsg>, own: usize, src: usize, session: u32) {
+    let frame = ControlFrame {
+        kind: ControlKind::SnapshotAck,
+        session: SessionId::new(session),
+        payload: shard_payload(own),
+    };
+    if let Ok(bytes) = encode_control(&frame) {
+        let _ = pump.send(PumpMsg::ToShard { shard: src, bytes });
+    }
+}
+
+/// One incoming control frame: the four corners of the handover
+/// protocol. Corrupt or stale frames are ignored — the retry/TTL
+/// machinery recovers, and a shard must never die on peer input.
+#[allow(clippy::too_many_arguments)]
+fn handle_control(
+    bytes: &[u8],
+    sp: &ShardParams,
+    clock: &TickClock,
+    pump: &Sender<PumpMsg>,
+    recorder: &Option<ShardRecorder>,
+    report: &mut ShardReport,
+    sessions: &mut Vec<Option<Live>>,
+    by_id: &mut HashMap<u32, usize>,
+    wheel: &mut TimerWheel<usize>,
+    pending_handover: &mut Vec<PendingHandover>,
+    provisional: &mut Vec<(usize, u64)>,
+    now: u64,
+    gap_ticks: u64,
+) {
+    let Ok(frame) = decode_control(bytes) else {
+        return;
+    };
+    match frame.kind {
+        ControlKind::Drain => {
+            // Source side: pause every live session and offer each to
+            // the target. Paused sessions stop stepping immediately;
+            // their deadlines are reported as migrated.
+            let Some(target) = payload_shard(&frame.payload) else {
+                return;
+            };
+            if target == sp.index {
+                return;
+            }
+            for (idx, slot) in sessions.iter_mut().enumerate() {
+                let Some(live) = slot.as_mut() else { continue };
+                if live.paused {
+                    continue;
+                }
+                live.paused = true;
+                if send_snapshot(pump, sp.index, target, live) {
+                    pending_handover.push(PendingHandover {
+                        idx,
+                        session: live.spec.id.raw(),
+                        target,
+                        attempts: 1,
+                        backoff_gaps: HANDOVER_BASE_BACKOFF_GAPS,
+                        next_retry_tick: now + HANDOVER_BASE_BACKOFF_GAPS * gap_ticks,
+                    });
+                } else {
+                    // Oversized snapshot or dead pump: keep running
+                    // here rather than stranding the session.
+                    live.paused = false;
+                    report.handover_failed += 1;
+                }
+            }
+        }
+        ControlKind::Snapshot => {
+            // Target side: restore a provisional copy and acknowledge.
+            // It stays paused (frames queue, deadlines don't fire) until
+            // the REDIRECT confirms the source has retired its copy.
+            let Some(src) = payload_shard(&frame.payload) else {
+                return;
+            };
+            let Ok(snap) = SessionSnapshot::decode(&frame.payload[4..]) else {
+                return;
+            };
+            if snap.session != frame.session.raw() {
+                return;
+            }
+            if by_id.contains_key(&snap.session) {
+                // A retry of a snapshot we already hold: re-ack.
+                send_ack(pump, sp.index, src, snap.session);
+                return;
+            }
+            let spec = SessionSpec {
+                id: SessionId::new(snap.session),
+                kind: snap.kind,
+                n: snap.n as usize,
+            };
+            let Ok(endpoint) = crate::endpoint::restore_receiver_endpoint(
+                snap.kind,
+                sp.params,
+                spec.n,
+                &snap.state,
+                snap.written.clone(),
+            ) else {
+                return;
+            };
+            let Ok(codec) = codec_for(snap.kind) else {
+                return;
+            };
+            let live = Live {
+                spec,
+                endpoint,
+                codec,
+                seq: snap.seq,
+                pending: VecDeque::new(),
+                paused: true,
+                prev_wake: None,
+                idle_streak: 0,
+                steps: 0,
+                recvs: 0,
+                sends: 0,
+                last_write_tick: None,
+                #[cfg(rstp_check_inject_ack_bug)]
+                defer: None,
+            };
+            let idx = insert_live(sessions, live);
+            by_id.insert(snap.session, idx);
+            provisional.push((idx, now + PROVISIONAL_TTL_GAPS * gap_ticks));
+            if let Some(r) = recorder {
+                if let Some(live) = sessions.get(idx).and_then(Option::as_ref) {
+                    // Anchor the adopted session in *this* shard's
+                    // recording, so a later crash here recovers it.
+                    r.record_durable(Event::Admit {
+                        at_micros: clock.now_micros(),
+                        session: snap.session,
+                        kind: snap.kind,
+                        n: snap.n,
+                    });
+                    r.record_durable(Event::Snapshot {
+                        at_micros: clock.now_micros(),
+                        session: snap.session,
+                        state: live.snapshot().encode(),
+                    });
+                }
+            }
+            send_ack(pump, sp.index, src, snap.session);
+        }
+        ControlKind::SnapshotAck => {
+            // Source side: the target holds the session. Retire our
+            // copy silently (its Y continues over there — no verdict,
+            // no stats) and publish the REDIRECT through the pump so
+            // routing flips atomically with the activation.
+            let Some(pos) = pending_handover
+                .iter()
+                .position(|p| p.session == frame.session.raw())
+            else {
+                return; // stale ack (already resumed locally)
+            };
+            let p = pending_handover.swap_remove(pos);
+            let retire = sessions
+                .get(p.idx)
+                .and_then(Option::as_ref)
+                .is_some_and(|l| l.paused && l.spec.id.raw() == p.session);
+            if retire {
+                if let Some(slot) = sessions.get_mut(p.idx) {
+                    *slot = None;
+                }
+                by_id.remove(&p.session);
+                report.handed_off += 1;
+            }
+            let redirect = ControlFrame {
+                kind: ControlKind::Redirect,
+                session: SessionId::new(p.session),
+                payload: shard_payload(p.target),
+            };
+            if let Ok(bytes) = encode_control(&redirect) {
+                let _ = pump.send(PumpMsg::Redirect { bytes });
+            }
+        }
+        ControlKind::Redirect => {
+            // Target side: activation. Re-anchor pacing from now — the
+            // deadlines the source reported as migrated resume here.
+            let Some(&idx) = by_id.get(&frame.session.raw()) else {
+                return;
+            };
+            if let Some(live) = sessions.get_mut(idx).and_then(Option::as_mut) {
+                if live.paused {
+                    live.paused = false;
+                    live.prev_wake = None;
+                    wheel.schedule(now + 1, idx);
+                    report.adopted += 1;
+                }
+            }
+            provisional.retain(|&(i, _)| i != idx);
+        }
+    }
+}
+
+/// Per-iteration handover housekeeping: source-side retries with capped
+/// exponential backoff falling back to local resume, and target-side
+/// TTL expiry of provisional adoptions.
+#[allow(clippy::too_many_arguments)]
+fn sweep_handover(
+    sp: &ShardParams,
+    pump: &Sender<PumpMsg>,
+    report: &mut ShardReport,
+    sessions: &mut [Option<Live>],
+    by_id: &mut HashMap<u32, usize>,
+    wheel: &mut TimerWheel<usize>,
+    pending_handover: &mut Vec<PendingHandover>,
+    provisional: &mut Vec<(usize, u64)>,
+    now: u64,
+    gap_ticks: u64,
+) {
+    pending_handover.retain_mut(|p| {
+        if now < p.next_retry_tick {
+            return true;
+        }
+        if p.attempts >= HANDOVER_MAX_ATTEMPTS {
+            // Out of retries: the session keeps running here.
+            if let Some(live) = sessions.get_mut(p.idx).and_then(Option::as_mut) {
+                if live.paused && live.spec.id.raw() == p.session {
+                    live.paused = false;
+                    live.prev_wake = None;
+                    wheel.schedule(now + 1, p.idx);
+                }
+            }
+            report.handover_failed += 1;
+            return false;
+        }
+        p.attempts += 1;
+        p.backoff_gaps = (p.backoff_gaps * 2).min(HANDOVER_MAX_BACKOFF_GAPS);
+        p.next_retry_tick = now + p.backoff_gaps * gap_ticks;
+        if let Some(live) = sessions.get(p.idx).and_then(Option::as_ref) {
+            let _ = send_snapshot(pump, sp.index, p.target, live);
+        }
+        true
+    });
+
+    provisional.retain(|&(idx, deadline)| {
+        if now < deadline {
+            return true;
+        }
+        // No REDIRECT before the TTL: the source has resumed locally by
+        // now. Drop the copy — a dual-active session would fork Y.
+        if let Some(slot) = sessions.get_mut(idx) {
+            if slot.as_ref().is_some_and(|l| l.paused) {
+                if let Some(live) = slot.take() {
+                    by_id.remove(&live.spec.id.raw());
+                    report.handover_aborted += 1;
+                }
+            }
+        }
+        false
+    });
 }
 
 /// Injected-fault builds only: a channel adversary living in the shard.

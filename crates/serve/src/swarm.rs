@@ -101,6 +101,10 @@ pub struct SwarmReport {
     pub client_timing_violations: u64,
     /// Ids of clients whose driver hit its wall-clock cap.
     pub clients_timed_out: Vec<u32>,
+    /// One diagnostic line per timed-out client — what its driver did
+    /// before giving up, so an ack-loss race leaves a postmortem trail
+    /// in the summary instead of a bare id.
+    pub clients_timed_out_detail: Vec<String>,
     /// Ids whose receiver output `Y` differs from the input `X` — any
     /// entry here is a safety violation.
     pub mismatched: Vec<u32>,
@@ -172,6 +176,42 @@ impl SwarmReport {
             self.serve.orphan_frames,
             self.serve.decode_errors
         );
+        if self.serve.crashes > 0 || self.serve.restarts > 0 || self.serve.hub_dropped_frames > 0 {
+            let _ = writeln!(
+                out,
+                "faults    : {} crashes, {} restarts, {} sessions recovered, {} lost, \
+                 {} hub-dropped frames",
+                self.serve.crashes,
+                self.serve.restarts,
+                self.serve.recovered_sessions,
+                self.serve.unrecoverable_sessions,
+                self.serve.hub_dropped_frames
+            );
+        }
+        let handover_any = self.serve.handed_off()
+            + self.serve.adopted()
+            + self.serve.handovers_failed()
+            + self.serve.handovers_aborted()
+            + self.serve.deadlines_migrated();
+        if handover_any > 0 {
+            let _ = writeln!(
+                out,
+                "handover  : {} handed off, {} adopted, {} failed, {} aborted, \
+                 {} deadlines migrated",
+                self.serve.handed_off(),
+                self.serve.adopted(),
+                self.serve.handovers_failed(),
+                self.serve.handovers_aborted(),
+                self.serve.deadlines_migrated()
+            );
+        }
+        if self.serve.reacked() > 0 {
+            let _ = writeln!(
+                out,
+                "late acks : {} duplicate frame(s) re-acknowledged after completion",
+                self.serve.reacked()
+            );
+        }
         if self.serve.events_recorded() > 0 || self.serve.events_dropped() > 0 {
             let _ = writeln!(
                 out,
@@ -210,6 +250,9 @@ impl SwarmReport {
         }
         if !self.clients_timed_out.is_empty() {
             let _ = writeln!(out, "TIMED OUT : {:?}", self.clients_timed_out);
+            for line in &self.clients_timed_out_detail {
+                let _ = writeln!(out, "  {line}");
+            }
         }
         out
     }
@@ -290,14 +333,18 @@ pub fn run_swarm(config: &SwarmConfig) -> Result<SwarmReport, NetError> {
     let mut report = run_swarm_sessions(&sessions, &config.serve, config.transport)?;
 
     // Independent oracle: the simulator (with its checker enabled) must
-    // produce the same output the wall-clock stack did.
-    let written: HashMap<u32, &[Message]> = report
-        .serve
-        .shards
-        .iter()
-        .flat_map(|s| s.sessions.iter())
-        .map(|s| (s.id.raw(), s.written.as_slice()))
-        .collect();
+    // produce the same output the wall-clock stack did. Fault runs can
+    // leave duplicate stats per id (a handover or crash epoch next to
+    // the completing one); the completed entry is the outcome.
+    let mut written: HashMap<u32, (bool, &[Message])> = HashMap::new();
+    for s in report.serve.shards.iter().flat_map(|s| s.sessions.iter()) {
+        let e = written
+            .entry(s.id.raw())
+            .or_insert((s.completed, s.written.as_slice()));
+        if s.completed && !e.0 {
+            *e = (true, s.written.as_slice());
+        }
+    }
     for (spec, input) in sessions.iter().take(config.oracle_sample) {
         let expected = expected_output(config.kind, config.serve.params, input).map_err(|e| {
             NetError::Automaton {
@@ -305,7 +352,7 @@ pub fn run_swarm(config: &SwarmConfig) -> Result<SwarmReport, NetError> {
             }
         })?;
         report.oracle_checked += 1;
-        if written.get(&spec.id.raw()).copied() != Some(expected.as_slice()) {
+        if written.get(&spec.id.raw()).map(|&(_, w)| w) != Some(expected.as_slice()) {
             report.oracle_mismatched.push(spec.id.raw());
         }
     }
@@ -360,19 +407,48 @@ pub fn run_swarm_sessions(
         }
     };
 
-    // Verify the safety obligation per session: Y == X exactly.
-    let inputs: HashMap<u32, &[Message]> = sessions
-        .iter()
-        .map(|(s, x)| (s.id.raw(), x.as_slice()))
-        .collect();
+    // Verify the safety obligation per session: Y == X exactly. Fault
+    // and handover runs can emit more than one stats entry per id (a
+    // crash epoch's unfinished entry next to the epoch that completed
+    // it); the completed entry is the session's outcome. A planned
+    // session with no stats at all — lost in an unrecovered crash, or
+    // never admitted — is incomplete.
+    let mut outcomes: HashMap<u32, &crate::metrics::SessionStats> = HashMap::new();
+    for stats in serve_report.shards.iter().flat_map(|s| s.sessions.iter()) {
+        use std::collections::hash_map::Entry;
+        match outcomes.entry(stats.id.raw()) {
+            Entry::Occupied(mut e) => {
+                if stats.completed && !e.get().completed {
+                    e.insert(stats);
+                }
+            }
+            Entry::Vacant(e) => {
+                e.insert(stats);
+            }
+        }
+    }
     let mut mismatched = Vec::new();
     let mut incomplete = Vec::new();
-    for stats in serve_report.shards.iter().flat_map(|s| s.sessions.iter()) {
-        if !stats.completed {
-            incomplete.push(stats.id.raw());
-        }
-        if inputs.get(&stats.id.raw()).copied() != Some(stats.written.as_slice()) {
-            mismatched.push(stats.id.raw());
+    for (spec, input) in sessions {
+        let raw = spec.id.raw();
+        match outcomes.get(&raw) {
+            Some(stats) => {
+                if !stats.completed {
+                    incomplete.push(raw);
+                }
+                if stats.written.as_slice() != input.as_slice() {
+                    mismatched.push(raw);
+                }
+            }
+            // A session with no stats at all was either rejected at
+            // admission — a legitimate backpressure outcome, already
+            // counted in `rejected_sessions` — or lost in an
+            // unrecovered crash, which is incomplete.
+            None => {
+                if !serve_report.rejected_ids.contains(&raw) {
+                    incomplete.push(raw);
+                }
+            }
         }
     }
     mismatched.sort_unstable();
@@ -381,11 +457,24 @@ pub fn run_swarm_sessions(
     let mut client_deadline_misses = 0;
     let mut client_timing_violations = 0;
     let mut clients_timed_out = Vec::new();
+    let mut clients_timed_out_detail = Vec::new();
     for (spec, report) in specs.iter().zip(&clients) {
         client_deadline_misses += report.deadline_misses;
         client_timing_violations += report.timing_violations;
         if report.outcome == DriverOutcome::TimedOut {
             clients_timed_out.push(spec.id.raw());
+            clients_timed_out_detail.push(format!(
+                "client {}: {} steps, {} data sends, {} acks sent, {} recvs, \
+                 {} writes, {} misses, gave up after {:.3}s",
+                spec.id.raw(),
+                report.steps,
+                report.data_sends,
+                report.ack_sends,
+                report.recvs,
+                report.written.len(),
+                report.deadline_misses,
+                report.wall_elapsed.as_secs_f64(),
+            ));
         }
     }
 
@@ -395,6 +484,7 @@ pub fn run_swarm_sessions(
         client_deadline_misses,
         client_timing_violations,
         clients_timed_out,
+        clients_timed_out_detail,
         mismatched,
         incomplete,
         oracle_checked: 0,
@@ -615,6 +705,152 @@ mod tests {
             assert_eq!(written, expect, "recorded Y != X for session {}", h.session);
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_restart_recovers_every_acknowledged_write() {
+        // The tentpole scenario: a shard is killed mid-transfer and
+        // restarted from its flight recording. Stop-and-wait clients
+        // retransmit through the outage, the restarted shard resumes
+        // each session from snapshot + replay, and the run must end
+        // with zero acknowledged symbols lost and every Y = X — which
+        // `all_good` asserts via the per-session mismatch check.
+        let params = TimingParams::from_ticks(1, 2, 4).expect("valid");
+        let tick = Duration::from_micros(200);
+        let dir = std::env::temp_dir().join(format!(
+            "rstp-swarm-crash-{}-{:?}",
+            std::process::id(),
+            thread::current().id()
+        ));
+        let plan = crate::FaultPlan::parse("kill=1@20;restart=1@60").expect("plan");
+        let serve = ServeConfig::new(params, tick)
+            .with_shards(2)
+            .with_max_sessions(8)
+            .with_queue_cap(512)
+            .with_max_wall(Duration::from_secs(30))
+            .with_record(&dir)
+            .with_record_seed(7)
+            .with_faults(plan);
+        let sessions: Vec<(SessionSpec, Vec<Message>)> = (1..=8u32)
+            .map(|i| {
+                let spec = SessionSpec {
+                    id: SessionId::new(i),
+                    kind: ProtocolKind::Stenning {
+                        timeout_steps: None,
+                    },
+                    n: 8,
+                };
+                (spec, random_input(8, 7 + u64::from(i)))
+            })
+            .collect();
+        let report = run_swarm_sessions(&sessions, &serve, SwarmTransport::Mem).expect("swarm");
+        assert!(report.all_good(), "{}", report.summary());
+        assert_eq!(report.serve.completed(), 8);
+        assert_eq!(report.serve.crashes, 1, "{}", report.summary());
+        assert_eq!(report.serve.restarts, 1, "{}", report.summary());
+        assert_eq!(
+            report.serve.unrecoverable_sessions,
+            0,
+            "{}",
+            report.summary()
+        );
+        assert!(
+            report.serve.recovered_sessions >= 1,
+            "the kill must land mid-transfer: {}",
+            report.summary()
+        );
+        // The crashed epoch is visible in the per-shard reports, and
+        // the summary renders the fault line.
+        assert!(report.serve.shards.iter().any(|s| s.crashed));
+        assert!(
+            report.summary().contains("faults    :"),
+            "{}",
+            report.summary()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drain_handover_migrates_sessions_without_losing_output() {
+        // Pair-wise handover: shard 0 drains every live session to
+        // shard 1 mid-transfer (DRAIN → SNAPSHOT → ACK → REDIRECT).
+        // The adopted sessions must finish with Y = X, and deadlines
+        // that fired while paused are reported as migrated, not lost.
+        let params = TimingParams::from_ticks(1, 2, 4).expect("valid");
+        let tick = Duration::from_micros(200);
+        let plan = crate::FaultPlan::parse("drain=0->1@15").expect("plan");
+        let serve = ServeConfig::new(params, tick)
+            .with_shards(2)
+            .with_max_sessions(8)
+            .with_queue_cap(512)
+            .with_max_wall(Duration::from_secs(30))
+            .with_faults(plan);
+        let sessions: Vec<(SessionSpec, Vec<Message>)> = (1..=8u32)
+            .map(|i| {
+                let spec = SessionSpec {
+                    id: SessionId::new(i),
+                    kind: ProtocolKind::Stenning {
+                        timeout_steps: None,
+                    },
+                    n: 8,
+                };
+                (spec, random_input(8, 100 + u64::from(i)))
+            })
+            .collect();
+        let report = run_swarm_sessions(&sessions, &serve, SwarmTransport::Mem).expect("swarm");
+        assert!(report.all_good(), "{}", report.summary());
+        assert_eq!(report.serve.completed(), 8);
+        assert!(
+            report.serve.handed_off() >= 1,
+            "the drain must move sessions: {}",
+            report.summary()
+        );
+        assert_eq!(
+            report.serve.handed_off(),
+            report.serve.adopted(),
+            "every handoff must be adopted exactly once: {}",
+            report.summary()
+        );
+        assert!(
+            report.summary().contains("handover  :"),
+            "{}",
+            report.summary()
+        );
+    }
+
+    #[test]
+    fn injected_panic_is_a_run_failure_not_a_silent_exit() {
+        // A shard thread panic must surface as an error from the run —
+        // the pre-fix behavior (`rstp swarm` exiting 0 after a shard
+        // panic) is exactly what this pins against.
+        let params = TimingParams::from_ticks(1, 2, 4).expect("valid");
+        let tick = Duration::from_micros(200);
+        let plan = crate::FaultPlan::parse("panic=0@5").expect("plan");
+        let serve = ServeConfig::new(params, tick)
+            .with_shards(2)
+            .with_max_sessions(4)
+            .with_max_wall(Duration::from_secs(2))
+            .with_faults(plan);
+        let sessions: Vec<(SessionSpec, Vec<Message>)> = (1..=4u32)
+            .map(|i| {
+                let spec = SessionSpec {
+                    id: SessionId::new(i),
+                    kind: ProtocolKind::Stenning {
+                        timeout_steps: None,
+                    },
+                    n: 4,
+                };
+                (spec, random_input(4, u64::from(i)))
+            })
+            .collect();
+        let err = match run_swarm_sessions(&sessions, &serve, SwarmTransport::Mem) {
+            Err(e) => e,
+            Ok(report) => panic!("panic fault must fail the run: {}", report.summary()),
+        };
+        assert!(
+            matches!(err, NetError::Thread { .. }),
+            "expected a thread error, got: {err}"
+        );
     }
 
     #[test]

@@ -336,6 +336,88 @@ mod tests {
     }
 
     #[test]
+    fn occupancy_is_conserved_through_every_drain() {
+        // The wheel-level half of the handover invariant: a scheduled
+        // deadline is either returned by `advance` — where the shard
+        // steps it or, for a paused mid-handover session, reports it
+        // migrated — or still occupies the wheel. It is never silently
+        // dropped. Conservation (`scheduled == fired + len()`) is
+        // checked after every operation under pseudorandom load across
+        // cascade boundaries, with a "paused" subset standing in for
+        // sessions mid-handover so both accounting flavors are
+        // exercised at drain time.
+        let mut w = TimerWheel::new();
+        let mut lcg: u64 = 0x000D_EFAC_EDFA_CADE;
+        let mut next = move || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            lcg >> 33
+        };
+        let mut scheduled: u64 = 0;
+        let mut stepped: u64 = 0;
+        let mut migrated: u64 = 0;
+        let mut fired_once = Vec::new();
+        let mut token = 0u32;
+        let mut now = 0u64;
+        for round in 0..300 {
+            for _ in 0..6 {
+                let horizon = match next() % 4 {
+                    0 => next() % 64,             // level 0, possibly overdue
+                    1 => 64 + next() % 4000,      // level 1
+                    2 => 4096 + next() % 250_000, // level 2+
+                    _ => 0,                       // due exactly now
+                };
+                w.schedule(now + horizon, token);
+                fired_once.push(0u32);
+                scheduled += 1;
+                token += 1;
+                assert_eq!(
+                    u64::try_from(w.len()).unwrap(),
+                    scheduled - stepped - migrated,
+                    "occupancy drifted after schedule at now={now}"
+                );
+            }
+            now += 1 + next() % (if round % 7 == 0 { 300_000 } else { 61 });
+            let mut due = Vec::new();
+            w.advance(now, &mut due);
+            for (d, t) in due {
+                assert!(d <= now, "future deadline fired: {d} > {now}");
+                fired_once[t as usize] += 1;
+                // Every third session is "paused" mid-handover: its
+                // deadline still fires here and is accounted as
+                // migrated, mirroring the shard's sweep.
+                if t % 3 == 0 {
+                    migrated += 1;
+                } else {
+                    stepped += 1;
+                }
+            }
+            assert_eq!(
+                u64::try_from(w.len()).unwrap(),
+                scheduled - stepped - migrated,
+                "occupancy drifted after drain at now={now}"
+            );
+        }
+        // Final drain: everything scheduled has fired exactly once.
+        let mut due = Vec::new();
+        w.advance(now + 20_000_000, &mut due);
+        for (_, t) in due {
+            fired_once[t as usize] += 1;
+        }
+        assert!(w.is_empty());
+        assert!(
+            fired_once.iter().all(|&n| n == 1),
+            "a deadline fired zero or multiple times: {:?}",
+            fired_once
+                .iter()
+                .enumerate()
+                .filter(|&(_, &n)| n != 1)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
     fn next_due_tracks_the_earliest_deadline() {
         let mut w = TimerWheel::new();
         assert_eq!(w.next_due(), None);
